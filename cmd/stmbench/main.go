@@ -1,0 +1,165 @@
+// Command stmbench regenerates the paper's evaluation figures: for
+// each figure it sweeps the number of threads and prints committed
+// transactions per second per contention manager — the same series
+// Figures 1–4 plot.
+//
+// Usage:
+//
+//	stmbench -figure 1                 # one figure
+//	stmbench -all                      # all four figures
+//	stmbench -figure 4 -csv            # machine-readable output
+//	stmbench -figure 2 -threads 1,4,8 -duration 200ms -managers greedy,karma
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/plot"
+)
+
+func main() {
+	var (
+		figureID = flag.Int("figure", 0, "figure number to run (1-4)")
+		all      = flag.Bool("all", false, "run all four figures")
+		duration = flag.Duration("duration", 300*time.Millisecond, "measurement window per point")
+		warmup   = flag.Duration("warmup", 50*time.Millisecond, "warmup per point")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default: the figure's 1..32 sweep)")
+		managers = flag.String("managers", "", "comma-separated manager names (default: the figure's five series)")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		chart    = flag.Bool("plot", false, "render an ASCII chart of each figure (with the table)")
+		audit    = flag.Bool("audit", false, "verify structural integrity after every point")
+		keyDist  = flag.String("keys", "uniform", "key distribution: uniform, zipf, zipf:<s>")
+		seed     = flag.Uint64("seed", 0x5eed, "workload seed")
+		list     = flag.Bool("list", false, "list figures and managers, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("figures:")
+		for _, fig := range harness.Figures {
+			fmt.Printf("  %d: %s (structure=%s)\n", fig.ID, fig.Name, fig.Structure)
+		}
+		fmt.Printf("managers: %s\n", strings.Join(core.Names(), ", "))
+		return
+	}
+
+	var ids []int
+	switch {
+	case *all:
+		for _, fig := range harness.Figures {
+			ids = append(ids, fig.ID)
+		}
+	case *figureID != 0:
+		ids = []int{*figureID}
+	default:
+		fmt.Fprintln(os.Stderr, "stmbench: pass -figure N or -all (see -list)")
+		os.Exit(2)
+	}
+
+	opts := harness.FigureOptions{
+		Duration: *duration,
+		Warmup:   *warmup,
+		Seed:     *seed,
+		Audit:    *audit,
+		KeyDist:  *keyDist,
+	}
+	if *threads != "" {
+		ts, err := parseInts(*threads)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Threads = ts
+	}
+	if *managers != "" {
+		opts.Managers = strings.Split(*managers, ",")
+	}
+	if !*csvOut {
+		opts.Progress = func(p harness.Point) {
+			fmt.Fprintf(os.Stderr, "  %-10s %-12s x%-3d %10.0f commits/s (abort rate %.2f)\n",
+				p.Structure, p.Manager, p.Threads, p.CommitsPerSec, p.AbortRate)
+		}
+	}
+
+	for _, id := range ids {
+		fig, err := harness.FigureByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		if !*csvOut {
+			fmt.Fprintf(os.Stderr, "running figure %d: %s\n", fig.ID, fig.Name)
+		}
+		points, err := harness.RunFigure(fig, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *csvOut {
+			if err := harness.WriteCSV(os.Stdout, points); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		fmt.Println()
+		title := fmt.Sprintf("Figure %d: %s", fig.ID, fig.Name)
+		if err := harness.WriteTable(os.Stdout, title, points); err != nil {
+			fatal(err)
+		}
+		if *chart {
+			fmt.Println()
+			if err := renderChart(title, points); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// renderChart draws the figure's series as an ASCII line chart, the
+// terminal rendition of the paper's plots.
+func renderChart(title string, points []harness.Point) error {
+	order := []string{}
+	seen := map[string]bool{}
+	byMgr := map[string]*plot.Series{}
+	for _, p := range points {
+		if !seen[p.Manager] {
+			seen[p.Manager] = true
+			order = append(order, p.Manager)
+			byMgr[p.Manager] = &plot.Series{Name: p.Manager}
+		}
+		s := byMgr[p.Manager]
+		s.X = append(s.X, float64(p.Threads))
+		s.Y = append(s.Y, p.CommitsPerSec)
+	}
+	series := make([]plot.Series, 0, len(order))
+	for _, name := range order {
+		series = append(series, *byMgr[name])
+	}
+	return plot.Render(os.Stdout, series, plot.Options{
+		Title:  title,
+		XLabel: "threads",
+		YLabel: "committed tx/sec",
+	})
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("stmbench: bad thread count %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stmbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Quickstart: the smallest complete STM program — a shared counter
+// incremented by concurrent transactions under the greedy contention
+// manager, demonstrating atomic read-modify-write, automatic retry
+// after enemy aborts, and the statistics the STM keeps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+func main() {
+	world := stm.New()
+	counter := stm.NewTObj(stm.NewBox[int](0))
+
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// One Thread (and one contention manager instance) per
+		// goroutine.
+		th := world.NewThread(core.NewGreedy())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := th.Atomically(func(tx *stm.Tx) error {
+					v, err := tx.OpenWrite(counter)
+					if err != nil {
+						return err // aborted by an enemy: Atomically retries
+					}
+					v.(*stm.Box[int]).V++
+					return nil
+				})
+				if err != nil {
+					log.Fatalf("transaction failed: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	final := counter.Peek().(*stm.Box[int]).V
+	stats := world.TotalStats()
+	fmt.Printf("counter: %d (want %d)\n", final, workers*perWorker)
+	fmt.Printf("commits: %d, aborts: %d, conflicts: %d, abort rate: %.2f%%\n",
+		stats.Commits, stats.Aborts, stats.Conflicts, 100*stats.AbortRate())
+	if final != workers*perWorker {
+		log.Fatal("lost updates — this must never happen")
+	}
+	fmt.Println("no increment lost: transactions serialized correctly under contention.")
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stm"
+)
+
+// factories maps the canonical lower-case manager names to their
+// per-thread constructors. The five names plotted in the paper's
+// figures are greedy, aggressive, backoff (an alias kept for the
+// figures' label for Polite), karma and eruption.
+var factories = map[string]stm.Factory{
+	"greedy":         func() stm.Manager { return NewGreedy() },
+	"greedy-timeout": func() stm.Manager { return NewGreedyTimeout() },
+	"aggressive":     func() stm.Manager { return NewAggressive() },
+	"polite":         func() stm.Manager { return NewPolite() },
+	"backoff":        func() stm.Manager { return NewPolite() },
+	"randomized":     func() stm.Manager { return NewRandomized() },
+	"timestamp":      func() stm.Manager { return NewTimestamp() },
+	"karma":          func() stm.Manager { return NewKarma() },
+	"eruption":       func() stm.Manager { return NewEruption() },
+	"kindergarten":   func() stm.Manager { return NewKindergarten() },
+	"killblocked":    func() stm.Manager { return NewKillBlocked() },
+	"queueonblock":   func() stm.Manager { return NewQueueOnBlock() },
+	"polka":          func() stm.Manager { return NewPolka() },
+}
+
+// FigureManagers are the five series plotted in Figures 1–4 of the
+// paper, in legend order.
+var FigureManagers = []string{"eruption", "greedy", "aggressive", "backoff", "karma"}
+
+// Names returns all registered manager names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Factory returns the constructor for the named manager.
+func Factory(name string) (stm.Factory, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown contention manager %q (have %v)", name, Names())
+	}
+	return f, nil
+}
+
+// New constructs a per-thread instance of the named manager.
+func New(name string) (stm.Manager, error) {
+	f, err := Factory(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}

@@ -1,0 +1,187 @@
+// Package graph implements the graph-labelling machinery behind the
+// paper's Theorem 9 (after Garey and Graham's Lemma 2): valid
+// labellings, the score S(G), the graphs G(m,s), and numeric checks of
+// the paper's Lemma 7 and Corollary 8.
+//
+// A valid labelling assigns L(v) >= 0 with L(u)+L(v) >= 1 on every
+// edge; the score S(G) is the infimum of sum L(v) — exactly the
+// minimum fractional vertex cover. By the half-integrality theorem the
+// optimum is attained with labels in {0, 1/2, 1} and equals half the
+// minimum (integral) vertex cover of the bipartite double cover, which
+// König's theorem reduces to maximum bipartite matching. Score is
+// therefore exact, not approximated.
+package graph
+
+import "fmt"
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	// N is the number of vertices.
+	N int
+	// Edges lists each undirected edge once as (u, v) with u < v.
+	Edges [][2]int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph { return &Graph{N: n} }
+
+// AddEdge inserts the undirected edge (u, v). Self-loops are rejected
+// (a self-loop would force L(v) >= 1/2 twice over and never occurs in
+// the paper's constructions); duplicate edges are tolerated and
+// deduplicated.
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return fmt.Errorf("graph: edge (%d,%d) outside [0,%d)", u, v, g.N)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range g.Edges {
+		if e[0] == u && e[1] == v {
+			return nil
+		}
+	}
+	g.Edges = append(g.Edges, [2]int{u, v})
+	return nil
+}
+
+// GMS constructs the paper's G(m,s): vertex set {0, ..., (s+1)m - 1}
+// with an edge between a and b whenever |a-b| >= m.
+func GMS(m, s int) *Graph {
+	n := (s + 1) * m
+	g := New(n)
+	for a := 0; a < n; a++ {
+		for b := a + m; b < n; b++ {
+			g.Edges = append(g.Edges, [2]int{a, b})
+		}
+	}
+	return g
+}
+
+// ValidLabelling reports whether L satisfies L(v) >= 0 and
+// L(u)+L(v) >= 1 on every edge.
+func (g *Graph) ValidLabelling(l []float64) error {
+	if len(l) != g.N {
+		return fmt.Errorf("graph: labelling has %d entries, want %d", len(l), g.N)
+	}
+	for v, x := range l {
+		if x < 0 {
+			return fmt.Errorf("graph: negative label %g at vertex %d", x, v)
+		}
+	}
+	for _, e := range g.Edges {
+		if l[e[0]]+l[e[1]] < 1-labelEps {
+			return fmt.Errorf("graph: edge (%d,%d) under-covered: %g + %g < 1", e[0], e[1], l[e[0]], l[e[1]])
+		}
+	}
+	return nil
+}
+
+const labelEps = 1e-9
+
+// Score returns S(G), the minimum total weight of a valid labelling,
+// exactly (as a rational with denominator 2, returned as float64). It
+// also returns an optimal half-integral labelling witnessing the
+// score.
+func (g *Graph) Score() (float64, []float64) {
+	// Bipartite double cover: left copy u' and right copy u'' of each
+	// vertex; each edge uv contributes u'–v'' and v'–u''. Minimum
+	// vertex cover of the cover = maximum matching (König), and the
+	// fractional cover of G assigns each vertex half its copies'
+	// membership in the integral cover.
+	adj := make([][]int, g.N)
+	for _, e := range g.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	matchL, matchR := maxMatching(g.N, adj)
+	cover := koenigCover(g.N, adj, matchL, matchR)
+	labels := make([]float64, g.N)
+	total := 0.0
+	for v := 0; v < g.N; v++ {
+		w := 0.0
+		if cover.left[v] {
+			w += 0.5
+		}
+		if cover.right[v] {
+			w += 0.5
+		}
+		labels[v] = w
+		total += w
+	}
+	return total, labels
+}
+
+// maxMatching runs augmenting-path maximum matching on the bipartite
+// double cover (left copies to right copies). adj is G's adjacency;
+// the cover's edges are left[u]–right[v] for each uv in G.
+func maxMatching(n int, adj [][]int) (matchL, matchR []int) {
+	matchL = make([]int, n) // left u -> matched right vertex, -1 if free
+	matchR = make([]int, n)
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	var try func(u int, seen []bool) bool
+	try = func(u int, seen []bool) bool {
+		for _, v := range adj[u] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if matchR[v] == -1 || try(matchR[v], seen) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		return false
+	}
+	for u := 0; u < n; u++ {
+		seen := make([]bool, n)
+		try(u, seen)
+	}
+	return matchL, matchR
+}
+
+type coverSets struct {
+	left, right []bool
+}
+
+// koenigCover converts a maximum matching of the double cover into a
+// minimum vertex cover via König's construction: alternating reachable
+// sets from free left vertices.
+func koenigCover(n int, adj [][]int, matchL, matchR []int) coverSets {
+	visitedL := make([]bool, n)
+	visitedR := make([]bool, n)
+	var queue []int
+	for u := 0; u < n; u++ {
+		if matchL[u] == -1 {
+			visitedL[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if visitedR[v] {
+				continue
+			}
+			visitedR[v] = true
+			if w := matchR[v]; w != -1 && !visitedL[w] {
+				visitedL[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	cover := coverSets{left: make([]bool, n), right: make([]bool, n)}
+	for u := 0; u < n; u++ {
+		cover.left[u] = !visitedL[u] // matched-and-unreached left side
+		cover.right[u] = visitedR[u] // reached right side
+	}
+	return cover
+}

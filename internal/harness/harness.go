@@ -1,0 +1,317 @@
+// Package harness drives the paper's benchmark workloads (Figures
+// 1–4) against the STM: a configurable number of worker threads
+// continuously inserting and removing random keys from a small key
+// range (forcing contention), under a chosen contention manager, with
+// committed transactions per second as the reported metric.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/metrics"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// Config describes one benchmark run (one point of a figure).
+type Config struct {
+	// Structure is the benchmark application: "list", "skiplist",
+	// "rbtree" or "rbforest".
+	Structure string
+	// Manager is the contention manager's registry name.
+	Manager string
+	// Threads is the number of worker goroutines (the figures' x
+	// axis).
+	Threads int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Warmup runs before measurement starts (populates the structure
+	// and lets the scheduler settle).
+	Warmup time.Duration
+	// KeyRange is the key universe; the paper uses a small set of 256
+	// integers to force contention.
+	KeyRange int
+	// KeyDist names the key distribution: "uniform" (the paper's
+	// workload, default), "zipf" or "zipf:<exponent>" for skewed
+	// contention concentrated on hot keys.
+	KeyDist string
+	// TailWork adds an uncontended computation of roughly TailWork
+	// arithmetic steps at the end of every transaction, reproducing
+	// Figure 3's low-contention scenario ("threads perform
+	// computations unrelated to the effective transactions at the
+	// end").
+	TailWork int
+	// ForestAllProb is the probability that a red-black forest
+	// operation updates all trees rather than one, producing the
+	// high-variance transaction lengths of Figure 4.
+	ForestAllProb float64
+	// Interleave is the STM's yield period in object opens: on hosts
+	// with fewer cores than workers it makes transactions genuinely
+	// overlap (see stm.WithInterleavePeriod). Zero selects the default
+	// (4); negative disables yielding.
+	Interleave int
+	// Seed makes the workload reproducible.
+	Seed uint64
+	// Audit verifies structural integrity after the run.
+	Audit bool
+}
+
+// withDefaults fills the zero fields with the paper's parameters.
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 50 * time.Millisecond
+	}
+	if c.KeyRange <= 0 {
+		c.KeyRange = 256
+	}
+	if c.ForestAllProb <= 0 {
+		c.ForestAllProb = 0.1
+	}
+	if c.Interleave == 0 {
+		c.Interleave = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Point is one measured datum: a (structure, manager, threads) triple
+// with its throughput.
+type Point struct {
+	Structure string
+	Manager   string
+	Threads   int
+	// CommitsPerSec is the figures' y axis: committed transactions
+	// per second during the measurement window.
+	CommitsPerSec float64
+	// Commits is the raw number of commits inside the window.
+	Commits int64
+	// Aborts, Conflicts and EnemyAborts aggregate the run's totals
+	// (window plus warmup).
+	Aborts      int64
+	Conflicts   int64
+	EnemyAborts int64
+	// AbortRate is total aborts / total attempts for the whole run.
+	AbortRate float64
+	// Latency is the distribution of per-transaction wall times
+	// (including retries — the paper's Theorem 1 is a statement about
+	// exactly this worst case).
+	Latency metrics.Histogram
+}
+
+// Run executes one benchmark configuration.
+func Run(cfg Config) (Point, error) {
+	cfg = cfg.withDefaults()
+	factory, err := core.Factory(cfg.Manager)
+	if err != nil {
+		return Point{}, err
+	}
+	set, err := intset.NewByName(cfg.Structure)
+	if err != nil {
+		return Point{}, err
+	}
+	keys, err := workload.NewKeyDist(cfg.KeyDist, cfg.KeyRange)
+	if err != nil {
+		return Point{}, err
+	}
+	interleave := cfg.Interleave
+	if interleave < 0 {
+		interleave = 0
+	}
+	s := stm.New(stm.WithInterleavePeriod(interleave))
+
+	// Pre-populate to roughly half occupancy so inserts and removes
+	// both do real work from the first measured transaction.
+	seedTh := s.NewThread(core.NewGreedy())
+	seedRng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
+	for i := 0; i < cfg.KeyRange/2; i++ {
+		key := keys.Sample(seedRng)
+		if err := seedTh.Atomically(func(tx *stm.Tx) error {
+			_, err := set.Insert(tx, key)
+			return err
+		}); err != nil {
+			return Point{}, fmt.Errorf("harness: seeding: %w", err)
+		}
+	}
+
+	var stop atomic.Bool
+	commitCounts := make([]atomic.Int64, cfg.Threads)
+	workerErrs := make([]error, cfg.Threads)
+	latencies := make([]metrics.Histogram, cfg.Threads)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		th := s.NewThread(factory())
+		rng := rand.New(rand.NewPCG(cfg.Seed+uint64(w)+1, uint64(w)*0x9e37+1))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			workerErrs[w] = work(&stop, th, set, keys, rng, cfg, &commitCounts[w], &latencies[w])
+		}(w)
+	}
+
+	time.Sleep(cfg.Warmup)
+	var before int64
+	for i := range commitCounts {
+		before += commitCounts[i].Load()
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	var after int64
+	for i := range commitCounts {
+		after += commitCounts[i].Load()
+	}
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	for _, err := range workerErrs {
+		if err != nil {
+			return Point{}, err
+		}
+	}
+
+	total := s.TotalStats()
+	point := Point{
+		Structure:     cfg.Structure,
+		Manager:       cfg.Manager,
+		Threads:       cfg.Threads,
+		Commits:       after - before,
+		CommitsPerSec: float64(after-before) / elapsed.Seconds(),
+		Aborts:        total.Aborts,
+		Conflicts:     total.Conflicts,
+		EnemyAborts:   total.EnemyAborts,
+		AbortRate:     total.AbortRate(),
+	}
+	for i := range latencies {
+		point.Latency.Merge(&latencies[i])
+	}
+	if cfg.Audit {
+		if err := audit(s, set, cfg); err != nil {
+			return Point{}, err
+		}
+	}
+	return point, nil
+}
+
+// errStopped cancels a worker's in-flight operation when the
+// measurement window has closed. Without it a livelock-prone manager
+// (the paper's "aggressive" can ping-pong aborts forever under
+// symmetric load) would leave two workers retrying against each other
+// after the run, and the harness would never join them. The sentinel
+// is not ErrAborted, so Atomically surfaces it instead of retrying.
+var errStopped = errors.New("harness: measurement window closed")
+
+// work is one worker's loop: pick an operation outside the
+// transaction (transactional functions must be retry-safe), run it,
+// count the commit.
+func work(stop *atomic.Bool, th *stm.Thread, set intset.Set, keys workload.KeyDist, rng *rand.Rand, cfg Config, commits *atomic.Int64, lat *metrics.Histogram) error {
+	forest, isForest := set.(*intset.RBForest)
+	for !stop.Load() {
+		opStart := time.Now()
+		key := keys.Sample(rng)
+		insert := rng.Int64N(2) == 0 // 100% updates, half insert half remove
+		all := isForest && rng.Float64() < cfg.ForestAllProb
+		tree := 0
+		if isForest {
+			tree = int(rng.Int64N(int64(forest.Size())))
+		}
+		err := th.Atomically(func(tx *stm.Tx) error {
+			if stop.Load() {
+				return errStopped
+			}
+			var err error
+			switch {
+			case isForest && all && insert:
+				_, err = forest.InsertAll(tx, key)
+			case isForest && all:
+				_, err = forest.RemoveAll(tx, key)
+			case isForest && insert:
+				_, err = forest.InsertOne(tx, tree, key)
+			case isForest:
+				_, err = forest.RemoveOne(tx, tree, key)
+			case insert:
+				_, err = set.Insert(tx, key)
+			default:
+				_, err = set.Remove(tx, key)
+			}
+			if err != nil {
+				return err
+			}
+			spin(cfg.TailWork)
+			return nil
+		})
+		if errors.Is(err, errStopped) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("harness: worker: %w", err)
+		}
+		lat.Observe(time.Since(opStart))
+		commits.Add(1)
+	}
+	return nil
+}
+
+// spinSink defeats dead-code elimination of the tail work.
+var spinSink atomic.Uint64
+
+// spin performs n steps of local arithmetic — the uncontended work at
+// the end of a transaction in the low-contention scenario.
+func spin(n int) {
+	if n <= 0 {
+		return
+	}
+	x := uint64(88172645463325252)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	spinSink.Store(x)
+}
+
+// audit verifies the structure after a run: keys strictly ascending,
+// Contains agreeing with Keys, and red-black invariants where
+// applicable.
+func audit(s *stm.STM, set intset.Set, cfg Config) error {
+	th := s.NewThread(core.NewGreedy())
+	var keys []int
+	if err := th.Atomically(func(tx *stm.Tx) error {
+		var err error
+		keys, err = set.Keys(tx)
+		return err
+	}); err != nil {
+		return fmt.Errorf("harness: audit keys: %w", err)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return fmt.Errorf("harness: audit: keys not strictly ascending at %d: %v", i, keys[i-1:i+1])
+		}
+	}
+	switch v := set.(type) {
+	case *intset.RBTree:
+		if err := th.Atomically(v.CheckInvariants); err != nil {
+			return fmt.Errorf("harness: audit rbtree: %w", err)
+		}
+	case *intset.RBForest:
+		for i := 0; i < v.Size(); i++ {
+			if err := th.Atomically(v.Tree(i).CheckInvariants); err != nil {
+				return fmt.Errorf("harness: audit forest tree %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}

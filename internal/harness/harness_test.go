@@ -1,0 +1,211 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// quickCfg returns a configuration small enough for CI but large
+// enough to exercise real contention.
+func quickCfg(structure, manager string, threads int) harness.Config {
+	return harness.Config{
+		Structure: structure,
+		Manager:   manager,
+		Threads:   threads,
+		Duration:  40 * time.Millisecond,
+		Warmup:    10 * time.Millisecond,
+		KeyRange:  64,
+		Audit:     true,
+	}
+}
+
+func TestRunProducesThroughput(t *testing.T) {
+	for _, structure := range []string{"list", "skiplist", "rbtree"} {
+		structure := structure
+		t.Run(structure, func(t *testing.T) {
+			point, err := harness.Run(quickCfg(structure, "greedy", 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if point.Commits <= 0 {
+				t.Fatalf("no commits measured: %+v", point)
+			}
+			if point.CommitsPerSec <= 0 {
+				t.Fatalf("throughput = %f, want positive", point.CommitsPerSec)
+			}
+			if point.Structure != structure || point.Manager != "greedy" || point.Threads != 2 {
+				t.Fatalf("point mislabelled: %+v", point)
+			}
+		})
+	}
+}
+
+func TestRunForestWithAllUpdates(t *testing.T) {
+	cfg := quickCfg("rbforest", "greedy", 2)
+	cfg.ForestAllProb = 0.3
+	cfg.Duration = 60 * time.Millisecond
+	point, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Commits <= 0 {
+		t.Fatalf("no commits measured: %+v", point)
+	}
+}
+
+func TestRunEveryFigureManager(t *testing.T) {
+	for _, mgr := range []string{"eruption", "greedy", "aggressive", "backoff", "karma"} {
+		mgr := mgr
+		t.Run(mgr, func(t *testing.T) {
+			point, err := harness.Run(quickCfg("list", mgr, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if point.Commits <= 0 {
+				t.Fatalf("no commits under %s", mgr)
+			}
+		})
+	}
+}
+
+func TestRunZipfKeys(t *testing.T) {
+	cfg := quickCfg("rbtree", "greedy", 4)
+	cfg.KeyDist = "zipf:1.2"
+	point, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Commits <= 0 {
+		t.Fatalf("no commits under zipf keys: %+v", point)
+	}
+}
+
+func TestRunRejectsBadKeyDist(t *testing.T) {
+	cfg := quickCfg("list", "greedy", 1)
+	cfg.KeyDist = "pareto"
+	if _, err := harness.Run(cfg); err == nil {
+		t.Fatal("unknown key distribution accepted")
+	}
+}
+
+func TestRunRejectsUnknownInputs(t *testing.T) {
+	if _, err := harness.Run(quickCfg("btree", "greedy", 1)); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+	if _, err := harness.Run(quickCfg("list", "nonexistent", 1)); err == nil {
+		t.Fatal("unknown manager accepted")
+	}
+}
+
+func TestTailWorkLowersThroughput(t *testing.T) {
+	fast, err := harness.Run(quickCfg("rbtree", "greedy", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowCfg := quickCfg("rbtree", "greedy", 1)
+	slowCfg.TailWork = 20000
+	slow, err := harness.Run(slowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.CommitsPerSec >= fast.CommitsPerSec {
+		t.Fatalf("tail work did not lower throughput: %.0f >= %.0f",
+			slow.CommitsPerSec, fast.CommitsPerSec)
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	for id := 1; id <= 4; id++ {
+		fig, err := harness.FigureByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fig.ID != id {
+			t.Fatalf("FigureByID(%d).ID = %d", id, fig.ID)
+		}
+		if len(fig.Managers) != 5 {
+			t.Fatalf("figure %d has %d managers, want the paper's 5", id, len(fig.Managers))
+		}
+	}
+	if _, err := harness.FigureByID(9); err == nil {
+		t.Fatal("FigureByID(9) should fail")
+	}
+}
+
+func TestRunFigureTinySweep(t *testing.T) {
+	fig, err := harness.FigureByID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progressed int
+	points, err := harness.RunFigure(fig, harness.FigureOptions{
+		Duration: 25 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Threads:  []int{1, 2},
+		Managers: []string{"greedy", "aggressive"},
+		Progress: func(harness.Point) { progressed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	if progressed != 4 {
+		t.Fatalf("progress callback fired %d times, want 4", progressed)
+	}
+}
+
+func TestWriteCSVAndTable(t *testing.T) {
+	points := []harness.Point{
+		{Structure: "list", Manager: "greedy", Threads: 1, CommitsPerSec: 1000, Commits: 100},
+		{Structure: "list", Manager: "greedy", Threads: 2, CommitsPerSec: 900, Commits: 90},
+		{Structure: "list", Manager: "karma", Threads: 1, CommitsPerSec: 800, Commits: 80},
+	}
+	var csvBuf strings.Builder
+	if err := harness.WriteCSV(&csvBuf, points); err != nil {
+		t.Fatal(err)
+	}
+	out := csvBuf.String()
+	if !strings.Contains(out, "structure,manager,threads") {
+		t.Fatalf("CSV missing header: %q", out)
+	}
+	if !strings.Contains(out, "list,greedy,1,1000.0") {
+		t.Fatalf("CSV missing data row: %q", out)
+	}
+
+	var tblBuf strings.Builder
+	if err := harness.WriteTable(&tblBuf, "Figure 1: List application", points); err != nil {
+		t.Fatal(err)
+	}
+	tbl := tblBuf.String()
+	for _, want := range []string{"Figure 1", "greedy", "karma", "1000"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	// karma has no 2-thread point: the table renders a dash, not a
+	// stale or zero cell.
+	if !strings.Contains(tbl, "-") {
+		t.Fatalf("table missing placeholder for absent cell:\n%s", tbl)
+	}
+}
+
+func TestWriteCSVIncludesLatencyColumns(t *testing.T) {
+	var p harness.Point
+	p.Structure, p.Manager, p.Threads = "list", "greedy", 1
+	p.Latency.Observe(100 * time.Microsecond)
+	var sb strings.Builder
+	if err := harness.WriteCSV(&sb, []harness.Point{p}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, col := range []string{"lat_p50_us", "lat_p99_us", "lat_max_us"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("CSV missing %q:\n%s", col, out)
+		}
+	}
+}

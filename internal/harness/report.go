@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the points as CSV with a header row, suitable for
+// re-plotting the paper's figures.
+func WriteCSV(w io.Writer, points []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"structure", "manager", "threads", "commits_per_sec", "commits", "aborts", "conflicts", "abort_rate", "lat_p50_us", "lat_p99_us", "lat_max_us"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Structure,
+			p.Manager,
+			strconv.Itoa(p.Threads),
+			strconv.FormatFloat(p.CommitsPerSec, 'f', 1, 64),
+			strconv.FormatInt(p.Commits, 10),
+			strconv.FormatInt(p.Aborts, 10),
+			strconv.FormatInt(p.Conflicts, 10),
+			strconv.FormatFloat(p.AbortRate, 'f', 4, 64),
+			strconv.FormatFloat(float64(p.Latency.Quantile(0.50).Microseconds()), 'f', 0, 64),
+			strconv.FormatFloat(float64(p.Latency.Quantile(0.99).Microseconds()), 'f', 0, 64),
+			strconv.FormatFloat(float64(p.Latency.Max().Microseconds()), 'f', 0, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable renders the points as the figure's series table: one row
+// per manager, one column per thread count, committed transactions per
+// second in the cells — the same series the paper plots.
+func WriteTable(w io.Writer, title string, points []Point) error {
+	threadSet := map[int]bool{}
+	managerOrder := []string{}
+	seenMgr := map[string]bool{}
+	cell := map[string]map[int]float64{}
+	for _, p := range points {
+		threadSet[p.Threads] = true
+		if !seenMgr[p.Manager] {
+			seenMgr[p.Manager] = true
+			managerOrder = append(managerOrder, p.Manager)
+			cell[p.Manager] = map[int]float64{}
+		}
+		cell[p.Manager][p.Threads] = p.CommitsPerSec
+	}
+	threads := make([]int, 0, len(threadSet))
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+
+	if _, err := fmt.Fprintf(w, "%s\ncommitted transactions per second vs number of threads\n\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s", "manager"); err != nil {
+		return err
+	}
+	for _, t := range threads {
+		if _, err := fmt.Fprintf(w, "%10d", t); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, mgr := range managerOrder {
+		if _, err := fmt.Fprintf(w, "%-14s", mgr); err != nil {
+			return err
+		}
+		for _, t := range threads {
+			if v, ok := cell[mgr][t]; ok {
+				if _, err := fmt.Fprintf(w, "%10.0f", v); err != nil {
+					return err
+				}
+			} else if _, err := fmt.Fprintf(w, "%10s", "-"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package intset_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/intset"
+	"repro/internal/stm"
+)
+
+func ExampleRBTree() {
+	world := stm.New()
+	tree := intset.NewRBTree()
+	th := world.NewThread(core.NewGreedy())
+
+	err := th.Atomically(func(tx *stm.Tx) error {
+		for _, k := range []int{5, 1, 9, 3} {
+			if _, err := tree.Insert(tx, k); err != nil {
+				return err
+			}
+		}
+		if _, err := tree.Remove(tx, 9); err != nil {
+			return err
+		}
+		return tree.CheckInvariants(tx)
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var keys []int
+	err = th.Atomically(func(tx *stm.Tx) error {
+		var err error
+		keys, err = tree.Keys(tx)
+		return err
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("keys:", keys)
+	// Output: keys: [1 3 5]
+}
+
+func ExampleRBForest() {
+	world := stm.New()
+	forest := intset.NewRBForest(3)
+	th := world.NewThread(core.NewKarma())
+
+	// One transaction updates every tree — the long transactions that
+	// give Figure 4 its high length variance.
+	err := th.Atomically(func(tx *stm.Tx) error {
+		_, err := forest.InsertAll(tx, 7)
+		return err
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var in0, in2 bool
+	err = th.Atomically(func(tx *stm.Tx) error {
+		var err error
+		if in0, err = forest.ContainsIn(tx, 0, 7); err != nil {
+			return err
+		}
+		in2, err = forest.ContainsIn(tx, 2, 7)
+		return err
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("tree 0 has 7:", in0)
+	fmt.Println("tree 2 has 7:", in2)
+	// Output:
+	// tree 0 has 7: true
+	// tree 2 has 7: true
+}

@@ -1,0 +1,140 @@
+package intset
+
+import (
+	"math"
+
+	"repro/internal/stm"
+)
+
+// listNode is one cell of the sorted singly-linked list. next is the
+// handle of the following cell's container; handles are immutable, so
+// the shallow Clone is safe.
+type listNode struct {
+	key  int
+	next *stm.TObj // holds *listNode; nil handle only past the tail sentinel
+}
+
+// Clone implements stm.Value.
+func (n *listNode) Clone() stm.Value {
+	c := *n
+	return &c
+}
+
+// List is the paper's list application: a sorted singly-linked list
+// with head and tail sentinels. Transactions traverse from the head,
+// so every update conflicts with every concurrent access to a node at
+// or before its position — the highest-contention structure of the
+// four benchmarks.
+type List struct {
+	head *stm.TObj
+}
+
+// NewList returns an empty sorted list.
+func NewList() *List {
+	tail := stm.NewTObj(&listNode{key: math.MaxInt, next: nil})
+	head := stm.NewTObj(&listNode{key: math.MinInt, next: tail})
+	return &List{head: head}
+}
+
+// locate returns the handle and value of the rightmost node with key
+// strictly less than key (the insertion predecessor), plus the value
+// of its successor.
+func (l *List) locate(tx *stm.Tx, key int) (prevObj *stm.TObj, prev, next *listNode, err error) {
+	prevObj = l.head
+	v, err := tx.OpenRead(prevObj)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prev = v.(*listNode)
+	for {
+		nv, err := tx.OpenRead(prev.next)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		next = nv.(*listNode)
+		if next.key >= key {
+			return prevObj, prev, next, nil
+		}
+		prevObj = prev.next
+		prev = next
+	}
+}
+
+// Insert implements Set.
+func (l *List) Insert(tx *stm.Tx, key int) (bool, error) {
+	prevObj, _, next, err := l.locate(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if next.key == key {
+		return false, nil
+	}
+	pv, err := tx.OpenWrite(prevObj)
+	if err != nil {
+		return false, err
+	}
+	prev := pv.(*listNode)
+	node := stm.NewTObj(&listNode{key: key, next: prev.next})
+	prev.next = node
+	return true, nil
+}
+
+// Remove implements Set.
+func (l *List) Remove(tx *stm.Tx, key int) (bool, error) {
+	prevObj, _, next, err := l.locate(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if next.key != key {
+		return false, nil
+	}
+	pv, err := tx.OpenWrite(prevObj)
+	if err != nil {
+		return false, err
+	}
+	prev := pv.(*listNode)
+	// Unlink by pointing past the victim; re-read the victim through
+	// the current predecessor value in case locate's view moved.
+	vv, err := tx.OpenRead(prev.next)
+	if err != nil {
+		return false, err
+	}
+	victim := vv.(*listNode)
+	if victim.key != key {
+		return false, nil
+	}
+	prev.next = victim.next
+	return true, nil
+}
+
+// Contains implements Set.
+func (l *List) Contains(tx *stm.Tx, key int) (bool, error) {
+	_, _, next, err := l.locate(tx, key)
+	if err != nil {
+		return false, err
+	}
+	return next.key == key, nil
+}
+
+// Keys implements Set.
+func (l *List) Keys(tx *stm.Tx) ([]int, error) {
+	var keys []int
+	v, err := tx.OpenRead(l.head)
+	if err != nil {
+		return nil, err
+	}
+	cur := v.(*listNode)
+	for cur.next != nil {
+		nv, err := tx.OpenRead(cur.next)
+		if err != nil {
+			return nil, err
+		}
+		next := nv.(*listNode)
+		if next.next == nil { // tail sentinel
+			break
+		}
+		keys = append(keys, next.key)
+		cur = next
+	}
+	return keys, nil
+}

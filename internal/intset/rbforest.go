@@ -1,0 +1,161 @@
+package intset
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// DefaultForestSize is the number of trees in the paper's red-black
+// forest benchmark ("a data structure made of fifty red-black trees").
+const DefaultForestSize = 50
+
+// RBForest is the paper's fourth benchmark application: a bank of
+// red-black trees in which an update touches either one random tree or
+// all of them. The one-or-all choice gives the produced transactions a
+// length distribution with very high variance, the property Figure 4
+// stresses contention managers with.
+//
+// The choice of tree (and of one-vs-all) is the caller's: transactional
+// functions may retry and so must not draw randomness themselves. The
+// harness draws (key, tree, all) before starting the transaction.
+type RBForest struct {
+	trees []*RBTree
+}
+
+// NewRBForest returns a forest of n empty red-black trees.
+func NewRBForest(n int) *RBForest {
+	if n <= 0 {
+		n = DefaultForestSize
+	}
+	trees := make([]*RBTree, n)
+	for i := range trees {
+		trees[i] = NewRBTree()
+	}
+	return &RBForest{trees: trees}
+}
+
+// Size returns the number of trees.
+func (f *RBForest) Size() int { return len(f.trees) }
+
+// Tree returns the i-th tree.
+func (f *RBForest) Tree(i int) *RBTree { return f.trees[i] }
+
+// InsertOne inserts key into the tree-th tree.
+func (f *RBForest) InsertOne(tx *stm.Tx, tree, key int) (bool, error) {
+	if err := f.check(tree); err != nil {
+		return false, err
+	}
+	return f.trees[tree].Insert(tx, key)
+}
+
+// RemoveOne removes key from the tree-th tree.
+func (f *RBForest) RemoveOne(tx *stm.Tx, tree, key int) (bool, error) {
+	if err := f.check(tree); err != nil {
+		return false, err
+	}
+	return f.trees[tree].Remove(tx, key)
+}
+
+// InsertAll inserts key into every tree and reports whether any tree
+// changed. A single long transaction, as in the paper's benchmark.
+func (f *RBForest) InsertAll(tx *stm.Tx, key int) (bool, error) {
+	changed := false
+	for _, t := range f.trees {
+		ok, err := t.Insert(tx, key)
+		if err != nil {
+			return false, err
+		}
+		changed = changed || ok
+	}
+	return changed, nil
+}
+
+// RemoveAll removes key from every tree and reports whether any tree
+// changed.
+func (f *RBForest) RemoveAll(tx *stm.Tx, key int) (bool, error) {
+	changed := false
+	for _, t := range f.trees {
+		ok, err := t.Remove(tx, key)
+		if err != nil {
+			return false, err
+		}
+		changed = changed || ok
+	}
+	return changed, nil
+}
+
+// ContainsIn reports whether key is in the tree-th tree.
+func (f *RBForest) ContainsIn(tx *stm.Tx, tree, key int) (bool, error) {
+	if err := f.check(tree); err != nil {
+		return false, err
+	}
+	return f.trees[tree].Contains(tx, key)
+}
+
+func (f *RBForest) check(tree int) error {
+	if tree < 0 || tree >= len(f.trees) {
+		return fmt.Errorf("intset: tree index %d out of range [0,%d)", tree, len(f.trees))
+	}
+	return nil
+}
+
+// Set adapter: the plain Set view of a forest routes single-key
+// operations to tree key%Size and lets Keys report tree 0, so the
+// forest can stand in wherever a Set is expected (e.g. smoke tests).
+// The benchmark harness uses the One/All methods directly instead.
+
+// Insert implements Set on tree key mod Size.
+func (f *RBForest) Insert(tx *stm.Tx, key int) (bool, error) {
+	return f.InsertOne(tx, f.treeFor(key), key)
+}
+
+// Remove implements Set on tree key mod Size.
+func (f *RBForest) Remove(tx *stm.Tx, key int) (bool, error) {
+	return f.RemoveOne(tx, f.treeFor(key), key)
+}
+
+// Contains implements Set on tree key mod Size.
+func (f *RBForest) Contains(tx *stm.Tx, key int) (bool, error) {
+	return f.ContainsIn(tx, f.treeFor(key), key)
+}
+
+// Keys implements Set: the union of all trees' keys, deduplicated and
+// sorted (trees hold disjoint responsibilities under the Set view, but
+// One/All usage may overlap them).
+func (f *RBForest) Keys(tx *stm.Tx) ([]int, error) {
+	seen := make(map[int]bool)
+	var keys []int
+	for _, t := range f.trees {
+		ks, err := t.Keys(tx)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sortInts(keys)
+	return keys, nil
+}
+
+func (f *RBForest) treeFor(key int) int {
+	k := key % len(f.trees)
+	if k < 0 {
+		k += len(f.trees)
+	}
+	return k
+}
+
+// sortInts is insertion sort; key sets in tests are small and this
+// avoids importing sort for one call site.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,460 @@
+package intset
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// rbNode is one node of the red-black tree. Child and parent fields
+// are handles; nil-leaf links point at the tree's shared immutable
+// sentinel and the root's parent is the tree's header pseudo-node.
+type rbNode struct {
+	key    int
+	red    bool
+	left   *stm.TObj
+	right  *stm.TObj
+	parent *stm.TObj
+}
+
+// Clone implements stm.Value.
+func (n *rbNode) Clone() stm.Value {
+	c := *n
+	return &c
+}
+
+// RBTree is the paper's red-black tree application: a CLRS-style
+// red-black tree in which every node is a transactional object.
+// Lookups read a root-to-leaf path; updates additionally write the
+// rebalanced region, so concurrent transactions conflict when their
+// paths overlap at a written node — rare for a 256-key tree, which is
+// what makes this the paper's low-contention benchmark (Figure 3).
+//
+// Two special handles bracket the structure: a never-written black
+// sentinel plays CLRS's T.nil (it is never opened, so it causes no
+// conflicts), and a header pseudo-node whose left child is the root
+// (so "the root pointer" is itself transactional data).
+type RBTree struct {
+	header *stm.TObj
+	nil_   *stm.TObj
+}
+
+// NewRBTree returns an empty red-black tree.
+func NewRBTree() *RBTree {
+	nilH := stm.NewNamedTObj("rb-nil", &rbNode{red: false})
+	header := stm.NewNamedTObj("rb-header", &rbNode{left: nilH, right: nilH})
+	return &RBTree{header: header, nil_: nilH}
+}
+
+// rbOps is a sticky-error view of the tree inside one transaction: the
+// first STM error latches and turns every subsequent call into a no-op,
+// so the CLRS pseudo-code transcribes without an error check per line.
+type rbOps struct {
+	t   *RBTree
+	tx  *stm.Tx
+	err error
+}
+
+func (t *RBTree) ops(tx *stm.Tx) *rbOps { return &rbOps{t: t, tx: tx} }
+
+// node reads h. Reads of our own written nodes see the private clone,
+// so reads issued after writes are always current.
+func (o *rbOps) node(h *stm.TObj) *rbNode {
+	if o.err != nil {
+		return &rbNode{}
+	}
+	if h == o.t.nil_ {
+		// The sentinel is immutable: skip the STM so that it never
+		// enters any read set.
+		return h.Peek().(*rbNode)
+	}
+	v, err := o.tx.OpenRead(h)
+	if err != nil {
+		o.err = err
+		return &rbNode{}
+	}
+	return v.(*rbNode)
+}
+
+// mod opens h for writing and returns the private clone.
+func (o *rbOps) mod(h *stm.TObj) *rbNode {
+	if o.err != nil {
+		return &rbNode{}
+	}
+	if h == o.t.nil_ {
+		o.err = fmt.Errorf("intset: attempt to write the red-black nil sentinel")
+		return &rbNode{}
+	}
+	v, err := o.tx.OpenWrite(h)
+	if err != nil {
+		o.err = err
+		return &rbNode{}
+	}
+	return v.(*rbNode)
+}
+
+func (o *rbOps) isRed(h *stm.TObj) bool {
+	if h == o.t.nil_ || h == o.t.header {
+		return false
+	}
+	return o.node(h).red
+}
+
+func (o *rbOps) left(h *stm.TObj) *stm.TObj   { return o.node(h).left }
+func (o *rbOps) right(h *stm.TObj) *stm.TObj  { return o.node(h).right }
+func (o *rbOps) parent(h *stm.TObj) *stm.TObj { return o.node(h).parent }
+func (o *rbOps) root() *stm.TObj              { return o.left(o.t.header) }
+func (o *rbOps) setRed(h *stm.TObj, red bool) { o.mod(h).red = red }
+func (o *rbOps) setLeft(h, c *stm.TObj)       { o.mod(h).left = c }
+func (o *rbOps) setRight(h, c *stm.TObj)      { o.mod(h).right = c }
+func (o *rbOps) setParent(h, p *stm.TObj)     { o.mod(h).parent = p }
+
+// replaceChild repoints p's link to old so it refers to new. It works
+// uniformly for the header (whose left child is the root).
+func (o *rbOps) replaceChild(p, old, new *stm.TObj) {
+	if o.left(p) == old {
+		o.setLeft(p, new)
+	} else {
+		o.setRight(p, new)
+	}
+}
+
+// rotateLeft performs the CLRS left rotation about x.
+func (o *rbOps) rotateLeft(x *stm.TObj) {
+	y := o.right(x)
+	yl := o.left(y)
+	o.setRight(x, yl)
+	if yl != o.t.nil_ {
+		o.setParent(yl, x)
+	}
+	p := o.parent(x)
+	o.setParent(y, p)
+	o.replaceChild(p, x, y)
+	o.setLeft(y, x)
+	o.setParent(x, y)
+}
+
+// rotateRight performs the mirror rotation about x.
+func (o *rbOps) rotateRight(x *stm.TObj) {
+	y := o.left(x)
+	yr := o.right(y)
+	o.setLeft(x, yr)
+	if yr != o.t.nil_ {
+		o.setParent(yr, x)
+	}
+	p := o.parent(x)
+	o.setParent(y, p)
+	o.replaceChild(p, x, y)
+	o.setRight(y, x)
+	o.setParent(x, y)
+}
+
+// search descends to the node holding key, or the sentinel.
+func (o *rbOps) search(key int) *stm.TObj {
+	h := o.root()
+	for h != o.t.nil_ && o.err == nil {
+		n := o.node(h)
+		switch {
+		case key < n.key:
+			h = n.left
+		case key > n.key:
+			h = n.right
+		default:
+			return h
+		}
+	}
+	return o.t.nil_
+}
+
+// minimum descends to the leftmost node of the subtree rooted at h
+// (h must not be the sentinel).
+func (o *rbOps) minimum(h *stm.TObj) *stm.TObj {
+	for o.err == nil {
+		l := o.left(h)
+		if l == o.t.nil_ {
+			return h
+		}
+		h = l
+	}
+	return h
+}
+
+// Insert implements Set.
+func (t *RBTree) Insert(tx *stm.Tx, key int) (bool, error) {
+	o := t.ops(tx)
+	// Find the insertion parent.
+	parent := t.header
+	h := o.root()
+	for h != t.nil_ && o.err == nil {
+		n := o.node(h)
+		parent = h
+		switch {
+		case key < n.key:
+			h = n.left
+		case key > n.key:
+			h = n.right
+		default:
+			return false, o.err // already present
+		}
+	}
+	if o.err != nil {
+		return false, o.err
+	}
+	z := stm.NewTObj(&rbNode{key: key, red: true, left: t.nil_, right: t.nil_, parent: parent})
+	if parent == t.header {
+		o.setLeft(t.header, z)
+	} else if key < o.node(parent).key {
+		o.setLeft(parent, z)
+	} else {
+		o.setRight(parent, z)
+	}
+	o.insertFixup(z)
+	if root := o.root(); root != t.nil_ && o.isRed(root) {
+		o.setRed(root, false)
+	}
+	return true, o.err
+}
+
+// insertFixup restores the red-black invariants after inserting the
+// red node z (CLRS 13.3). The loop never reaches the header: a red
+// parent is never the root, so the grandparent is always a real node.
+func (o *rbOps) insertFixup(z *stm.TObj) {
+	for o.err == nil {
+		zp := o.parent(z)
+		if zp == o.t.header || !o.isRed(zp) {
+			return
+		}
+		zpp := o.parent(zp)
+		if zp == o.left(zpp) {
+			uncle := o.right(zpp)
+			if o.isRed(uncle) {
+				o.setRed(zp, false)
+				o.setRed(uncle, false)
+				o.setRed(zpp, true)
+				z = zpp
+				continue
+			}
+			if z == o.right(zp) {
+				z = zp
+				o.rotateLeft(z)
+				zp = o.parent(z)
+				zpp = o.parent(zp)
+			}
+			o.setRed(zp, false)
+			o.setRed(zpp, true)
+			o.rotateRight(zpp)
+			return
+		}
+		uncle := o.left(zpp)
+		if o.isRed(uncle) {
+			o.setRed(zp, false)
+			o.setRed(uncle, false)
+			o.setRed(zpp, true)
+			z = zpp
+			continue
+		}
+		if z == o.left(zp) {
+			z = zp
+			o.rotateRight(z)
+			zp = o.parent(z)
+			zpp = o.parent(zp)
+		}
+		o.setRed(zp, false)
+		o.setRed(zpp, true)
+		o.rotateLeft(zpp)
+		return
+	}
+}
+
+// transplant replaces the subtree rooted at u with the one rooted at
+// v (CLRS 13.4), without ever writing the sentinel's parent link.
+func (o *rbOps) transplant(u, v *stm.TObj) {
+	p := o.parent(u)
+	o.replaceChild(p, u, v)
+	if v != o.t.nil_ {
+		o.setParent(v, p)
+	}
+}
+
+// Remove implements Set.
+func (t *RBTree) Remove(tx *stm.Tx, key int) (bool, error) {
+	o := t.ops(tx)
+	z := o.search(key)
+	if o.err != nil || z == t.nil_ {
+		return false, o.err
+	}
+	y := z
+	yWasRed := o.isRed(y)
+	var x, xParent *stm.TObj
+	switch {
+	case o.left(z) == t.nil_:
+		x = o.right(z)
+		xParent = o.parent(z)
+		o.transplant(z, x)
+	case o.right(z) == t.nil_:
+		x = o.left(z)
+		xParent = o.parent(z)
+		o.transplant(z, x)
+	default:
+		y = o.minimum(o.right(z))
+		yWasRed = o.isRed(y)
+		x = o.right(y)
+		if o.parent(y) == z {
+			xParent = y
+			if x != t.nil_ {
+				o.setParent(x, y)
+			}
+		} else {
+			xParent = o.parent(y)
+			o.transplant(y, x)
+			o.setRight(y, o.right(z))
+			o.setParent(o.right(y), y)
+		}
+		o.transplant(z, y)
+		o.setLeft(y, o.left(z))
+		o.setParent(o.left(y), y)
+		o.setRed(y, o.isRed(z))
+	}
+	if o.err == nil && !yWasRed {
+		o.deleteFixup(x, xParent)
+	}
+	return true, o.err
+}
+
+// deleteFixup restores the invariants after removing a black node
+// (CLRS 13.4 with x's parent threaded explicitly, since x may be the
+// unwritable sentinel).
+func (o *rbOps) deleteFixup(x, xParent *stm.TObj) {
+	for o.err == nil && x != o.root() && !o.isRed(x) {
+		if x == o.left(xParent) {
+			w := o.right(xParent)
+			if o.isRed(w) {
+				o.setRed(w, false)
+				o.setRed(xParent, true)
+				o.rotateLeft(xParent)
+				w = o.right(xParent)
+			}
+			if !o.isRed(o.left(w)) && !o.isRed(o.right(w)) {
+				o.setRed(w, true)
+				x = xParent
+				xParent = o.parent(x)
+				continue
+			}
+			if !o.isRed(o.right(w)) {
+				o.setRed(o.left(w), false)
+				o.setRed(w, true)
+				o.rotateRight(w)
+				w = o.right(xParent)
+			}
+			o.setRed(w, o.isRed(xParent))
+			o.setRed(xParent, false)
+			o.setRed(o.right(w), false)
+			o.rotateLeft(xParent)
+			break
+		}
+		w := o.left(xParent)
+		if o.isRed(w) {
+			o.setRed(w, false)
+			o.setRed(xParent, true)
+			o.rotateRight(xParent)
+			w = o.left(xParent)
+		}
+		if !o.isRed(o.left(w)) && !o.isRed(o.right(w)) {
+			o.setRed(w, true)
+			x = xParent
+			xParent = o.parent(x)
+			continue
+		}
+		if !o.isRed(o.left(w)) {
+			o.setRed(o.right(w), false)
+			o.setRed(w, true)
+			o.rotateLeft(w)
+			w = o.left(xParent)
+		}
+		o.setRed(w, o.isRed(xParent))
+		o.setRed(xParent, false)
+		o.setRed(o.left(w), false)
+		o.rotateRight(xParent)
+		break
+	}
+	if o.err == nil && x != o.t.nil_ {
+		o.setRed(x, false)
+	}
+}
+
+// Contains implements Set.
+func (t *RBTree) Contains(tx *stm.Tx, key int) (bool, error) {
+	o := t.ops(tx)
+	h := o.search(key)
+	return h != t.nil_ && o.err == nil, o.err
+}
+
+// Keys implements Set.
+func (t *RBTree) Keys(tx *stm.Tx) ([]int, error) {
+	o := t.ops(tx)
+	var keys []int
+	var walk func(h *stm.TObj)
+	walk = func(h *stm.TObj) {
+		if h == t.nil_ || o.err != nil {
+			return
+		}
+		n := o.node(h)
+		walk(n.left)
+		keys = append(keys, n.key)
+		walk(n.right)
+	}
+	walk(o.root())
+	return keys, o.err
+}
+
+// CheckInvariants verifies (inside tx) the red-black tree properties:
+// binary-search order, a black root, no red node with a red child, and
+// equal black heights on every path. It returns a descriptive error on
+// the first violation. Intended for tests and the benchmark harness's
+// post-run audit.
+func (t *RBTree) CheckInvariants(tx *stm.Tx) error {
+	o := t.ops(tx)
+	root := o.root()
+	if root != t.nil_ && o.isRed(root) {
+		return fmt.Errorf("intset: red root")
+	}
+	var check func(h *stm.TObj, min, max *int) (int, error)
+	check = func(h *stm.TObj, min, max *int) (int, error) {
+		if o.err != nil {
+			return 0, o.err
+		}
+		if h == t.nil_ {
+			return 1, nil
+		}
+		n := o.node(h)
+		if min != nil && n.key <= *min {
+			return 0, fmt.Errorf("intset: BST order violated at key %d (min %d)", n.key, *min)
+		}
+		if max != nil && n.key >= *max {
+			return 0, fmt.Errorf("intset: BST order violated at key %d (max %d)", n.key, *max)
+		}
+		if n.red && (o.isRed(n.left) || o.isRed(n.right)) {
+			return 0, fmt.Errorf("intset: red-red violation at key %d", n.key)
+		}
+		lh, err := check(n.left, min, &n.key)
+		if err != nil {
+			return 0, err
+		}
+		rh, err := check(n.right, &n.key, max)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, fmt.Errorf("intset: black-height mismatch at key %d (%d vs %d)", n.key, lh, rh)
+		}
+		if n.red {
+			return lh, nil
+		}
+		return lh + 1, nil
+	}
+	_, err := check(root, nil, nil)
+	if err != nil {
+		return err
+	}
+	return o.err
+}

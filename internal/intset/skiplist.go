@@ -1,0 +1,191 @@
+package intset
+
+import (
+	"math"
+
+	"repro/internal/stm"
+)
+
+// skipMaxLevel bounds tower height; 2^8 = 256 comfortably covers the
+// benchmark key range (and far beyond at the usual 1/2 promotion
+// rate).
+const skipMaxLevel = 8
+
+// skipNode is one tower of the skiplist. next[i] is the handle of the
+// successor tower at level i; the slice is re-allocated on Clone so a
+// writer's tentative link changes stay private.
+type skipNode struct {
+	key  int
+	next []*stm.TObj
+}
+
+// Clone implements stm.Value with a deep copy of the link slice.
+func (n *skipNode) Clone() stm.Value {
+	c := &skipNode{key: n.key, next: make([]*stm.TObj, len(n.next))}
+	copy(c.next, n.next)
+	return c
+}
+
+// SkipList is the paper's skiplist application, after the benchmark in
+// the DSTM paper. Towers shorten the read chains relative to the list,
+// so conflicts concentrate near tall towers instead of the head.
+//
+// Tower heights are a deterministic pseudo-random function of the key
+// rather than of a mutable RNG: transactional code may retry, and a
+// retry must make the same choices.
+type SkipList struct {
+	head *stm.TObj
+}
+
+// NewSkipList returns an empty skiplist.
+func NewSkipList() *SkipList {
+	tail := stm.NewTObj(&skipNode{key: math.MaxInt, next: make([]*stm.TObj, skipMaxLevel)})
+	links := make([]*stm.TObj, skipMaxLevel)
+	for i := range links {
+		links[i] = tail
+	}
+	head := stm.NewTObj(&skipNode{key: math.MinInt, next: links})
+	return &SkipList{head: head}
+}
+
+// levelFor returns the deterministic tower height for key, geometric
+// with rate 1/2, in [1, skipMaxLevel].
+func levelFor(key int) int {
+	// splitmix64 finalizer as a cheap stateless hash.
+	x := uint64(key) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	level := 1
+	for level < skipMaxLevel && x&1 == 1 {
+		level++
+		x >>= 1
+	}
+	return level
+}
+
+// findPreds fills preds with the handle of the rightmost tower whose
+// key is strictly less than key at every level, and returns the value
+// of the level-0 successor.
+func (s *SkipList) findPreds(tx *stm.Tx, key int, preds []*stm.TObj) (*skipNode, error) {
+	curObj := s.head
+	v, err := tx.OpenRead(curObj)
+	if err != nil {
+		return nil, err
+	}
+	cur := v.(*skipNode)
+	for level := skipMaxLevel - 1; level >= 0; level-- {
+		for {
+			nextObj := cur.next[level]
+			nv, err := tx.OpenRead(nextObj)
+			if err != nil {
+				return nil, err
+			}
+			next := nv.(*skipNode)
+			if next.key >= key {
+				break
+			}
+			curObj, cur = nextObj, next
+		}
+		preds[level] = curObj
+	}
+	succObj := cur.next[0]
+	nv, err := tx.OpenRead(succObj)
+	if err != nil {
+		return nil, err
+	}
+	return nv.(*skipNode), nil
+}
+
+// Insert implements Set.
+func (s *SkipList) Insert(tx *stm.Tx, key int) (bool, error) {
+	preds := make([]*stm.TObj, skipMaxLevel)
+	succ, err := s.findPreds(tx, key, preds)
+	if err != nil {
+		return false, err
+	}
+	if succ.key == key {
+		return false, nil
+	}
+	level := levelFor(key)
+	node := &skipNode{key: key, next: make([]*stm.TObj, level)}
+	// Read the predecessors' current links first so the new tower can
+	// point at the right successors, then splice bottom-up.
+	for i := 0; i < level; i++ {
+		pv, err := tx.OpenRead(preds[i])
+		if err != nil {
+			return false, err
+		}
+		node.next[i] = pv.(*skipNode).next[i]
+	}
+	nodeObj := stm.NewTObj(node)
+	for i := 0; i < level; i++ {
+		pv, err := tx.OpenWrite(preds[i])
+		if err != nil {
+			return false, err
+		}
+		pv.(*skipNode).next[i] = nodeObj
+	}
+	return true, nil
+}
+
+// Remove implements Set.
+func (s *SkipList) Remove(tx *stm.Tx, key int) (bool, error) {
+	preds := make([]*stm.TObj, skipMaxLevel)
+	succ, err := s.findPreds(tx, key, preds)
+	if err != nil {
+		return false, err
+	}
+	if succ.key != key {
+		return false, nil
+	}
+	level := len(succ.next)
+	for i := 0; i < level; i++ {
+		pv, err := tx.OpenWrite(preds[i])
+		if err != nil {
+			return false, err
+		}
+		pred := pv.(*skipNode)
+		// The predecessor links to the victim at level i only if the
+		// victim's tower reaches it (it does: level = len(succ.next)),
+		// and pred is the rightmost key < victim, so the link is to
+		// the victim unless a duplicate key intervened (impossible).
+		pred.next[i] = succ.next[i]
+	}
+	return true, nil
+}
+
+// Contains implements Set.
+func (s *SkipList) Contains(tx *stm.Tx, key int) (bool, error) {
+	preds := make([]*stm.TObj, skipMaxLevel)
+	succ, err := s.findPreds(tx, key, preds)
+	if err != nil {
+		return false, err
+	}
+	return succ.key == key, nil
+}
+
+// Keys implements Set.
+func (s *SkipList) Keys(tx *stm.Tx) ([]int, error) {
+	var keys []int
+	v, err := tx.OpenRead(s.head)
+	if err != nil {
+		return nil, err
+	}
+	cur := v.(*skipNode)
+	for {
+		nextObj := cur.next[0]
+		nv, err := tx.OpenRead(nextObj)
+		if err != nil {
+			return nil, err
+		}
+		next := nv.(*skipNode)
+		if next.key == math.MaxInt {
+			return keys, nil
+		}
+		keys = append(keys, next.key)
+		cur = next
+	}
+}

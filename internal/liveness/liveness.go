@@ -1,0 +1,223 @@
+// Package liveness runs the paper's progress guarantees against the
+// real STM (not the discrete simulator): Theorem 1's bounded-commit
+// experiment, and the Section 6 halted-transaction recovery that
+// motivates the GreedyTimeout extension.
+package liveness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stm"
+)
+
+// BoundedCommitResult reports one bounded-commit run: n concurrent
+// transactions (one per thread) over a set of shared objects, started
+// together.
+type BoundedCommitResult struct {
+	// Manager is the contention manager used.
+	Manager string
+	// Transactions is n.
+	Transactions int
+	// Objects is s.
+	Objects int
+	// AbortsPerTx[i] is how many times thread i's single transaction
+	// aborted before committing.
+	AbortsPerTx []int64
+	// MaxAborts is the maximum of AbortsPerTx.
+	MaxAborts int64
+	// Elapsed is the wall-clock time until the last commit.
+	Elapsed time.Duration
+}
+
+// BoundedCommit starts n transactions simultaneously, each updating
+// `touches` of s shared objects in a random order, and waits for all
+// of them to commit. Under greedy, Theorem 1 says each transaction
+// commits after a bounded delay; empirically its abort count stays
+// small because only strictly older transactions can abort it.
+func BoundedCommit(manager string, n, s, touches int, seed uint64) (*BoundedCommitResult, error) {
+	factory, err := core.Factory(manager)
+	if err != nil {
+		return nil, err
+	}
+	if touches > s {
+		touches = s
+	}
+	// Interleave aggressively: the experiment is about conflicts, and
+	// on a host with fewer cores than transactions they must be forced
+	// to overlap (see stm.WithInterleavePeriod).
+	world := stm.New(stm.WithInterleavePeriod(1))
+	objects := make([]*stm.TObj, s)
+	for i := range objects {
+		objects[i] = stm.NewTObj(stm.NewBox[int](0))
+	}
+
+	var barrier, done sync.WaitGroup
+	barrier.Add(1)
+	aborts := make([]int64, n)
+	errs := make([]error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		th := world.NewThread(factory())
+		rng := rand.New(rand.NewPCG(seed+uint64(i), 0x51ed+uint64(i)))
+		order := rng.Perm(s)[:touches]
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			barrier.Wait()
+			var attempts int64
+			errs[i] = th.Atomically(func(tx *stm.Tx) error {
+				attempts++
+				for _, obj := range order {
+					v, err := tx.OpenWrite(objects[obj])
+					if err != nil {
+						return err
+					}
+					v.(*stm.Box[int]).V++
+				}
+				return nil
+			})
+			aborts[i] = attempts - 1
+		}(i)
+	}
+	barrier.Done()
+	done.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("liveness: thread %d: %w", i, err)
+		}
+	}
+	res := &BoundedCommitResult{
+		Manager:      manager,
+		Transactions: n,
+		Objects:      s,
+		AbortsPerTx:  aborts,
+		Elapsed:      elapsed,
+	}
+	for _, a := range aborts {
+		if a > res.MaxAborts {
+			res.MaxAborts = a
+		}
+	}
+	// Consistency: each object's final value equals the number of
+	// transactions that touched it.
+	want := make([]int, s)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewPCG(seed+uint64(i), 0x51ed+uint64(i)))
+		for _, obj := range rng.Perm(s)[:touches] {
+			want[obj]++
+		}
+	}
+	for i, obj := range objects {
+		if got := obj.Peek().(*stm.Box[int]).V; got != want[i] {
+			return nil, fmt.Errorf("liveness: object %d = %d, want %d (lost update)", i, got, want[i])
+		}
+	}
+	return res, nil
+}
+
+// HaltedRecoveryResult reports the Section 6 failure-injection run.
+type HaltedRecoveryResult struct {
+	// Manager is the contention manager under test.
+	Manager string
+	// Recovered reports whether the surviving threads committed
+	// despite the halted transaction.
+	Recovered bool
+	// SurvivorCommits counts the survivors' commits.
+	SurvivorCommits int64
+	// Elapsed is the time the survivors took (or the timeout on
+	// failure).
+	Elapsed time.Duration
+}
+
+// HaltedRecovery halts a high-priority transaction while it holds a
+// shared object, then lets `survivors` later (lower-priority) threads
+// each run `opsEach` updates of the same object under the given
+// manager, with a deadline. Plain greedy waits on the corpse forever
+// (Rule 2: it is older and not waiting), so only managers with a
+// recovery rule — GreedyTimeout doubling its per-enemy patience, or
+// any manager that eventually aborts a silent enemy — make progress.
+func HaltedRecovery(manager string, survivors, opsEach int, deadline time.Duration) (*HaltedRecoveryResult, error) {
+	factory, err := core.Factory(manager)
+	if err != nil {
+		return nil, err
+	}
+	world := stm.New(stm.WithInterleavePeriod(2))
+	obj := stm.NewTObj(stm.NewBox[int](0))
+
+	// The crasher takes the earliest timestamp, opens the object, and
+	// halts without committing or aborting.
+	crasher := world.NewThread(core.NewGreedy())
+	crashErr := crasher.Atomically(func(tx *stm.Tx) error {
+		if _, err := tx.OpenWrite(obj); err != nil {
+			return err
+		}
+		tx.Halt()
+		_, err := tx.OpenWrite(obj)
+		return err
+	})
+	if crashErr != stm.ErrHalted {
+		return nil, fmt.Errorf("liveness: crasher returned %v, want ErrHalted", crashErr)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	okCh := make(chan int64, survivors)
+	for i := 0; i < survivors; i++ {
+		th := world.NewThread(factory())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var commits int64
+			for j := 0; j < opsEach; j++ {
+				if time.Since(start) > deadline {
+					break
+				}
+				err := th.Atomically(func(tx *stm.Tx) error {
+					v, err := tx.OpenWrite(obj)
+					if err != nil {
+						return err
+					}
+					v.(*stm.Box[int]).V++
+					return nil
+				})
+				if err != nil {
+					break
+				}
+				commits++
+			}
+			okCh <- commits
+		}()
+	}
+
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(deadline + 200*time.Millisecond):
+		// Survivors are stuck behind the corpse (expected for plain
+		// greedy). They will remain stuck; report failure. The stuck
+		// goroutines keep yielding in manager wait loops and are
+		// reclaimed at process exit — acceptable for an experiment
+		// binary, documented here for test use.
+	}
+	res := &HaltedRecoveryResult{Manager: manager, Elapsed: time.Since(start)}
+	total := int64(0)
+	want := int64(survivors * opsEach)
+drain:
+	for {
+		select {
+		case c := <-okCh:
+			total += c
+		default:
+			break drain
+		}
+	}
+	res.SurvivorCommits = total
+	res.Recovered = total >= want
+	return res, nil
+}

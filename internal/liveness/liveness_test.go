@@ -1,0 +1,94 @@
+package liveness_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/liveness"
+)
+
+func TestBoundedCommitGreedy(t *testing.T) {
+	res, err := liveness.BoundedCommit("greedy", 6, 4, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AbortsPerTx) != 6 {
+		t.Fatalf("got %d abort counts, want 6", len(res.AbortsPerTx))
+	}
+	// Theorem 1's liveness: every transaction committed (BoundedCommit
+	// errors otherwise). The oldest transaction is never aborted by
+	// greedy, so at least one transaction must show zero aborts.
+	zero := false
+	for _, a := range res.AbortsPerTx {
+		if a == 0 {
+			zero = true
+		}
+		if a < 0 {
+			t.Fatalf("negative abort count: %v", res.AbortsPerTx)
+		}
+	}
+	if !zero {
+		t.Fatalf("no transaction committed abort-free: %v (greedy must protect the oldest)", res.AbortsPerTx)
+	}
+}
+
+func TestBoundedCommitOtherManagers(t *testing.T) {
+	// Aggressive is deliberately absent: two always-abort transactions
+	// can ping-pong forever (the paper's livelock caveat, demonstrated
+	// in internal/sched and Figure 3's collapse), so it has no place
+	// in a bounded-commit liveness test.
+	for _, mgr := range []string{"karma", "timestamp", "greedy-timeout"} {
+		mgr := mgr
+		t.Run(mgr, func(t *testing.T) {
+			res, err := liveness.BoundedCommit(mgr, 4, 3, 2, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Elapsed <= 0 {
+				t.Fatal("elapsed not measured")
+			}
+		})
+	}
+}
+
+func TestBoundedCommitUnknownManager(t *testing.T) {
+	if _, err := liveness.BoundedCommit("bogus", 2, 2, 1, 1); err == nil {
+		t.Fatal("unknown manager accepted")
+	}
+}
+
+func TestHaltedRecoveryGreedyTimeout(t *testing.T) {
+	res, err := liveness.HaltedRecovery("greedy-timeout", 2, 5, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatalf("greedy-timeout failed to recover from a halted transaction: %+v", res)
+	}
+}
+
+func TestHaltedRecoveryAggressive(t *testing.T) {
+	// Aggressive kills the corpse immediately; recovery is trivial.
+	res, err := liveness.HaltedRecovery("aggressive", 2, 5, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatalf("aggressive failed to recover: %+v", res)
+	}
+}
+
+func TestHaltedRecoveryPlainGreedyStalls(t *testing.T) {
+	// Plain greedy honours the halted high-priority corpse forever:
+	// Rule 2 says wait for an older, non-waiting enemy. One survivor
+	// with a short deadline demonstrates the paper's Section 6
+	// motivation. (The stuck goroutine parks in long backoff sleeps
+	// and is reclaimed at process exit.)
+	res, err := liveness.HaltedRecovery("greedy", 1, 1, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered {
+		t.Fatalf("plain greedy recovered from a halted older transaction; Rule 2 should have waited forever: %+v", res)
+	}
+}

@@ -1,0 +1,180 @@
+package metrics_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h metrics.Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", h.String())
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h metrics.Histogram
+	h.Observe(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 100*time.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != h.Max() || h.Min() != 100*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// The quantile is an upper bound within 2x.
+	q := h.Quantile(0.5)
+	if q < 100*time.Microsecond || q > 200*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [100us, 200us]", q)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h metrics.Histogram
+	h.Observe(-5 * time.Second)
+	if h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation mishandled: %s", h.String())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h metrics.Histogram
+	rng := rand.New(rand.NewPCG(4, 2))
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(rng.Int64N(int64(time.Second))))
+	}
+	last := time.Duration(0)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("quantile not monotone at %g: %v < %v", q, v, last)
+		}
+		last = v
+	}
+	if h.Quantile(1) < h.Quantile(0.999) {
+		t.Fatal("p100 below p99.9")
+	}
+}
+
+func TestHistogramQuantileWithinFactorTwo(t *testing.T) {
+	// All mass at one value: every quantile must be within [v, 2v].
+	var h metrics.Histogram
+	v := 777 * time.Microsecond
+	for i := 0; i < 100; i++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < v || got > 2*v {
+			t.Fatalf("quantile(%g) = %v outside [v, 2v] for v=%v", q, got, v)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b metrics.Histogram
+	a.Observe(time.Millisecond)
+	a.Observe(2 * time.Millisecond)
+	b.Observe(4 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d, want 3", a.Count())
+	}
+	if a.Max() != 4*time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	if a.Min() != time.Millisecond {
+		t.Fatalf("merged min = %v", a.Min())
+	}
+	var empty metrics.Histogram
+	a.Merge(&empty) // merging empty is a no-op
+	if a.Count() != 3 {
+		t.Fatalf("merge with empty changed count to %d", a.Count())
+	}
+}
+
+// TestQuickHistogramInvariants: for arbitrary observation sets, count
+// and extrema are exact and quantiles bracket the data.
+func TestQuickHistogramInvariants(t *testing.T) {
+	property := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h metrics.Histogram
+		min := time.Duration(math.MaxInt64)
+		max := time.Duration(0)
+		for _, r := range raw {
+			d := time.Duration(r)
+			h.Observe(d)
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if h.Count() != uint64(len(raw)) {
+			return false
+		}
+		if h.Min() != min || h.Max() != max {
+			return false
+		}
+		// Every quantile lies within [min, max] (upper-bound estimate
+		// clamped at max).
+		for _, q := range []float64{0, 0.5, 1} {
+			v := h.Quantile(q)
+			if v < min && v < max { // v may exceed min due to bucket upper edge
+				return false
+			}
+			if v > max && max > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w metrics.Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %g, want 5", w.Mean())
+	}
+	// Population variance of this classic set is 4; unbiased sample
+	// variance is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %g, want %g", w.Variance(), 32.0/7.0)
+	}
+	if math.Abs(w.StdDev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("stddev = %g", w.StdDev())
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w metrics.Welford
+	if w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("empty accumulator variance not zero")
+	}
+	w.Observe(3)
+	if w.Variance() != 0 {
+		t.Fatal("single sample variance not zero")
+	}
+	if w.Mean() != 3 {
+		t.Fatalf("mean = %g", w.Mean())
+	}
+}

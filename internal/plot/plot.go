@@ -1,0 +1,147 @@
+// Package plot renders ASCII line charts for the benchmark figures:
+// committed transactions per second as a function of the number of
+// threads, one marker per contention manager — a terminal rendition of
+// the paper's Figures 1–4.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the data points; they must have equal length.
+	X []float64
+	// Y values.
+	Y []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options control the chart's size and labels.
+type Options struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area size in characters
+	// (default 64x20).
+	Width  int
+	Height int
+}
+
+// Render draws the series onto w. Points are scaled linearly into the
+// plot area; collisions keep the earlier series' marker.
+func Render(w io.Writer, series []Series, opts Options) error {
+	if opts.Width <= 0 {
+		opts.Width = 64
+	}
+	if opts.Height <= 0 {
+		opts.Height = 20
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	if len(series) > len(markers) {
+		return fmt.Errorf("plot: at most %d series supported, got %d", len(markers), len(series))
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // the throughput axis starts at 0, as in the paper
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: series contain no points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(opts.Width-1)))
+			row := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(opts.Height-1)))
+			r := opts.Height - 1 - row
+			if r >= 0 && r < opts.Height && col >= 0 && col < opts.Width && grid[r][col] == ' ' {
+				grid[r][col] = markers[si]
+			}
+		}
+	}
+
+	if opts.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", opts.Title); err != nil {
+			return err
+		}
+	}
+	yLabelWidth := 10
+	for r, line := range grid {
+		label := strings.Repeat(" ", yLabelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.0f", yLabelWidth, maxY)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%*.0f", yLabelWidth, minY)
+		case (opts.Height - 1) / 2:
+			label = fmt.Sprintf("%*.0f", yLabelWidth, (maxY+minY)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, line); err != nil {
+			return err
+		}
+	}
+	axis := strings.Repeat("-", opts.Width)
+	if _, err := fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", yLabelWidth), axis); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-8.0f%s%8.0f\n",
+		strings.Repeat(" ", yLabelWidth), minX,
+		centerText(opts.XLabel, opts.Width-16), maxX); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "%s  legend: %s", strings.Repeat(" ", yLabelWidth), strings.Join(legend, "   ")); err != nil {
+		return err
+	}
+	if opts.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "   (y: %s)", opts.YLabel); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// centerText pads s to width, centred; long strings are returned
+// unchanged.
+func centerText(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-len(s)-left)
+}

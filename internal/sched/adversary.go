@@ -1,0 +1,157 @@
+package sched
+
+// Adversary builds the paper's Section 4 worst-case instance for the
+// greedy manager: transactions T0..Ts over objects X1..Xs (indices
+// 0..s-1 here), each of one time unit (m ticks):
+//
+//   - Ti has an earlier timestamp than Ti-1 (Ts is the oldest);
+//   - at time 0, each Ti with 0 <= i < s opens X_{i+1};
+//   - at time 1-ε ("the last tick"), each Ti with i >= 1 opens X_i,
+//     in turn aborting Ti-1; Ts opens only Xs, at the last tick.
+//
+// Greedy completes one transaction per round, for a makespan of s+1
+// time units, while an optimal list schedule (evens then odds) takes
+// 2. The makespan ratio therefore grows linearly in s even though the
+// Theorem 9 bound is quadratic; whether the quadratic bound is tight
+// is the paper's open problem.
+//
+// m must be at least 2 so "time 0" and "time 1-ε" are distinct ticks.
+func Adversary(s, m int) *Instance {
+	if s < 1 {
+		s = 1
+	}
+	if m < 2 {
+		m = 2
+	}
+	specs := make([]TxSpec, s+1)
+	for i := 0; i <= s; i++ {
+		var accesses []Access
+		if i < s {
+			accesses = append(accesses, Access{Offset: 0, Object: i}) // X_{i+1}
+		}
+		if i >= 1 {
+			accesses = append(accesses, Access{Offset: m - 1, Object: i - 1}) // X_i
+		}
+		// Keep offsets sorted (the i < s access has offset 0).
+		specs[i] = TxSpec{
+			ID:        i,
+			Length:    m,
+			Timestamp: s - i, // Ts oldest
+			Accesses:  accesses,
+			Label:     txLabel(i),
+		}
+	}
+	return &Instance{Specs: specs, Objects: s}
+}
+
+func txLabel(i int) string {
+	return "T" + itoa(i)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// AdversaryTaskSystem is the corresponding Garey–Graham task system
+// (Section 4.2's T*_j construction): each transaction becomes a task
+// of the same length requiring one unit of every object it touches for
+// its whole duration. Its optimal makespan is 2 time units (2m ticks):
+// the even-indexed transactions are pairwise disjoint, as are the odd.
+func AdversaryTaskSystem(s, m int) *System {
+	if s < 1 {
+		s = 1
+	}
+	if m < 2 {
+		m = 2
+	}
+	tasks := make([]Task, s+1)
+	for i := 0; i <= s; i++ {
+		need := make(map[int]float64)
+		if i < s {
+			need[i] = 1 // X_{i+1}
+		}
+		if i >= 1 {
+			need[i-1] = 1 // X_i
+		}
+		tasks[i] = Task{ID: i, Length: m, Need: need}
+	}
+	return &System{Tasks: tasks, Resources: s}
+}
+
+// EvenOddOrder is the list order that achieves the optimal makespan 2
+// on the adversary task system: all even transactions, then all odd.
+func EvenOddOrder(n int) []int {
+	var order []int
+	for i := 0; i < n; i += 2 {
+		order = append(order, i)
+	}
+	for i := 1; i < n; i += 2 {
+		order = append(order, i)
+	}
+	return order
+}
+
+// LivelockInstance is the two-transaction instance that livelocks an
+// always-abort policy: both transactions open the same object at the
+// start of an attempt of length m >= 2, so whichever transaction is
+// mid-flight is aborted by the other's restart before it can commit,
+// forever ("if a contention manager always advises transactions to
+// abort one another, then live-lock can happen").
+func LivelockInstance(m int) *Instance {
+	if m < 2 {
+		m = 2
+	}
+	return &Instance{
+		Objects: 1,
+		Specs: []TxSpec{
+			{
+				ID: 0, Length: m, Timestamp: 0, Label: "T0",
+				Accesses: []Access{{Offset: 0, Object: 0}},
+			},
+			{
+				ID: 1, Length: m, Timestamp: 1, Label: "T1",
+				Accesses: []Access{{Offset: 0, Object: 0}},
+			},
+		},
+	}
+}
+
+// CycleInstance is the two-transaction cyclic-conflict instance that
+// deadlocks an always-wait policy and livelocks an always-abort one:
+// T0 opens A then B, T1 opens B then A, at mirrored offsets.
+func CycleInstance(m int) *Instance {
+	if m < 2 {
+		m = 2
+	}
+	return &Instance{
+		Objects: 2,
+		Specs: []TxSpec{
+			{
+				ID: 0, Length: m, Timestamp: 0, Label: "T0",
+				Accesses: []Access{{Offset: 0, Object: 0}, {Offset: m - 1, Object: 1}},
+			},
+			{
+				ID: 1, Length: m, Timestamp: 1, Label: "T1",
+				Accesses: []Access{{Offset: 0, Object: 1}, {Offset: m - 1, Object: 0}},
+			},
+		},
+	}
+}

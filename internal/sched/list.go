@@ -1,0 +1,190 @@
+package sched
+
+import "fmt"
+
+// ListSchedule runs the Garey–Graham list scheduler: processors scan
+// the list front to back and start the first unstarted task whose
+// resources are available; tasks run to completion. With at least as
+// many processors as tasks (the paper's setting) this reduces to: at
+// every tick, start every unstarted task, in list order, that fits in
+// the residual resource capacity.
+//
+// order must be a permutation of task IDs. Any list schedule is within
+// a factor of s+1 of optimal (Garey & Graham 1975), and list schedules
+// satisfy the list-scheduler property: no task waits while its
+// resources are free.
+func (sys *System) ListSchedule(order []int) (*Schedule, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkPermutation(order, len(sys.Tasks)); err != nil {
+		return nil, err
+	}
+	n := len(sys.Tasks)
+	start := make([]int, n)
+	finish := make([]int, n)
+	started := make([]bool, n)
+	for i := range start {
+		start[i] = -1
+	}
+	makespan := 0
+	remaining := n
+	for t := 0; remaining > 0; t++ {
+		if t > sys.TotalWork()+1 {
+			return nil, fmt.Errorf("sched: list scheduler failed to place all tasks by tick %d", t)
+		}
+		// Residual capacity given tasks running at tick t.
+		use := make(map[int]float64, sys.Resources)
+		for i := range sys.Tasks {
+			if started[i] && t >= start[i] && t < finish[i] {
+				for r, need := range sys.Tasks[i].Need {
+					use[r] += need
+				}
+			}
+		}
+		for _, id := range order {
+			if started[id] {
+				continue
+			}
+			task := sys.Tasks[id]
+			if !fits(use, task.Need) {
+				continue
+			}
+			started[id] = true
+			start[id] = t
+			finish[id] = t + task.Length
+			remaining--
+			for r, need := range task.Need {
+				use[r] += need
+			}
+			if finish[id] > makespan {
+				makespan = finish[id]
+			}
+		}
+	}
+	return &Schedule{Start: start, Makespan: makespan}, nil
+}
+
+// BestListSchedule tries every permutation of the task list and
+// returns the best list schedule found. Exponential; intended for the
+// small instances of the theory experiments. For n above
+// bestListLimit it falls back to a handful of natural orders (by ID,
+// by decreasing length, by decreasing resource weight).
+func (sys *System) BestListSchedule() (*Schedule, error) {
+	n := len(sys.Tasks)
+	if n == 0 {
+		return &Schedule{Start: nil, Makespan: 0}, nil
+	}
+	if n > bestListLimit {
+		return sys.bestHeuristicList()
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	var best *Schedule
+	err := permute(order, 0, func(perm []int) error {
+		sched, err := sys.ListSchedule(perm)
+		if err != nil {
+			return err
+		}
+		if best == nil || sched.Makespan < best.Makespan {
+			cp := make([]int, len(sched.Start))
+			copy(cp, sched.Start)
+			best = &Schedule{Start: cp, Makespan: sched.Makespan}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// bestListLimit bounds the exhaustive permutation search (8! = 40320
+// list schedules).
+const bestListLimit = 8
+
+func (sys *System) bestHeuristicList() (*Schedule, error) {
+	n := len(sys.Tasks)
+	byID := make([]int, n)
+	for i := range byID {
+		byID[i] = i
+	}
+	byLength := make([]int, n)
+	copy(byLength, byID)
+	sortBy(byLength, func(a, b int) bool { return sys.Tasks[a].Length > sys.Tasks[b].Length })
+	byWeight := make([]int, n)
+	copy(byWeight, byID)
+	weight := func(id int) float64 {
+		w := 0.0
+		for _, need := range sys.Tasks[id].Need {
+			w += need
+		}
+		return w * float64(sys.Tasks[id].Length)
+	}
+	sortBy(byWeight, func(a, b int) bool { return weight(a) > weight(b) })
+
+	var best *Schedule
+	for _, order := range [][]int{byID, byLength, byWeight} {
+		sched, err := sys.ListSchedule(order)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || sched.Makespan < best.Makespan {
+			best = sched
+		}
+	}
+	return best, nil
+}
+
+func fits(use map[int]float64, need map[int]float64) bool {
+	for r, n := range need {
+		if use[r]+n > 1+resourceEps {
+			return false
+		}
+	}
+	return true
+}
+
+func checkPermutation(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("sched: order has %d entries, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range order {
+		if id < 0 || id >= n {
+			return fmt.Errorf("sched: order entry %d out of range [0,%d)", id, n)
+		}
+		if seen[id] {
+			return fmt.Errorf("sched: order repeats task %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// permute invokes fn on every permutation of a[k:] in place.
+func permute(a []int, k int, fn func([]int) error) error {
+	if k == len(a) {
+		return fn(a)
+	}
+	for i := k; i < len(a); i++ {
+		a[k], a[i] = a[i], a[k]
+		if err := permute(a, k+1, fn); err != nil {
+			return err
+		}
+		a[k], a[i] = a[i], a[k]
+	}
+	return nil
+}
+
+// sortBy is insertion sort with a custom less, avoiding a sort.Slice
+// allocation on tiny slices.
+func sortBy(a []int, less func(a, b int) bool) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && less(a[j], a[j-1]); j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package sched
+
+import "math/rand/v2"
+
+// GreedyPolicy is the paper's greedy manager in the simulator: abort
+// the holder if it is younger or waiting, else wait.
+type GreedyPolicy struct{}
+
+// Name implements Policy.
+func (GreedyPolicy) Name() string { return "greedy" }
+
+// OnConflict implements the two greedy rules.
+func (GreedyPolicy) OnConflict(attacker, holder *SimTx) SimDecision {
+	if holder.Timestamp() > attacker.Timestamp() || holder.Waiting() {
+		return SimAbortHolder
+	}
+	return SimWait
+}
+
+// AggressivePolicy always aborts the holder; under symmetric scripted
+// conflicts it livelocks (no one ever commits), the behaviour the
+// paper cites to motivate bounded managers.
+type AggressivePolicy struct{}
+
+// Name implements Policy.
+func (AggressivePolicy) Name() string { return "aggressive" }
+
+// OnConflict implements Policy.
+func (AggressivePolicy) OnConflict(attacker, holder *SimTx) SimDecision {
+	return SimAbortHolder
+}
+
+// TimidPolicy always waits; with cyclic conflict patterns it
+// deadlocks, the other failure mode the paper cites ("if a contention
+// manager never allows one transaction to abort another, then deadlock
+// can happen").
+type TimidPolicy struct{}
+
+// Name implements Policy.
+func (TimidPolicy) Name() string { return "timid" }
+
+// OnConflict implements Policy.
+func (TimidPolicy) OnConflict(attacker, holder *SimTx) SimDecision {
+	return SimWait
+}
+
+// KarmaPolicy mirrors the Karma manager: cumulative acquisitions are
+// priority; an attacker aborts the holder once its priority plus the
+// ticks it has already stalled on this conflict exceeds the holder's.
+type KarmaPolicy struct {
+	stalls map[[2]int]int
+}
+
+// NewKarmaPolicy returns a simulator Karma policy.
+func NewKarmaPolicy() *KarmaPolicy { return &KarmaPolicy{stalls: make(map[[2]int]int)} }
+
+// Name implements Policy.
+func (*KarmaPolicy) Name() string { return "karma" }
+
+// OnConflict implements Policy.
+func (k *KarmaPolicy) OnConflict(attacker, holder *SimTx) SimDecision {
+	key := [2]int{attacker.Spec.ID, holder.Spec.ID}
+	k.stalls[key]++
+	if int64(attacker.Opens())+int64(k.stalls[key]) > int64(holder.Opens()) {
+		delete(k.stalls, key)
+		return SimAbortHolder
+	}
+	return SimWait
+}
+
+// RandomizedPolicy flips a (seeded, deterministic) coin per conflict.
+type RandomizedPolicy struct {
+	rng *rand.Rand
+	p   float64
+}
+
+// NewRandomizedPolicy returns a simulator coin-flip policy with abort
+// probability p and a fixed seed for reproducible runs.
+func NewRandomizedPolicy(p float64, seed uint64) *RandomizedPolicy {
+	return &RandomizedPolicy{rng: rand.New(rand.NewPCG(seed, seed^0xdeadbeef)), p: p}
+}
+
+// Name implements Policy.
+func (*RandomizedPolicy) Name() string { return "randomized" }
+
+// OnConflict implements Policy.
+func (r *RandomizedPolicy) OnConflict(attacker, holder *SimTx) SimDecision {
+	if r.rng.Float64() < r.p {
+		return SimAbortHolder
+	}
+	return SimWait
+}

@@ -1,0 +1,261 @@
+package stm_test
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+)
+
+// runCounterStress has workers concurrently increment a shared
+// transactional counter and checks that no increment is lost or
+// duplicated — the basic serializability smoke test.
+func runCounterStress(t *testing.T, mgr func() stm.Manager, workers, perWorker int) {
+	t.Helper()
+	s := stm.New()
+	obj := stm.NewTObj(stm.NewBox[int](0))
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		th := s.NewThread(mgr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := workers * perWorker
+	if got := counterValue(t, obj); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if c := s.TotalStats().Commits; c != int64(want) {
+		t.Fatalf("commits = %d, want %d", c, want)
+	}
+}
+
+func TestCounterStressAggressive(t *testing.T) {
+	runCounterStress(t, func() stm.Manager { return aggressiveManager{} }, 8, 200)
+}
+
+func TestCounterStressPolite(t *testing.T) {
+	runCounterStress(t, func() stm.Manager { return politeManager{} }, 8, 200)
+}
+
+// TestTwoObjectInvariant checks serializability across objects: every
+// transaction moves one unit from a to b, so a+b is invariant and no
+// interleaving may expose a state where the sum differs.
+func TestTwoObjectInvariant(t *testing.T) {
+	const workers, perWorker, initial = 6, 150, 10_000
+	s := stm.New()
+	a := stm.NewTObj(stm.NewBox[int](initial))
+	b := stm.NewTObj(stm.NewBox[int](0))
+
+	var violations sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th := s.NewThread(aggressiveManager{})
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := th.Atomically(func(tx *stm.Tx) error {
+					av, err := tx.OpenWrite(a)
+					if err != nil {
+						return err
+					}
+					bv, err := tx.OpenWrite(b)
+					if err != nil {
+						return err
+					}
+					ab, bb := av.(*stm.Box[int]), bv.(*stm.Box[int])
+					if ab.V+bb.V != initial {
+						violations.Store(id, ab.V+bb.V)
+					}
+					ab.V--
+					bb.V++
+					return nil
+				})
+				if err != nil {
+					violations.Store(id, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	violations.Range(func(k, v any) bool {
+		t.Fatalf("worker %v observed violation: %v", k, v)
+		return false
+	})
+	got := a.Peek().(*stm.Box[int]).V + b.Peek().(*stm.Box[int]).V
+	if got != initial {
+		t.Fatalf("a+b = %d, want %d", got, initial)
+	}
+	if moved := b.Peek().(*stm.Box[int]).V; moved != workers*perWorker {
+		t.Fatalf("b = %d, want %d", moved, workers*perWorker)
+	}
+}
+
+// TestReadersSeeConsistentSnapshots runs writers that keep x == y and
+// readers that assert it; any observed x != y inside a committed
+// read-only transaction is a serializability bug.
+func TestReadersSeeConsistentSnapshots(t *testing.T) {
+	const writers, readers, perWorker = 4, 4, 200
+	s := stm.New()
+	x := stm.NewTObj(stm.NewBox[int](0))
+	y := stm.NewTObj(stm.NewBox[int](0))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		th := s.NewThread(aggressiveManager{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := th.Atomically(func(tx *stm.Tx) error {
+					xv, err := tx.OpenWrite(x)
+					if err != nil {
+						return err
+					}
+					yv, err := tx.OpenWrite(y)
+					if err != nil {
+						return err
+					}
+					xv.(*stm.Box[int]).V++
+					yv.(*stm.Box[int]).V++
+					return nil
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	type pair struct{ x, y int }
+	seen := make(chan pair, readers*perWorker)
+	for r := 0; r < readers; r++ {
+		th := s.NewThread(politeManager{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var p pair
+				if err := th.Atomically(func(tx *stm.Tx) error {
+					xv, err := tx.OpenRead(x)
+					if err != nil {
+						return err
+					}
+					yv, err := tx.OpenRead(y)
+					if err != nil {
+						return err
+					}
+					p = pair{xv.(*stm.Box[int]).V, yv.(*stm.Box[int]).V}
+					return nil
+				}); err != nil {
+					errs <- err
+					return
+				}
+				seen <- p
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(seen)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for p := range seen {
+		if p.x != p.y {
+			t.Fatalf("committed read-only transaction observed x=%d y=%d; want equal", p.x, p.y)
+		}
+	}
+}
+
+// TestQuickBankConservation is a property test: arbitrary sequences of
+// transfers between arbitrary accounts conserve the total balance.
+func TestQuickBankConservation(t *testing.T) {
+	property := func(seedAmounts []uint8, transfers []uint16) bool {
+		if len(seedAmounts) == 0 {
+			return true
+		}
+		s := stm.New()
+		accounts := make([]*stm.TObj, len(seedAmounts))
+		total := 0
+		for i, amt := range seedAmounts {
+			accounts[i] = stm.NewTObj(stm.NewBox[int](int(amt)))
+			total += int(amt)
+		}
+		th := s.NewThread(aggressiveManager{})
+		for _, tr := range transfers {
+			from := int(tr>>8) % len(accounts)
+			to := int(tr&0xff) % len(accounts)
+			amount := int(tr % 7)
+			if from == to {
+				continue
+			}
+			err := th.Atomically(func(tx *stm.Tx) error {
+				fv, err := tx.OpenWrite(accounts[from])
+				if err != nil {
+					return err
+				}
+				tv, err := tx.OpenWrite(accounts[to])
+				if err != nil {
+					return err
+				}
+				fv.(*stm.Box[int]).V -= amount
+				tv.(*stm.Box[int]).V += amount
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		got := 0
+		for _, acct := range accounts {
+			got += acct.Peek().(*stm.Box[int]).V
+		}
+		return got == total
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStatusStringTotal pins the Status and Decision String
+// methods (exhaustive over valid values plus an invalid one).
+func TestQuickStatusStringTotal(t *testing.T) {
+	cases := map[stm.Status]string{
+		stm.StatusActive:    "active",
+		stm.StatusCommitted: "committed",
+		stm.StatusAborted:   "aborted",
+		stm.Status(99):      "invalid",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+	dcases := map[stm.Decision]string{
+		stm.Wait:         "wait",
+		stm.AbortOther:   "abort-other",
+		stm.AbortSelf:    "abort-self",
+		stm.Decision(99): "invalid",
+	}
+	for d, want := range dcases {
+		if got := d.String(); got != want {
+			t.Errorf("Decision(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}

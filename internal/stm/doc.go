@@ -1,0 +1,52 @@
+// Package stm implements an obstruction-free software transactional
+// memory in the style of DSTM (Herlihy, Luchangco, Moir, Scherer, PODC
+// 2003) and its C# descendant SXM, the system used for the experimental
+// evaluation in Guerraoui, Herlihy and Pochon, "Toward a Theory of
+// Transactional Contention Managers" (PODC 2005/2006).
+//
+// The STM provides object-granularity transactions over TObj handles.
+// Each TObj holds a locator: a triple of (owner transaction, old
+// version, new version) installed by compare-and-swap. A transaction
+// commits by changing its status word from active to committed with a
+// single compare-and-swap; one transaction aborts another the same way.
+// Conflict detection is eager: a transaction discovers a conflict the
+// moment it opens an object another active transaction has open for
+// writing, and at that moment it consults its contention manager, which
+// decides whether to abort the enemy or to wait. This is exactly the
+// structure the paper assumes: correctness (serializability) is the
+// STM's job, progress (liveness) is the contention manager's job.
+//
+// Transactions carry the three pieces of state the paper's greedy
+// manager needs (Section 3):
+//
+//   - a timestamp, acquired when the logical transaction first begins
+//     and retained across aborts and retries;
+//   - an atomic status field (active, committed, aborted) changed only
+//     by compare-and-swap;
+//   - a public waiting flag that tells other transactions whether this
+//     one is currently waiting for an enemy.
+//
+// Reads are invisible: readers record the version they saw and
+// revalidate their read set whenever the global commit clock advances
+// and at commit time, so committed transactions are serializable and
+// reads are consistent (a transaction never observes two snapshots that
+// no serial execution could produce without subsequently aborting).
+//
+// # Usage
+//
+//	s := stm.New()
+//	acct := stm.NewTObj(&Account{Balance: 10})
+//	th := s.NewThread(core.NewGreedy())   // one Thread per goroutine
+//	err := th.Atomically(func(tx *stm.Tx) error {
+//		v, err := tx.OpenWrite(acct)
+//		if err != nil {
+//			return err
+//		}
+//		v.(*Account).Balance++
+//		return nil
+//	})
+//
+// Transactional code must propagate the error returned by OpenRead and
+// OpenWrite: a non-nil error means the transaction has been aborted by
+// an enemy and Atomically will retry it with the same timestamp.
+package stm

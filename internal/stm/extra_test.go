@@ -1,0 +1,216 @@
+package stm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+func TestFullValidationEquivalence(t *testing.T) {
+	// The ablation knob must not change results, only cost: the same
+	// scripted run produces the same final state.
+	for _, opts := range [][]stm.Option{nil, {stm.WithFullValidation()}} {
+		s := stm.New(opts...)
+		a := stm.NewTObj(stm.NewBox[int](1))
+		b := stm.NewTObj(stm.NewBox[int](2))
+		th := s.NewThread(politeManager{})
+		err := th.Atomically(func(tx *stm.Tx) error {
+			av, err := tx.OpenRead(a)
+			if err != nil {
+				return err
+			}
+			bv, err := tx.OpenWrite(b)
+			if err != nil {
+				return err
+			}
+			bv.(*stm.Box[int]).V += av.(*stm.Box[int]).V
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Peek().(*stm.Box[int]).V; got != 3 {
+			t.Fatalf("b = %d, want 3 (opts %v)", got, opts)
+		}
+	}
+}
+
+func TestInterleaveOptionYields(t *testing.T) {
+	// Functional check only: transactions still commit correctly with
+	// the most aggressive yield period.
+	s := stm.New(stm.WithInterleavePeriod(1))
+	obj := stm.NewTObj(stm.NewBox[int](0))
+	th := s.NewThread(politeManager{})
+	for i := 0; i < 50; i++ {
+		if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := counterValue(t, obj); got != 50 {
+		t.Fatalf("counter = %d, want 50", got)
+	}
+}
+
+func TestBoxClone(t *testing.T) {
+	b := stm.NewBox(7)
+	c := b.Clone().(*stm.Box[int])
+	c.V = 9
+	if b.V != 7 {
+		t.Fatalf("clone aliased the original: %d", b.V)
+	}
+	type rec struct{ A, B string }
+	rb := stm.NewBox(rec{A: "x", B: "y"})
+	rc := rb.Clone().(*stm.Box[rec])
+	rc.V.A = "z"
+	if rb.V.A != "x" {
+		t.Fatalf("struct clone aliased: %+v", rb.V)
+	}
+}
+
+func TestNamedTObjString(t *testing.T) {
+	o := stm.NewNamedTObj("account", stm.NewBox(0))
+	if got := o.String(); got != "tobj(account)" {
+		t.Fatalf("String() = %q", got)
+	}
+	anon := stm.NewTObj(stm.NewBox(0))
+	if !strings.HasPrefix(anon.String(), "tobj(0x") {
+		t.Fatalf("anonymous String() = %q", anon.String())
+	}
+}
+
+func TestTxStringAndAccessors(t *testing.T) {
+	s := stm.New()
+	obj := stm.NewTObj(stm.NewBox(0))
+	th := s.NewThread(politeManager{})
+	err := th.Atomically(func(tx *stm.Tx) error {
+		if tx.ID() == 0 {
+			t.Error("ID() = 0, want positive")
+		}
+		if tx.Timestamp() == 0 {
+			t.Error("Timestamp() = 0, want positive")
+		}
+		if tx.Status() != stm.StatusActive {
+			t.Errorf("Status() = %v, want active", tx.Status())
+		}
+		if tx.Aborts() != 0 {
+			t.Errorf("Aborts() = %d, want 0", tx.Aborts())
+		}
+		if _, err := tx.OpenWrite(obj); err != nil {
+			return err
+		}
+		if tx.Opens() != 1 {
+			t.Errorf("Opens() = %d, want 1", tx.Opens())
+		}
+		if !strings.Contains(tx.String(), "active") {
+			t.Errorf("String() = %q", tx.String())
+		}
+		tx.SetPriority(5)
+		tx.AddPriority(2)
+		if tx.Priority() != 7 {
+			t.Errorf("Priority() = %d, want 7", tx.Priority())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortIdempotentAndCommitExcluded(t *testing.T) {
+	s := stm.New()
+	th := s.NewThread(politeManager{})
+	obj := stm.NewTObj(stm.NewBox(0))
+	held := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_ = th.Atomically(func(tx *stm.Tx) error {
+			if _, err := tx.OpenWrite(obj); err != nil {
+				return err
+			}
+			select {
+			case <-held:
+			default:
+				close(held)
+			}
+			<-release
+			return nil
+		})
+	}()
+	<-held
+	tx := th.Current()
+	if !tx.Abort() {
+		t.Fatal("first Abort failed on an active transaction")
+	}
+	if !tx.Abort() {
+		t.Fatal("Abort not idempotent on an aborted transaction")
+	}
+	if tx.Status() != stm.StatusAborted {
+		t.Fatalf("status = %v", tx.Status())
+	}
+	close(release)
+}
+
+func TestStatsAbortRate(t *testing.T) {
+	s := stm.Stats{Commits: 3, Aborts: 1}
+	if got := s.AbortRate(); got != 0.25 {
+		t.Fatalf("AbortRate = %g, want 0.25", got)
+	}
+	var empty stm.Stats
+	if empty.AbortRate() != 0 {
+		t.Fatal("empty AbortRate not zero")
+	}
+	s.Add(stm.Stats{Commits: 1, Aborts: 3, Conflicts: 2, EnemyAborts: 1, Opens: 9, Halted: 1})
+	if s.Commits != 4 || s.Aborts != 4 || s.Conflicts != 2 || s.EnemyAborts != 1 || s.Opens != 9 || s.Halted != 1 {
+		t.Fatalf("Add produced %+v", s)
+	}
+}
+
+func TestWriteAfterReadUpgrade(t *testing.T) {
+	// Read an object, then open it for writing in the same
+	// transaction: the write sees the read version and the commit
+	// succeeds (no false self-conflict).
+	s := stm.New()
+	obj := stm.NewTObj(stm.NewBox(10))
+	th := s.NewThread(politeManager{})
+	err := th.Atomically(func(tx *stm.Tx) error {
+		v, err := tx.OpenRead(obj)
+		if err != nil {
+			return err
+		}
+		w, err := tx.OpenWrite(obj)
+		if err != nil {
+			return err
+		}
+		w.(*stm.Box[int]).V = v.(*stm.Box[int]).V * 2
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.Peek().(*stm.Box[int]).V; got != 20 {
+		t.Fatalf("obj = %d, want 20", got)
+	}
+}
+
+func TestCommitClockAdvancesOnWritesOnly(t *testing.T) {
+	s := stm.New()
+	obj := stm.NewTObj(stm.NewBox(0))
+	th := s.NewThread(politeManager{})
+	before := s.CommitClock()
+	if err := th.Atomically(func(tx *stm.Tx) error {
+		_, err := tx.OpenRead(obj)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.CommitClock() != before {
+		t.Fatal("read-only commit advanced the clock")
+	}
+	if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+		t.Fatal(err)
+	}
+	if s.CommitClock() == before {
+		t.Fatal("writer commit did not advance the clock")
+	}
+}

@@ -1,0 +1,283 @@
+package stm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+func TestLazyBasicCommit(t *testing.T) {
+	s := stm.New(stm.WithLazyConflicts())
+	obj := stm.NewTObj(stm.NewBox[int](0))
+	th := s.NewThread(politeManager{})
+	if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := obj.Peek().(*stm.Box[int]).V; got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+	if !s.Lazy() {
+		t.Fatal("Lazy() = false on a lazy STM")
+	}
+}
+
+func TestLazyReadOwnWrite(t *testing.T) {
+	s := stm.New(stm.WithLazyConflicts())
+	obj := stm.NewTObj(stm.NewBox[int](10))
+	th := s.NewThread(politeManager{})
+	err := th.Atomically(func(tx *stm.Tx) error {
+		if err := incr(tx, obj); err != nil {
+			return err
+		}
+		v, err := tx.OpenRead(obj)
+		if err != nil {
+			return err
+		}
+		if got := v.(*stm.Box[int]).V; got != 11 {
+			t.Errorf("read own lazy write saw %d, want 11", got)
+		}
+		// Writing again returns the same buffer.
+		w, err := tx.OpenWrite(obj)
+		if err != nil {
+			return err
+		}
+		if w != v {
+			t.Error("second OpenWrite returned a different buffer")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazyWritesInvisibleUntilCommit(t *testing.T) {
+	s := stm.New(stm.WithLazyConflicts())
+	obj := stm.NewTObj(stm.NewBox[int](0))
+	writer := s.NewThread(politeManager{})
+
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first := true
+		_ = writer.Atomically(func(tx *stm.Tx) error {
+			if err := incr(tx, obj); err != nil {
+				return err
+			}
+			if first {
+				first = false
+				close(held)
+				<-release
+			}
+			return nil
+		})
+	}()
+	<-held
+	// Mid-flight, the committed version is untouched and no locator
+	// conflict exists: a reader proceeds without consulting any
+	// contention manager.
+	if got := obj.Peek().(*stm.Box[int]).V; got != 0 {
+		t.Fatalf("uncommitted lazy write visible: %d", got)
+	}
+	reader := s.NewThread(politeManager{})
+	err := reader.Atomically(func(tx *stm.Tx) error {
+		v, err := tx.OpenRead(obj)
+		if err != nil {
+			return err
+		}
+		if got := v.(*stm.Box[int]).V; got != 0 {
+			t.Errorf("reader saw uncommitted lazy write: %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	wg.Wait()
+	if got := obj.Peek().(*stm.Box[int]).V; got != 1 {
+		t.Fatalf("after commit counter = %d, want 1", got)
+	}
+}
+
+func TestLazyFirstCommitterWins(t *testing.T) {
+	s := stm.New(stm.WithLazyConflicts())
+	obj := stm.NewTObj(stm.NewBox[int](0))
+
+	loser := s.NewThread(politeManager{})
+	held := make(chan struct{})
+	release := make(chan struct{})
+	attempts := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = loser.Atomically(func(tx *stm.Tx) error {
+			attempts++
+			if err := incr(tx, obj); err != nil {
+				return err
+			}
+			if attempts == 1 {
+				close(held)
+				<-release
+			}
+			return nil
+		})
+	}()
+	<-held
+	// The winner commits while the loser is mid-flight.
+	winner := s.NewThread(politeManager{})
+	if err := winner.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	wg.Wait()
+	if attempts < 2 {
+		t.Fatalf("loser committed without retrying (attempts=%d); commit-time validation failed to catch the conflict", attempts)
+	}
+	if got := obj.Peek().(*stm.Box[int]).V; got != 2 {
+		t.Fatalf("counter = %d, want 2", got)
+	}
+	if loser.Stats().Conflicts == 0 {
+		t.Fatal("loser recorded no commit-time conflict")
+	}
+}
+
+func TestLazyCounterStress(t *testing.T) {
+	s := stm.New(stm.WithLazyConflicts(), stm.WithInterleavePeriod(2))
+	obj := stm.NewTObj(stm.NewBox[int](0))
+	const workers, perWorker = 6, 150
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		th := s.NewThread(politeManager{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := obj.Peek().(*stm.Box[int]).V; got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestLazySnapshotConsistency(t *testing.T) {
+	// Writers keep x == y; readers must never commit a view with
+	// x != y even though installation is multi-object (the seqlock
+	// protects the cut).
+	s := stm.New(stm.WithLazyConflicts(), stm.WithInterleavePeriod(2))
+	x := stm.NewTObj(stm.NewBox[int](0))
+	y := stm.NewTObj(stm.NewBox[int](0))
+	const writers, readers, per = 3, 3, 120
+	var wg sync.WaitGroup
+	bad := make(chan [2]int, readers*per)
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		th := s.NewThread(politeManager{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := th.Atomically(func(tx *stm.Tx) error {
+					xv, err := tx.OpenWrite(x)
+					if err != nil {
+						return err
+					}
+					yv, err := tx.OpenWrite(y)
+					if err != nil {
+						return err
+					}
+					xv.(*stm.Box[int]).V++
+					yv.(*stm.Box[int]).V++
+					return nil
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		th := s.NewThread(politeManager{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				var got [2]int
+				if err := th.Atomically(func(tx *stm.Tx) error {
+					xv, err := tx.OpenRead(x)
+					if err != nil {
+						return err
+					}
+					yv, err := tx.OpenRead(y)
+					if err != nil {
+						return err
+					}
+					got = [2]int{xv.(*stm.Box[int]).V, yv.(*stm.Box[int]).V}
+					return nil
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != got[1] {
+					bad <- got
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(bad)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for v := range bad {
+		t.Fatalf("reader committed inconsistent snapshot x=%d y=%d", v[0], v[1])
+	}
+}
+
+func TestLazyNeverConsultsManager(t *testing.T) {
+	s := stm.New(stm.WithLazyConflicts(), stm.WithInterleavePeriod(1))
+	obj := stm.NewTObj(stm.NewBox[int](0))
+	const workers, per = 4, 60
+	var wg sync.WaitGroup
+	threads := make([]*stm.Thread, workers)
+	for w := 0; w < workers; w++ {
+		threads[w] = s.NewThread(countingManager{t: t})
+		wg.Add(1)
+		go func(th *stm.Thread) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) })
+			}
+		}(threads[w])
+	}
+	wg.Wait()
+}
+
+// countingManager fails the test if ResolveConflict is ever reached in
+// lazy mode.
+type countingManager struct {
+	stm.BaseManager
+	t *testing.T
+}
+
+func (m countingManager) ResolveConflict(me, enemy *stm.Tx) stm.Decision {
+	m.t.Errorf("ResolveConflict called in lazy mode")
+	return stm.AbortOther
+}

@@ -1,0 +1,42 @@
+package stm
+
+// Stats accumulates per-thread transaction statistics. Each Thread
+// owns one Stats and updates it without synchronization; read a
+// thread's stats only after its workers have stopped, or use
+// STM.TotalStats for an aggregate snapshot.
+type Stats struct {
+	// Commits counts committed logical transactions.
+	Commits int64
+	// Aborts counts aborted attempts (a logical transaction that
+	// aborted twice and then committed contributes 2 here and 1 to
+	// Commits).
+	Aborts int64
+	// Conflicts counts contention-manager consultations.
+	Conflicts int64
+	// EnemyAborts counts conflicts this thread resolved by aborting
+	// the enemy.
+	EnemyAborts int64
+	// Opens counts successful object opens (reads and writes).
+	Opens int64
+	// Halted counts attempts abandoned by failure injection.
+	Halted int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Commits += other.Commits
+	s.Aborts += other.Aborts
+	s.Conflicts += other.Conflicts
+	s.EnemyAborts += other.EnemyAborts
+	s.Opens += other.Opens
+	s.Halted += other.Halted
+}
+
+// AbortRate returns the fraction of attempts that aborted, in [0,1].
+func (s *Stats) AbortRate() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}

@@ -1,0 +1,34 @@
+package stm
+
+// Status is the lifecycle state of a transaction. Transitions are
+// one-shot: Active -> Committed or Active -> Aborted, both performed by
+// compare-and-swap, so a non-active status never changes again. This
+// freezing is what makes the DSTM locator protocol safe: once an owner
+// is non-active, the committed version of every object it owns is
+// fixed.
+type Status int32
+
+const (
+	// StatusActive is the state of a running transaction.
+	StatusActive Status = iota
+	// StatusCommitted is the state of a transaction whose effects have
+	// taken place. Terminal.
+	StatusCommitted
+	// StatusAborted is the state of a transaction whose effects have
+	// been discarded. Terminal.
+	StatusAborted
+)
+
+// String returns the conventional lower-case name of the status.
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return "invalid"
+	}
+}

@@ -1,0 +1,232 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// STM is a transactional-memory instance: the shared timestamp source,
+// commit clock and thread registry that a set of cooperating Threads
+// uses. Independent STM instances are fully isolated from one another.
+type STM struct {
+	txIDs       atomic.Uint64
+	timestamps  atomic.Uint64
+	commitClock atomic.Uint64
+
+	// interleave, when positive, yields the processor every
+	// interleave-th object open. On a host with fewer cores than
+	// worker threads, transactions otherwise run to completion
+	// between preemptions and almost never overlap; the yield points
+	// simulate the concurrent interleaving of the paper's 8-context
+	// testbed (see DESIGN.md, substitutions).
+	interleave int
+
+	// lazy switches conflict detection from open time to commit time
+	// (see WithLazyConflicts in lazy.go).
+	lazy bool
+
+	// fullValidation disables the commit-clock shortcut so every open
+	// rescans the whole read set. Ablation knob: quantifies what the
+	// clock optimization buys (see BenchmarkAblationValidation).
+	fullValidation bool
+
+	// commitMu serializes the validate-then-commit step of writer
+	// transactions. With invisible reads, two writers could otherwise
+	// each validate while the other was past validation but before its
+	// status CAS, committing a non-serializable pair. The critical
+	// section is a read-set scan plus one CAS — no user code — so the
+	// finite-delay model of the paper still holds; SXM avoided the
+	// race with visible reader lists instead (see DESIGN.md).
+	commitMu sync.Mutex
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// Option configures an STM instance.
+type Option func(*STM)
+
+// WithInterleavePeriod makes every transaction yield the processor
+// after each n-th object open. Zero or negative disables yielding.
+// Use it on hosts with fewer cores than workers to reproduce the
+// transaction overlap (and hence the contention) of a real
+// multiprocessor; the benchmark harness enables it by default.
+func WithInterleavePeriod(n int) Option {
+	return func(s *STM) { s.interleave = n }
+}
+
+// WithFullValidation disables the commit-clock shortcut: every open
+// revalidates the entire read set even when no commit has happened
+// since the last validation. Semantically identical, strictly slower;
+// exists to measure the optimization (ablation).
+func WithFullValidation() Option {
+	return func(s *STM) { s.fullValidation = true }
+}
+
+// New creates an empty STM instance.
+func New(opts ...Option) *STM {
+	s := &STM{}
+	// The commit clock starts at 2 (even — odd values mark an
+	// in-progress lazy installation) so that a transaction's
+	// zero-valued validClock always differs from it (see Tx.validate).
+	s.commitClock.Store(2)
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Thread is the per-goroutine execution context: it binds a contention
+// manager instance to a stream of transactions. A Thread must be used
+// by one goroutine at a time (concurrent Atomically calls on the same
+// Thread are a bug), matching the paper's model of one transaction per
+// thread.
+type Thread struct {
+	stm   *STM
+	mgr   Manager
+	stats Stats
+
+	// current is the attempt now running on this thread, exposed so
+	// that failure injectors and tests can halt or examine it.
+	current atomic.Pointer[Tx]
+}
+
+// NewThread registers a new thread with its per-thread contention
+// manager.
+func (s *STM) NewThread(mgr Manager) *Thread {
+	t := &Thread{stm: s, mgr: mgr}
+	s.mu.Lock()
+	s.threads = append(s.threads, t)
+	s.mu.Unlock()
+	return t
+}
+
+// Manager returns the thread's contention manager.
+func (t *Thread) Manager() Manager { return t.mgr }
+
+// Stats returns a snapshot of the thread's counters. Call it only when
+// the thread's goroutine is quiescent.
+func (t *Thread) Stats() Stats { return t.stats }
+
+// Current returns the transaction attempt currently running on the
+// thread, or nil. Intended for failure injection and tests.
+func (t *Thread) Current() *Tx { return t.current.Load() }
+
+// TotalStats aggregates the statistics of every thread registered with
+// the STM. Call it only when worker goroutines are quiescent.
+func (s *STM) TotalStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total Stats
+	for _, t := range s.threads {
+		total.Add(t.stats)
+	}
+	return total
+}
+
+// CommitClock returns the number of commits observed so far plus one;
+// it advances on every commit and is the basis for cheap read-set
+// validation.
+func (s *STM) CommitClock() uint64 { return s.commitClock.Load() }
+
+// Atomically runs fn as a transaction, retrying until it commits.
+//
+// The logical transaction receives its timestamp before the first
+// attempt and keeps it across retries (the greedy manager's key
+// requirement). fn must propagate errors from OpenRead/OpenWrite; when
+// the underlying cause is an enemy-inflicted abort, Atomically retries
+// fn, and any other error aborts the transaction and is returned to
+// the caller unchanged.
+//
+// fn may be called many times and must therefore be free of side
+// effects other than through the transaction.
+func (t *Thread) Atomically(fn func(tx *Tx) error) error {
+	shared := &txShared{
+		id:        t.stm.txIDs.Add(1),
+		timestamp: t.stm.timestamps.Add(1),
+	}
+	return t.run(shared, fn)
+}
+
+// run executes attempts of the logical transaction shared until one
+// commits, fn fails with a non-retryable error, or the transaction is
+// halted by failure injection.
+func (t *Thread) run(shared *txShared, fn func(tx *Tx) error) error {
+	for {
+		tx := newTx(t, shared)
+		t.current.Store(tx)
+		t.mgr.Begin(tx)
+		err := fn(tx)
+		switch {
+		case err == nil:
+			if tx.tryCommit() {
+				t.current.Store(nil)
+				t.mgr.Committed(tx)
+				t.stats.Commits++
+				return nil
+			}
+			// Aborted between fn returning and commit.
+		case errors.Is(err, ErrHalted):
+			// Failure injection: abandon the transaction without
+			// aborting it. It remains active and obstructing.
+			t.current.Store(nil)
+			t.stats.Halted++
+			return ErrHalted
+		case errors.Is(err, ErrAborted):
+			// Enemy abort: fall through to retry.
+		default:
+			// User error: abort the transaction, surface the error.
+			tx.Abort()
+			t.current.Store(nil)
+			t.mgr.Aborted(tx)
+			return err
+		}
+		tx.Abort() // make the attempt's fate unambiguous
+		shared.aborts.Add(1)
+		t.stats.Aborts++
+		t.mgr.Aborted(tx)
+	}
+}
+
+// tryCommit validates the read set one final time and attempts the
+// commit CAS, advancing the commit clock when a writer commits.
+//
+// Read-only transactions validate with a clock-stability loop: if the
+// commit clock is unchanged across the scan, every read was
+// simultaneously valid at the scan's start, which is the transaction's
+// serialization point. Writer transactions validate and flip their
+// status under commitMu so that of two conflicting writers the second
+// to enter observes the first's commit and fails validation.
+func (tx *Tx) tryCommit() bool {
+	if tx.stm.lazy {
+		return tx.tryCommitLazy()
+	}
+	if len(tx.writes) == 0 {
+		return tx.tryCommitReadOnly()
+	}
+	tx.stm.commitMu.Lock()
+	defer tx.stm.commitMu.Unlock()
+	if !tx.scanReads() {
+		tx.Abort()
+		return false
+	}
+	if !tx.commit() {
+		return false
+	}
+	// Bump by 2: the clock's parity is reserved for lazy-mode
+	// installation windows and must stay even here.
+	tx.stm.commitClock.Add(2)
+	return true
+}
+
+// scanReads performs a full read-set scan against current committed
+// versions, without the commit-clock shortcut.
+func (tx *Tx) scanReads() bool {
+	for obj, seen := range tx.reads {
+		if obj.committed() != seen {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,365 @@
+package stm_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// aggressiveManager is a minimal test manager: always abort the enemy.
+type aggressiveManager struct{ stm.BaseManager }
+
+func (aggressiveManager) ResolveConflict(me, enemy *stm.Tx) stm.Decision {
+	return stm.AbortOther
+}
+
+// politeManager is a minimal test manager: always wait (with a yield).
+type politeManager struct{ stm.BaseManager }
+
+func (politeManager) ResolveConflict(me, enemy *stm.Tx) stm.Decision {
+	stm.Backoff(1)
+	return stm.Wait
+}
+
+// suicidalManager aborts itself on every conflict.
+type suicidalManager struct{ stm.BaseManager }
+
+func (suicidalManager) ResolveConflict(me, enemy *stm.Tx) stm.Decision {
+	return stm.AbortSelf
+}
+
+func newCounterWorld(t *testing.T) (*stm.STM, *stm.TObj) {
+	t.Helper()
+	s := stm.New()
+	return s, stm.NewTObj(stm.NewBox[int](0))
+}
+
+func counterValue(t *testing.T, obj *stm.TObj) int {
+	t.Helper()
+	return obj.Peek().(*stm.Box[int]).V
+}
+
+func incr(tx *stm.Tx, obj *stm.TObj) error {
+	v, err := tx.OpenWrite(obj)
+	if err != nil {
+		return err
+	}
+	v.(*stm.Box[int]).V++
+	return nil
+}
+
+func TestCommitMakesWriteVisible(t *testing.T) {
+	s, obj := newCounterWorld(t)
+	th := s.NewThread(aggressiveManager{})
+	if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if got := counterValue(t, obj); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+}
+
+func TestUserErrorAbortsAndPropagates(t *testing.T) {
+	s, obj := newCounterWorld(t)
+	th := s.NewThread(aggressiveManager{})
+	boom := errors.New("boom")
+	err := th.Atomically(func(tx *stm.Tx) error {
+		if err := incr(tx, obj); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := counterValue(t, obj); got != 0 {
+		t.Fatalf("counter = %d after user error, want 0 (write must not commit)", got)
+	}
+}
+
+func TestReadOwnWrite(t *testing.T) {
+	s, obj := newCounterWorld(t)
+	th := s.NewThread(aggressiveManager{})
+	err := th.Atomically(func(tx *stm.Tx) error {
+		if err := incr(tx, obj); err != nil {
+			return err
+		}
+		v, err := tx.OpenRead(obj)
+		if err != nil {
+			return err
+		}
+		if got := v.(*stm.Box[int]).V; got != 1 {
+			return fmt.Errorf("read own write saw %d, want 1", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedReadIsStable(t *testing.T) {
+	s, obj := newCounterWorld(t)
+	reader := s.NewThread(politeManager{})
+	writer := s.NewThread(aggressiveManager{})
+
+	interfered := false
+	err := reader.Atomically(func(tx *stm.Tx) error {
+		v1, err := tx.OpenRead(obj)
+		if err != nil {
+			return err
+		}
+		// A conflicting commit from another thread between the two
+		// reads must not produce two different versions within one
+		// attempt: the repeated read returns the recorded version and
+		// the stale read set then aborts the commit. Interfere on the
+		// first attempt only, so the retry can commit.
+		if !interfered {
+			interfered = true
+			done := make(chan error, 1)
+			go func() {
+				done <- writer.Atomically(func(wtx *stm.Tx) error { return incr(wtx, obj) })
+			}()
+			if err := <-done; err != nil {
+				return fmt.Errorf("writer: %w", err)
+			}
+		}
+		v2, err := tx.OpenRead(obj)
+		if err != nil {
+			return err
+		}
+		if v1 != v2 {
+			return fmt.Errorf("repeated read changed versions within a transaction")
+		}
+		return nil
+	})
+	// The reader may abort-and-retry (its read set is stale on commit);
+	// it must terminate with a consistent view either way.
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortSelfRetriesAndCommits(t *testing.T) {
+	s, obj := newCounterWorld(t)
+
+	// Hold the object with a parked transaction, then let a suicidal
+	// manager clash with it: it should abort itself, retry, and
+	// eventually commit after the blocker finishes.
+	blocker := s.NewThread(politeManager{})
+	held := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = blocker.Atomically(func(tx *stm.Tx) error {
+			if err := incr(tx, obj); err != nil {
+				return err
+			}
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+
+	kamikaze := s.NewThread(suicidalManager{})
+	done := make(chan error, 1)
+	var attempts atomic.Int64
+	go func() {
+		done <- kamikaze.Atomically(func(tx *stm.Tx) error {
+			attempts.Add(1)
+			return incr(tx, obj)
+		})
+	}()
+
+	// Hold the blocker until the kamikaze has demonstrably clashed
+	// with it at least once (a second attempt implies a self-abort).
+	for attempts.Load() < 2 {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("suicidal thread: %v", err)
+	}
+	wg.Wait()
+	if got := counterValue(t, obj); got != 2 {
+		t.Fatalf("counter = %d, want 2", got)
+	}
+	if aborts := kamikaze.Stats().Aborts; aborts == 0 {
+		t.Fatalf("suicidal thread recorded no aborts; expected at least one")
+	}
+}
+
+func TestEnemyAbortForcesRetry(t *testing.T) {
+	s, obj := newCounterWorld(t)
+
+	victimTh := s.NewThread(politeManager{})
+	held := make(chan struct{})
+	proceed := make(chan struct{})
+	var victimErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first := true
+		victimErr = victimTh.Atomically(func(tx *stm.Tx) error {
+			if err := incr(tx, obj); err != nil {
+				return err
+			}
+			if first {
+				first = false
+				close(held)
+				<-proceed
+			}
+			return nil
+		})
+	}()
+	<-held
+
+	// The aggressor kills the victim and commits.
+	aggressor := s.NewThread(aggressiveManager{})
+	if err := aggressor.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+		t.Fatalf("aggressor: %v", err)
+	}
+	close(proceed)
+	wg.Wait()
+	if victimErr != nil {
+		t.Fatalf("victim: %v", victimErr)
+	}
+	if got := counterValue(t, obj); got != 2 {
+		t.Fatalf("counter = %d, want 2 (victim must retry after enemy abort)", got)
+	}
+	if victimTh.Stats().Aborts == 0 {
+		t.Fatalf("victim recorded no aborts")
+	}
+}
+
+func TestTimestampRetainedAcrossRetries(t *testing.T) {
+	s, obj := newCounterWorld(t)
+
+	victimTh := s.NewThread(politeManager{})
+	var stamps []uint64
+	held := make(chan struct{})
+	proceed := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first := true
+		_ = victimTh.Atomically(func(tx *stm.Tx) error {
+			stamps = append(stamps, tx.Timestamp())
+			if err := incr(tx, obj); err != nil {
+				return err
+			}
+			if first {
+				first = false
+				close(held)
+				<-proceed
+			}
+			return nil
+		})
+	}()
+	<-held
+	aggressor := s.NewThread(aggressiveManager{})
+	if err := aggressor.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+		t.Fatalf("aggressor: %v", err)
+	}
+	close(proceed)
+	wg.Wait()
+
+	if len(stamps) < 2 {
+		t.Fatalf("victim ran %d attempts, want at least 2", len(stamps))
+	}
+	for i, ts := range stamps[1:] {
+		if ts != stamps[0] {
+			t.Fatalf("attempt %d has timestamp %d, want %d (timestamps must be retained across retries)", i+1, ts, stamps[0])
+		}
+	}
+}
+
+func TestHaltedTransactionObstructsUntilAborted(t *testing.T) {
+	s, obj := newCounterWorld(t)
+
+	// A transaction halts (crashes) while holding the object.
+	crasher := s.NewThread(politeManager{})
+	err := crasher.Atomically(func(tx *stm.Tx) error {
+		if err := incr(tx, obj); err != nil {
+			return err
+		}
+		tx.Halt()
+		_, err := tx.OpenWrite(obj) // any further access reports the halt
+		return err
+	})
+	if !errors.Is(err, stm.ErrHalted) {
+		t.Fatalf("crasher err = %v, want ErrHalted", err)
+	}
+	if got := counterValue(t, obj); got != 0 {
+		t.Fatalf("counter = %d, want 0 (halted tx is still active, its write uncommitted)", got)
+	}
+
+	// An aggressive enemy can abort the corpse and proceed.
+	rescuer := s.NewThread(aggressiveManager{})
+	if err := rescuer.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+		t.Fatalf("rescuer: %v", err)
+	}
+	if got := counterValue(t, obj); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s, obj := newCounterWorld(t)
+	th := s.NewThread(aggressiveManager{})
+	for i := 0; i < 10; i++ {
+		if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := th.Stats()
+	if st.Commits != 10 {
+		t.Fatalf("Commits = %d, want 10", st.Commits)
+	}
+	if st.Opens != 10 {
+		t.Fatalf("Opens = %d, want 10", st.Opens)
+	}
+	total := s.TotalStats()
+	if total.Commits != 10 {
+		t.Fatalf("TotalStats().Commits = %d, want 10", total.Commits)
+	}
+}
+
+func TestPeekOutsideTransaction(t *testing.T) {
+	obj := stm.NewTObj(stm.NewBox[string]("hello"))
+	if got := obj.Peek().(*stm.Box[string]).V; got != "hello" {
+		t.Fatalf("Peek = %q, want %q", got, "hello")
+	}
+}
+
+func TestNilInitialValue(t *testing.T) {
+	s := stm.New()
+	obj := stm.NewTObj(nil)
+	th := s.NewThread(aggressiveManager{})
+	err := th.Atomically(func(tx *stm.Tx) error {
+		v, err := tx.OpenRead(obj)
+		if err != nil {
+			return err
+		}
+		if v != nil {
+			return fmt.Errorf("initial read = %v, want nil", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Peek() != nil {
+		t.Fatalf("Peek after nil init = %v, want nil", obj.Peek())
+	}
+}

@@ -1,0 +1,222 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Value is the interface transactional data must implement. Opening an
+// object for writing hands the transaction a private clone; the clone
+// becomes the committed version if and only if the transaction
+// commits. Clone must return a deep-enough copy: mutations of the
+// clone must not be observable through the original. (References to
+// other TObj handles may be shared — the handles themselves are
+// immutable.)
+type Value interface {
+	Clone() Value
+}
+
+// locator is the DSTM indirection record. The object's current
+// committed version is determined by the owner's frozen status:
+//
+//	owner nil or committed -> newVal
+//	owner aborted          -> oldVal
+//	owner active           -> oldVal (the tentative newVal is private)
+//
+// Locators are immutable once installed; ownership changes by
+// installing a whole new locator with CAS.
+type locator struct {
+	owner  *Tx
+	oldVal Value
+	newVal Value
+}
+
+// current returns the committed version recorded by this locator,
+// which is stable provided the owner is not active.
+func (l *locator) current() Value {
+	if l.owner == nil || l.owner.Status() == StatusCommitted {
+		return l.newVal
+	}
+	return l.oldVal
+}
+
+// TObj is a transactional object: a shared handle whose versioned
+// contents are read and written only inside transactions. The zero
+// value is not usable; create handles with NewTObj.
+type TObj struct {
+	loc atomic.Pointer[locator]
+	// name is an optional debugging label (see NewNamedTObj).
+	name string
+}
+
+// NewTObj creates a transactional object whose initial committed
+// version is v (which may be nil for "not yet populated" slots, as in
+// optional tree children).
+func NewTObj(v Value) *TObj {
+	o := &TObj{}
+	o.loc.Store(&locator{newVal: v})
+	return o
+}
+
+// NewNamedTObj creates a transactional object with a debugging label
+// reported by String. Tests and the scheduling simulator use names;
+// the hot paths never touch them.
+func NewNamedTObj(name string, v Value) *TObj {
+	o := NewTObj(v)
+	o.name = name
+	return o
+}
+
+// String identifies the object for debugging.
+func (o *TObj) String() string {
+	if o.name != "" {
+		return "tobj(" + o.name + ")"
+	}
+	return fmt.Sprintf("tobj(%p)", o)
+}
+
+// committed returns the object's current committed version. The value
+// is exact at some instant during the call; with an active owner the
+// answer is the owner's pre-image, which is correct because an active
+// owner's tentative version is private.
+func (o *TObj) committed() Value {
+	return o.loc.Load().current()
+}
+
+// Peek returns the current committed version outside any transaction.
+// It is intended for post-run verification in tests and benchmarks;
+// concurrent use is safe but yields only a single-object snapshot.
+func (o *TObj) Peek() Value {
+	return o.committed()
+}
+
+// openWrite acquires the object for writing on behalf of tx and
+// returns the transaction's private version. The conflict protocol is
+// the paper's: if an active enemy owns the object, tx's contention
+// manager chooses between aborting the enemy and waiting, and the STM
+// retries until the object is free or tx itself dies.
+func (o *TObj) openWrite(tx *Tx) (Value, error) {
+	if tx.stm.lazy {
+		return o.openWriteLazy(tx)
+	}
+	for spin := 0; ; spin++ {
+		if err := tx.step(); err != nil {
+			return nil, err
+		}
+		l := o.loc.Load()
+		if l.owner == tx {
+			return l.newVal, nil // already ours (write after write)
+		}
+		if enemy := l.owner; enemy != nil && enemy.Status() == StatusActive {
+			if err := resolve(tx, enemy); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Owner is nil or frozen: l.current() is stable for as long as
+		// the locator stays installed, and our CAS fails if it does
+		// not.
+		cur := l.current()
+		nl := &locator{owner: tx, oldVal: cur}
+		if cur != nil {
+			nl.newVal = cur.Clone()
+		}
+		if !o.loc.CompareAndSwap(l, nl) {
+			Backoff(spin)
+			continue
+		}
+		tx.writes = append(tx.writes, o)
+		tx.opens++
+		tx.thread.mgr.Opened(tx, true)
+		tx.thread.stats.Opens++
+		tx.maybeYield()
+		// Writing this object may form part of an inconsistent view;
+		// early validation keeps the transaction opaque.
+		if !tx.validate() {
+			return nil, ErrAborted
+		}
+		return nl.newVal, nil
+	}
+}
+
+// openRead records the object's committed version in tx's read set and
+// returns it. Reads are invisible to writers, but an active writer is
+// a conflict for the reader (as in DSTM): the contention manager
+// arbitrates before the read can proceed.
+func (o *TObj) openRead(tx *Tx) (Value, error) {
+	if err := tx.step(); err != nil {
+		return nil, err
+	}
+	// Read own write.
+	if v, ok := tx.lazyWrites[o]; ok {
+		return v, nil
+	}
+	if l := o.loc.Load(); l.owner == tx {
+		return l.newVal, nil
+	}
+	// Repeated read: return the recorded version for a stable view.
+	if v, ok := tx.reads[o]; ok {
+		return v, nil
+	}
+	for {
+		if err := tx.step(); err != nil {
+			return nil, err
+		}
+		l := o.loc.Load()
+		if l.owner == tx {
+			return l.newVal, nil
+		}
+		if enemy := l.owner; enemy != nil && enemy.Status() == StatusActive {
+			if err := resolve(tx, enemy); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		v := l.current()
+		tx.recordRead(o, v)
+		tx.opens++
+		tx.thread.mgr.Opened(tx, false)
+		tx.thread.stats.Opens++
+		tx.maybeYield()
+		if !tx.validate() {
+			return nil, ErrAborted
+		}
+		return v, nil
+	}
+}
+
+func (tx *Tx) noteConflict() { tx.thread.stats.Conflicts++ }
+
+// resolve runs one round of the contention-management protocol between
+// tx and enemy, translating the manager's decision into an abort of
+// one side or an (already-performed) wait.
+func resolve(tx, enemy *Tx) error {
+	tx.noteConflict()
+	switch d := tx.thread.mgr.ResolveConflict(tx, enemy); d {
+	case AbortOther:
+		enemy.Abort()
+		tx.thread.stats.EnemyAborts++
+	case AbortSelf:
+		tx.Abort()
+		return ErrAborted
+	case Wait:
+		// The manager has already waited/backed off per its policy.
+	default:
+		return fmt.Errorf("stm: contention manager returned invalid decision %d", d)
+	}
+	return tx.step()
+}
+
+// OpenWrite opens the object for writing inside tx and returns the
+// transaction's private, mutable version (a clone of the committed
+// version, nil if the committed version is nil). The returned error is
+// non-nil when the transaction has been aborted or halted and must be
+// propagated out of the transactional function.
+func (tx *Tx) OpenWrite(o *TObj) (Value, error) { return o.openWrite(tx) }
+
+// OpenRead opens the object for reading inside tx and returns the
+// committed version observed (nil if the committed version is nil).
+// The value must be treated as immutable. The returned error is
+// non-nil when the transaction has been aborted or halted and must be
+// propagated.
+func (tx *Tx) OpenRead(o *TObj) (Value, error) { return o.openRead(tx) }

@@ -1,0 +1,210 @@
+package stm
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// txShared is the state of a logical transaction that survives aborts
+// and retries. The paper's greedy manager requires that a transaction
+// keeps its timestamp when it restarts; Karma-family managers likewise
+// accumulate priority across retries. All fields other than id and
+// timestamp are atomics because enemy transactions read them
+// concurrently.
+type txShared struct {
+	id        uint64 // unique logical transaction id
+	timestamp uint64 // acquisition order; smaller = older = higher priority
+
+	priority atomic.Int64 // Karma/Eruption/Polka accumulated priority
+	aborts   atomic.Int64 // completed attempts that ended in abort
+}
+
+// Tx is one attempt of a logical transaction. A fresh Tx descriptor is
+// created for every retry (statuses are one-shot), but all attempts
+// share the same txShared, and in particular the same timestamp.
+//
+// Enemy transactions hold references to a Tx through object locators
+// and interrogate it only through the atomic accessors below.
+type Tx struct {
+	stm    *STM
+	thread *Thread
+	shared *txShared
+
+	status  atomic.Int32
+	waiting atomic.Bool
+	halted  atomic.Bool
+
+	// reads maps each object opened for reading to the version
+	// observed. Invisible to writers; validated lazily.
+	reads map[*TObj]Value
+	// writes lists objects this attempt has open for writing, in open
+	// order (used by statistics and tests; commit itself is just a
+	// status CAS).
+	writes []*TObj
+	// validClock is the commit-clock value at which the read set was
+	// last known valid; validation is skipped while the clock has not
+	// advanced.
+	validClock uint64
+	// opens counts objects opened by this attempt (reads and writes).
+	opens int
+	// lazyWrites buffers tentative versions in lazy-conflict mode
+	// (nil in eager mode and for read-only lazy transactions).
+	lazyWrites map[*TObj]Value
+}
+
+func newTx(t *Thread, shared *txShared) *Tx {
+	return &Tx{
+		stm:    t.stm,
+		thread: t,
+		shared: shared,
+		reads:  make(map[*TObj]Value, 8),
+	}
+}
+
+// ID returns the logical transaction id, stable across retries.
+func (tx *Tx) ID() uint64 { return tx.shared.id }
+
+// Timestamp returns the transaction's priority timestamp. Timestamps
+// are assigned from a global atomic counter when the logical
+// transaction first begins and retained across aborts and retries, so
+// there is a fixed bound on the number of transactions that ever run
+// with an earlier timestamp — the property the greedy manager's
+// Theorem 1 rests on. Smaller means older means higher priority.
+func (tx *Tx) Timestamp() uint64 { return tx.shared.timestamp }
+
+// Status returns the transaction's current status.
+func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
+
+// Waiting reports whether the transaction is currently waiting for an
+// enemy, as published by its own contention manager via SetWaiting.
+// The greedy manager's Rule 1 aborts enemies that are waiting.
+func (tx *Tx) Waiting() bool { return tx.waiting.Load() }
+
+// SetWaiting publishes whether the transaction is waiting for an
+// enemy. Contention managers set it around their waiting loops; it has
+// no effect on the STM itself.
+func (tx *Tx) SetWaiting(w bool) { tx.waiting.Store(w) }
+
+// Priority returns the accumulated manager-defined priority of the
+// logical transaction (used by Karma, Eruption and Polka; zero for
+// managers that do not maintain priorities). It persists across
+// retries.
+func (tx *Tx) Priority() int64 { return tx.shared.priority.Load() }
+
+// AddPriority adds delta to the logical transaction's accumulated
+// priority. Eruption calls it on enemy transactions to transfer
+// pressure, so it must be (and is) safe for concurrent use.
+func (tx *Tx) AddPriority(delta int64) { tx.shared.priority.Add(delta) }
+
+// SetPriority stores the logical transaction's accumulated priority.
+func (tx *Tx) SetPriority(p int64) { tx.shared.priority.Store(p) }
+
+// Aborts returns how many attempts of this logical transaction have
+// aborted so far.
+func (tx *Tx) Aborts() int64 { return tx.shared.aborts.Load() }
+
+// Opens returns the number of objects this attempt has opened.
+func (tx *Tx) Opens() int { return tx.opens }
+
+// Abort moves the transaction from active to aborted on behalf of an
+// enemy (or of the transaction itself). It returns true if the
+// transaction is aborted afterwards — whether by this call or an
+// earlier one — and false if it had already committed.
+func (tx *Tx) Abort() bool {
+	if tx.status.CompareAndSwap(int32(StatusActive), int32(StatusAborted)) {
+		return true
+	}
+	return tx.Status() == StatusAborted
+}
+
+// commit moves the transaction from active to committed. It fails if
+// an enemy aborted the transaction first.
+func (tx *Tx) commit() bool {
+	return tx.status.CompareAndSwap(int32(StatusActive), int32(StatusCommitted))
+}
+
+// Halt marks the transaction as halted for failure injection: the
+// owning thread abandons it mid-flight without aborting it, modelling
+// the prematurely stopped transactions of the paper's Section 6. The
+// transaction stays active (and keeps obstructing its objects) until
+// some enemy's manager aborts it.
+func (tx *Tx) Halt() { tx.halted.Store(true) }
+
+// Halted reports whether failure injection has halted the transaction.
+func (tx *Tx) Halted() bool { return tx.halted.Load() }
+
+// String identifies the transaction for debugging.
+func (tx *Tx) String() string {
+	return fmt.Sprintf("tx(id=%d ts=%d %s)", tx.shared.id, tx.shared.timestamp, tx.Status())
+}
+
+// step checks that the attempt may keep running, translating an
+// enemy-inflicted abort or injected halt into the error the
+// transactional function should return.
+func (tx *Tx) step() error {
+	if tx.Halted() {
+		return ErrHalted
+	}
+	if tx.Status() != StatusActive {
+		return ErrAborted
+	}
+	return nil
+}
+
+// validate re-checks every recorded read against the object's current
+// committed version. It is cheap in the common case: when the global
+// commit clock has not advanced since the last successful validation
+// no committed write can have invalidated the read set, so the scan is
+// skipped.
+//
+// On failure the transaction aborts itself and validate returns false.
+func (tx *Tx) validate() bool {
+	// The commit clock starts at 2, so the zero value of validClock
+	// means "never validated" and forces the first scan. Odd clock
+	// values mark an in-progress lazy installation: retry (bounded)
+	// so the scan never accepts a cut through a partial commit.
+	for attempt := 0; ; attempt++ {
+		clock := tx.stm.commitClock.Load()
+		if clock&1 == 1 {
+			Backoff(attempt)
+			continue
+		}
+		if clock == tx.validClock && !tx.stm.fullValidation {
+			return true
+		}
+		for obj, seen := range tx.reads {
+			if obj.committed() != seen {
+				tx.Abort()
+				return false
+			}
+		}
+		if tx.stm.commitClock.Load() == clock {
+			// Stable scan: cache it.
+			tx.validClock = clock
+			return true
+		}
+		if attempt >= 3 {
+			// Concurrent commits kept moving the clock; the scan
+			// passed against some interleaving of them, which is the
+			// same guarantee the eager DSTM gives. Do not cache.
+			return true
+		}
+	}
+}
+
+// maybeYield hands the processor to another goroutine at the STM's
+// configured interleave period, so transactions overlap even when the
+// host has fewer cores than workers (see WithInterleavePeriod).
+func (tx *Tx) maybeYield() {
+	if p := tx.stm.interleave; p > 0 && tx.opens%p == 0 {
+		runtime.Gosched()
+	}
+}
+
+// recordRead notes that the transaction observed version v of obj.
+func (tx *Tx) recordRead(obj *TObj, v Value) {
+	if _, ok := tx.reads[obj]; !ok {
+		tx.reads[obj] = v
+	}
+}

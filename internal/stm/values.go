@@ -1,0 +1,27 @@
+package stm
+
+// Box is a convenience Value wrapping any shallow-copyable payload, so
+// that callers need not hand-write Clone for simple records:
+//
+//	counter := stm.NewTObj(&stm.Box[int]{})
+//	v, err := tx.OpenWrite(counter)
+//	v.(*stm.Box[int]).V++
+//
+// Clone copies the struct shallowly; if T contains pointers, slices or
+// maps the clone aliases them, so Box is only appropriate when T's
+// payload is treated as immutable or is plain data. Fields that must
+// be transactional in their own right should be *TObj references,
+// which are immutable handles and safe to share.
+type Box[T any] struct {
+	// V is the boxed payload.
+	V T
+}
+
+// NewBox allocates a Box holding v.
+func NewBox[T any](v T) *Box[T] { return &Box[T]{V: v} }
+
+// Clone implements Value by shallow copy.
+func (b *Box[T]) Clone() Value {
+	c := *b
+	return &c
+}
