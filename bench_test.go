@@ -243,17 +243,12 @@ func BenchmarkHaltedRecovery(b *testing.B) {
 // transaction (substrate micro-benchmark).
 func BenchmarkSTMWriteTx(b *testing.B) {
 	world := stm.New()
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	counter := stm.NewVar(0)
 	th := world.NewThread(core.NewGreedy())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := th.Atomically(func(tx *stm.Tx) error {
-			v, err := tx.OpenWrite(obj)
-			if err != nil {
-				return err
-			}
-			v.(*stm.Box[int]).V++
-			return nil
+			return stm.Update(tx, counter, func(v int) int { return v + 1 })
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -264,21 +259,21 @@ func BenchmarkSTMWriteTx(b *testing.B) {
 // (validation-path micro-benchmark).
 func BenchmarkSTMReadTx(b *testing.B) {
 	world := stm.New()
-	objs := make([]*stm.TObj, 16)
-	for i := range objs {
-		objs[i] = stm.NewTObj(stm.NewBox[int](i))
+	vars := make([]*stm.Var[int], 16)
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
 	}
 	th := world.NewThread(core.NewGreedy())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := th.Atomically(func(tx *stm.Tx) error {
 			sum := 0
-			for _, obj := range objs {
-				v, err := tx.OpenRead(obj)
+			for _, v := range vars {
+				n, err := stm.Read(tx, v)
 				if err != nil {
 					return err
 				}
-				sum += v.(*stm.Box[int]).V
+				sum += n
 			}
 			if sum != 120 {
 				b.Errorf("sum = %d", sum)

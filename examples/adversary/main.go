@@ -85,5 +85,13 @@ func main() {
 	fmt.Printf("optimal list:        %d time units (evens together, then odds)\n", list.Makespan / *m)
 	fmt.Printf("ratio %.1f is linear in s; Theorem 9's worst-case bound is s(s+1)+2 = %d\n",
 		float64(res.Makespan)/float64(list.Makespan), sched.Bound(*s))
+	// Invariant: the Section 4 analysis predicts exactly s+1 rounds for
+	// greedy and 2 for the off-line list schedule.
+	if got, want := res.Makespan / *m, *s+1; got != want {
+		log.Fatalf("invariant violated: greedy makespan = %d time units, want s+1 = %d", got, want)
+	}
+	if got := list.Makespan / *m; got != 2 {
+		log.Fatalf("invariant violated: optimal list makespan = %d time units, want 2", got)
+	}
 	fmt.Println("whether the quadratic bound is tight is the paper's open problem.")
 }

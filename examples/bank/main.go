@@ -42,9 +42,9 @@ func main() {
 
 	const initialBalance = 1000
 	world := stm.New()
-	bank := make([]*stm.TObj, *accounts)
+	bank := make([]*stm.Var[int], *accounts)
 	for i := range bank {
-		bank[i] = stm.NewTObj(stm.NewBox[int](initialBalance))
+		bank[i] = stm.NewVar(initialBalance)
 	}
 	wantTotal := *accounts * initialBalance
 
@@ -66,17 +66,10 @@ func main() {
 				}
 				amount := int(rng.Int64N(50)) + 1
 				err := th.Atomically(func(tx *stm.Tx) error {
-					fv, err := tx.OpenWrite(bank[from])
-					if err != nil {
+					if err := stm.Update(tx, bank[from], func(b int) int { return b - amount }); err != nil {
 						return err
 					}
-					tv, err := tx.OpenWrite(bank[to])
-					if err != nil {
-						return err
-					}
-					fv.(*stm.Box[int]).V -= amount
-					tv.(*stm.Box[int]).V += amount
-					return nil
+					return stm.Update(tx, bank[to], func(b int) int { return b + amount })
 				})
 				if err != nil {
 					log.Fatalf("transfer: %v", err)
@@ -95,11 +88,11 @@ func main() {
 			err := auditor.Atomically(func(tx *stm.Tx) error {
 				total = 0
 				for _, acct := range bank {
-					v, err := tx.OpenRead(acct)
+					v, err := stm.Read(tx, acct)
 					if err != nil {
 						return err
 					}
-					total += v.(*stm.Box[int]).V
+					total += v
 				}
 				return nil
 			})
@@ -119,7 +112,7 @@ func main() {
 
 	finalTotal := 0
 	for _, acct := range bank {
-		finalTotal += acct.Peek().(*stm.Box[int]).V
+		finalTotal += acct.Peek()
 	}
 	stats := world.TotalStats()
 	fmt.Printf("manager=%s transfers=%d audits=%d\n", *manager, transfers.Load(), audits.Load())
@@ -127,7 +120,7 @@ func main() {
 	fmt.Printf("commits=%d aborts=%d conflicts=%d abort-rate=%.2f%%\n",
 		stats.Commits, stats.Aborts, stats.Conflicts, 100*stats.AbortRate())
 	if finalTotal != wantTotal {
-		log.Fatal("balance not conserved")
+		log.Fatal("invariant violated: balance not conserved")
 	}
 	fmt.Println("every audit saw a conserved total: snapshots were consistent.")
 }

@@ -35,9 +35,9 @@ func main() {
 			opts = append(opts, stm.WithLazyConflicts())
 		}
 		world := stm.New(opts...)
-		objs := make([]*stm.TObj, *objects)
+		objs := make([]*stm.Var[int], *objects)
 		for i := range objs {
-			objs[i] = stm.NewTObj(stm.NewBox[int](0))
+			objs[i] = stm.NewVar(0)
 		}
 
 		var stop atomic.Bool
@@ -54,11 +54,9 @@ func main() {
 							return nil // commit empty and check again
 						}
 						for _, obj := range objs {
-							v, err := tx.OpenWrite(obj)
-							if err != nil {
+							if err := stm.Update(tx, obj, func(v int) int { return v + 1 }); err != nil {
 								return err
 							}
-							v.(*stm.Box[int]).V++
 						}
 						return nil
 					})
@@ -74,6 +72,14 @@ func main() {
 		stop.Store(true)
 		wg.Wait()
 		elapsed := time.Since(start)
+
+		// Invariant: every committed transaction incremented every
+		// object once, so all objects must agree exactly.
+		for i, obj := range objs {
+			if got, want := obj.Peek(), objs[0].Peek(); got != want {
+				log.Fatalf("%s: invariant violated: object %d = %d, object 0 = %d", mode, i, got, want)
+			}
+		}
 
 		stats := world.TotalStats()
 		opensPerAbort := 0.0

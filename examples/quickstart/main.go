@@ -1,7 +1,8 @@
 // Quickstart: the smallest complete STM program — a shared counter
 // incremented by concurrent transactions under the greedy contention
-// manager, demonstrating atomic read-modify-write, automatic retry
-// after enemy aborts, and the statistics the STM keeps.
+// manager, demonstrating the typed transactional API (stm.Var and
+// stm.Update), automatic retry after enemy aborts, and the statistics
+// the STM keeps. Exits non-zero if any increment is lost.
 package main
 
 import (
@@ -15,7 +16,7 @@ import (
 
 func main() {
 	world := stm.New()
-	counter := stm.NewTObj(stm.NewBox[int](0))
+	counter := stm.NewVar(0)
 
 	const workers, perWorker = 8, 1000
 	var wg sync.WaitGroup
@@ -28,12 +29,10 @@ func main() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				err := th.Atomically(func(tx *stm.Tx) error {
-					v, err := tx.OpenWrite(counter)
-					if err != nil {
-						return err // aborted by an enemy: Atomically retries
-					}
-					v.(*stm.Box[int]).V++
-					return nil
+					// Update retries automatically when an enemy aborts
+					// the transaction: the returned error propagates and
+					// Atomically re-runs the function.
+					return stm.Update(tx, counter, func(v int) int { return v + 1 })
 				})
 				if err != nil {
 					log.Fatalf("transaction failed: %v", err)
@@ -43,13 +42,13 @@ func main() {
 	}
 	wg.Wait()
 
-	final := counter.Peek().(*stm.Box[int]).V
+	final := counter.Peek()
 	stats := world.TotalStats()
 	fmt.Printf("counter: %d (want %d)\n", final, workers*perWorker)
 	fmt.Printf("commits: %d, aborts: %d, conflicts: %d, abort rate: %.2f%%\n",
 		stats.Commits, stats.Aborts, stats.Conflicts, 100*stats.AbortRate())
 	if final != workers*perWorker {
-		log.Fatal("lost updates — this must never happen")
+		log.Fatal("invariant violated: lost updates — this must never happen")
 	}
 	fmt.Println("no increment lost: transactions serialized correctly under contention.")
 }

@@ -15,7 +15,7 @@ import (
 // obj open for writing, returning the live *stm.Tx for direct
 // ResolveConflict experiments. release unparks it (it then tries to
 // commit); wait joins the goroutine.
-func parked(t *testing.T, s *stm.STM, obj *stm.TObj) (tx *stm.Tx, release, wait func()) {
+func parked(t *testing.T, s *stm.STM, obj *stm.Var[int]) (tx *stm.Tx, release, wait func()) {
 	t.Helper()
 	th := s.NewThread(core.NewGreedy())
 	held := make(chan struct{})
@@ -24,7 +24,7 @@ func parked(t *testing.T, s *stm.STM, obj *stm.TObj) (tx *stm.Tx, release, wait 
 	go func() {
 		defer close(done)
 		_ = th.Atomically(func(tx *stm.Tx) error {
-			if _, err := tx.OpenWrite(obj); err != nil {
+			if err := stm.Update(tx, obj, func(v int) int { return v + 1 }); err != nil {
 				return err
 			}
 			select {
@@ -46,8 +46,8 @@ func parked(t *testing.T, s *stm.STM, obj *stm.TObj) (tx *stm.Tx, release, wait 
 func twoParked(t *testing.T) (older, younger *stm.Tx, cleanup func()) {
 	t.Helper()
 	s := stm.New()
-	o1 := stm.NewTObj(stm.NewBox[int](0))
-	o2 := stm.NewTObj(stm.NewBox[int](0))
+	o1 := stm.NewVar(0)
+	o2 := stm.NewVar(0)
 	tx1, rel1, wait1 := parked(t, s, o1)
 	tx2, rel2, wait2 := parked(t, s, o2)
 	if tx1.Timestamp() >= tx2.Timestamp() {
@@ -455,7 +455,7 @@ func TestLivenessAllManagers(t *testing.T) {
 				t.Fatal(err)
 			}
 			s := stm.New()
-			obj := stm.NewTObj(stm.NewBox[int](0))
+			obj := stm.NewVar(0)
 			const workers, perWorker = 4, 100
 			var wg sync.WaitGroup
 			errs := make(chan error, workers)
@@ -466,12 +466,7 @@ func TestLivenessAllManagers(t *testing.T) {
 					defer wg.Done()
 					for i := 0; i < perWorker; i++ {
 						err := th.Atomically(func(tx *stm.Tx) error {
-							v, err := tx.OpenWrite(obj)
-							if err != nil {
-								return err
-							}
-							v.(*stm.Box[int]).V++
-							return nil
+							return stm.Update(tx, obj, func(v int) int { return v + 1 })
 						})
 						if err != nil {
 							errs <- err
@@ -485,7 +480,7 @@ func TestLivenessAllManagers(t *testing.T) {
 			for err := range errs {
 				t.Fatal(err)
 			}
-			if got := obj.Peek().(*stm.Box[int]).V; got != workers*perWorker {
+			if got := obj.Peek(); got != workers*perWorker {
 				t.Fatalf("counter = %d, want %d", got, workers*perWorker)
 			}
 		})

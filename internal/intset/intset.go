@@ -4,12 +4,15 @@
 // red-black forest (fifty red-black trees updated either one at a time
 // or all at once, giving transaction lengths high variance).
 //
-// All structures are built on the STM in internal/stm: every node
-// lives in its own TObj, traversals open nodes for reading and updates
-// open the modified nodes for writing, so the conflict profile seen by
-// the contention manager matches the DSTM/SXM benchmarks the paper
+// All structures are built on the typed API of internal/stm: every
+// node lives in its own stm.Var, traversals Read nodes and updates
+// Update the modified nodes, so the conflict profile seen by the
+// contention manager matches the DSTM/SXM benchmarks the paper
 // measured (long read chains for lists, short paths for trees,
-// root-adjacent write hot spots under rebalancing).
+// root-adjacent write hot spots under rebalancing). The skiplist
+// installs an stm.Cloner for its link slices; the list and tree nodes
+// are plain data plus immutable handles, covered by the default
+// shallow copy.
 package intset
 
 import (

@@ -7,17 +7,11 @@ import (
 )
 
 // listNode is one cell of the sorted singly-linked list. next is the
-// handle of the following cell's container; handles are immutable, so
-// the shallow Clone is safe.
+// handle of the following cell; handles are immutable, so the default
+// shallow copy taken by the STM is safe.
 type listNode struct {
 	key  int
-	next *stm.TObj // holds *listNode; nil handle only past the tail sentinel
-}
-
-// Clone implements stm.Value.
-func (n *listNode) Clone() stm.Value {
-	c := *n
-	return &c
+	next *stm.Var[listNode] // nil only past the tail sentinel
 }
 
 // List is the paper's list application: a sorted singly-linked list
@@ -26,90 +20,85 @@ func (n *listNode) Clone() stm.Value {
 // or before its position — the highest-contention structure of the
 // four benchmarks.
 type List struct {
-	head *stm.TObj
+	head *stm.Var[listNode]
 }
 
 // NewList returns an empty sorted list.
 func NewList() *List {
-	tail := stm.NewTObj(&listNode{key: math.MaxInt, next: nil})
-	head := stm.NewTObj(&listNode{key: math.MinInt, next: tail})
+	tail := stm.NewVar(listNode{key: math.MaxInt})
+	head := stm.NewVar(listNode{key: math.MinInt, next: tail})
 	return &List{head: head}
 }
 
-// locate returns the handle and value of the rightmost node with key
-// strictly less than key (the insertion predecessor), plus the value
-// of its successor.
-func (l *List) locate(tx *stm.Tx, key int) (prevObj *stm.TObj, prev, next *listNode, err error) {
-	prevObj = l.head
-	v, err := tx.OpenRead(prevObj)
+// locate returns the handle of the rightmost node with key strictly
+// less than key (the insertion predecessor) and the value of its
+// successor. Reads through the typed API see the transaction's own
+// writes, so repeated operations within one transaction compose.
+func (l *List) locate(tx *stm.Tx, key int) (prevVar *stm.Var[listNode], next listNode, err error) {
+	prevVar = l.head
+	prev, err := stm.Read(tx, prevVar)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, listNode{}, err
 	}
-	prev = v.(*listNode)
 	for {
-		nv, err := tx.OpenRead(prev.next)
+		next, err = stm.Read(tx, prev.next)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, listNode{}, err
 		}
-		next = nv.(*listNode)
 		if next.key >= key {
-			return prevObj, prev, next, nil
+			return prevVar, next, nil
 		}
-		prevObj = prev.next
-		prev = next
+		prevVar, prev = prev.next, next
 	}
 }
 
 // Insert implements Set.
 func (l *List) Insert(tx *stm.Tx, key int) (bool, error) {
-	prevObj, _, next, err := l.locate(tx, key)
+	prevVar, next, err := l.locate(tx, key)
 	if err != nil {
 		return false, err
 	}
 	if next.key == key {
 		return false, nil
 	}
-	pv, err := tx.OpenWrite(prevObj)
+	// Splice through the predecessor's private copy: the new cell
+	// inherits its successor from the version this transaction will
+	// commit, which validation guarantees is the version locate saw.
+	err = stm.Update(tx, prevVar, func(prev listNode) listNode {
+		prev.next = stm.NewVar(listNode{key: key, next: prev.next})
+		return prev
+	})
 	if err != nil {
 		return false, err
 	}
-	prev := pv.(*listNode)
-	node := stm.NewTObj(&listNode{key: key, next: prev.next})
-	prev.next = node
 	return true, nil
 }
 
 // Remove implements Set.
 func (l *List) Remove(tx *stm.Tx, key int) (bool, error) {
-	prevObj, _, next, err := l.locate(tx, key)
+	prevVar, next, err := l.locate(tx, key)
 	if err != nil {
 		return false, err
 	}
 	if next.key != key {
 		return false, nil
 	}
-	pv, err := tx.OpenWrite(prevObj)
+	// Unlink by pointing past the victim. locate's view of the victim
+	// is the one this transaction commits against (reads are validated
+	// and own writes are visible), so next.next is the right successor.
+	err = stm.Update(tx, prevVar, func(prev listNode) listNode {
+		prev.next = next.next
+		return prev
+	})
 	if err != nil {
 		return false, err
 	}
-	prev := pv.(*listNode)
-	// Unlink by pointing past the victim; re-read the victim through
-	// the current predecessor value in case locate's view moved.
-	vv, err := tx.OpenRead(prev.next)
-	if err != nil {
-		return false, err
-	}
-	victim := vv.(*listNode)
-	if victim.key != key {
-		return false, nil
-	}
-	prev.next = victim.next
 	return true, nil
 }
 
 // Contains implements Set.
 func (l *List) Contains(tx *stm.Tx, key int) (bool, error) {
-	_, _, next, err := l.locate(tx, key)
+	_, next, err := l.locate(tx, key)
 	if err != nil {
 		return false, err
 	}
@@ -119,17 +108,15 @@ func (l *List) Contains(tx *stm.Tx, key int) (bool, error) {
 // Keys implements Set.
 func (l *List) Keys(tx *stm.Tx) ([]int, error) {
 	var keys []int
-	v, err := tx.OpenRead(l.head)
+	cur, err := stm.Read(tx, l.head)
 	if err != nil {
 		return nil, err
 	}
-	cur := v.(*listNode)
 	for cur.next != nil {
-		nv, err := tx.OpenRead(cur.next)
+		next, err := stm.Read(tx, cur.next)
 		if err != nil {
 			return nil, err
 		}
-		next := nv.(*listNode)
 		if next.next == nil { // tail sentinel
 			break
 		}

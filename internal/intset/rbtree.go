@@ -6,25 +6,25 @@ import (
 	"repro/internal/stm"
 )
 
+// rbRef is a handle to one transactional red-black node; handles are
+// immutable and safe to share across versions.
+type rbRef = *stm.Var[rbNode]
+
 // rbNode is one node of the red-black tree. Child and parent fields
 // are handles; nil-leaf links point at the tree's shared immutable
 // sentinel and the root's parent is the tree's header pseudo-node.
+// The node is plain data plus handles, so the STM's default shallow
+// copy is the correct clone.
 type rbNode struct {
 	key    int
 	red    bool
-	left   *stm.TObj
-	right  *stm.TObj
-	parent *stm.TObj
-}
-
-// Clone implements stm.Value.
-func (n *rbNode) Clone() stm.Value {
-	c := *n
-	return &c
+	left   rbRef
+	right  rbRef
+	parent rbRef
 }
 
 // RBTree is the paper's red-black tree application: a CLRS-style
-// red-black tree in which every node is a transactional object.
+// red-black tree in which every node is a transactional variable.
 // Lookups read a root-to-leaf path; updates additionally write the
 // rebalanced region, so concurrent transactions conflict when their
 // paths overlap at a written node — rare for a 256-key tree, which is
@@ -35,14 +35,14 @@ func (n *rbNode) Clone() stm.Value {
 // conflicts), and a header pseudo-node whose left child is the root
 // (so "the root pointer" is itself transactional data).
 type RBTree struct {
-	header *stm.TObj
-	nil_   *stm.TObj
+	header rbRef
+	nil_   rbRef
 }
 
 // NewRBTree returns an empty red-black tree.
 func NewRBTree() *RBTree {
-	nilH := stm.NewNamedTObj("rb-nil", &rbNode{red: false})
-	header := stm.NewNamedTObj("rb-header", &rbNode{left: nilH, right: nilH})
+	nilH := stm.NewNamedVar("rb-nil", rbNode{red: false})
+	header := stm.NewNamedVar("rb-header", rbNode{left: nilH, right: nilH})
 	return &RBTree{header: header, nil_: nilH}
 }
 
@@ -57,61 +57,70 @@ type rbOps struct {
 
 func (t *RBTree) ops(tx *stm.Tx) *rbOps { return &rbOps{t: t, tx: tx} }
 
-// node reads h. Reads of our own written nodes see the private clone,
-// so reads issued after writes are always current.
-func (o *rbOps) node(h *stm.TObj) *rbNode {
+// node reads h by value. Reads of our own written nodes see the
+// private copy, so reads issued after writes are always current.
+func (o *rbOps) node(h rbRef) rbNode {
 	if o.err != nil {
-		return &rbNode{}
+		return rbNode{}
 	}
 	if h == o.t.nil_ {
 		// The sentinel is immutable: skip the STM so that it never
 		// enters any read set.
-		return h.Peek().(*rbNode)
+		return h.Peek()
 	}
-	v, err := o.tx.OpenRead(h)
+	n, err := stm.Read(o.tx, h)
 	if err != nil {
 		o.err = err
-		return &rbNode{}
+		return rbNode{}
 	}
-	return v.(*rbNode)
+	return n
 }
 
-// mod opens h for writing and returns the private clone.
-func (o *rbOps) mod(h *stm.TObj) *rbNode {
+// update applies f to h's private copy — the read-modify-write every
+// structural mutation below goes through.
+func (o *rbOps) update(h rbRef, f func(*rbNode)) {
 	if o.err != nil {
-		return &rbNode{}
+		return
 	}
 	if h == o.t.nil_ {
 		o.err = fmt.Errorf("intset: attempt to write the red-black nil sentinel")
-		return &rbNode{}
+		return
 	}
-	v, err := o.tx.OpenWrite(h)
-	if err != nil {
+	if err := stm.Update(o.tx, h, func(n rbNode) rbNode {
+		f(&n)
+		return n
+	}); err != nil {
 		o.err = err
-		return &rbNode{}
 	}
-	return v.(*rbNode)
 }
 
-func (o *rbOps) isRed(h *stm.TObj) bool {
+func (o *rbOps) isRed(h rbRef) bool {
 	if h == o.t.nil_ || h == o.t.header {
 		return false
 	}
 	return o.node(h).red
 }
 
-func (o *rbOps) left(h *stm.TObj) *stm.TObj   { return o.node(h).left }
-func (o *rbOps) right(h *stm.TObj) *stm.TObj  { return o.node(h).right }
-func (o *rbOps) parent(h *stm.TObj) *stm.TObj { return o.node(h).parent }
-func (o *rbOps) root() *stm.TObj              { return o.left(o.t.header) }
-func (o *rbOps) setRed(h *stm.TObj, red bool) { o.mod(h).red = red }
-func (o *rbOps) setLeft(h, c *stm.TObj)       { o.mod(h).left = c }
-func (o *rbOps) setRight(h, c *stm.TObj)      { o.mod(h).right = c }
-func (o *rbOps) setParent(h, p *stm.TObj)     { o.mod(h).parent = p }
+func (o *rbOps) left(h rbRef) rbRef   { return o.node(h).left }
+func (o *rbOps) right(h rbRef) rbRef  { return o.node(h).right }
+func (o *rbOps) parent(h rbRef) rbRef { return o.node(h).parent }
+func (o *rbOps) root() rbRef          { return o.left(o.t.header) }
+func (o *rbOps) setRed(h rbRef, red bool) {
+	o.update(h, func(n *rbNode) { n.red = red })
+}
+func (o *rbOps) setLeft(h, c rbRef) {
+	o.update(h, func(n *rbNode) { n.left = c })
+}
+func (o *rbOps) setRight(h, c rbRef) {
+	o.update(h, func(n *rbNode) { n.right = c })
+}
+func (o *rbOps) setParent(h, p rbRef) {
+	o.update(h, func(n *rbNode) { n.parent = p })
+}
 
 // replaceChild repoints p's link to old so it refers to new. It works
 // uniformly for the header (whose left child is the root).
-func (o *rbOps) replaceChild(p, old, new *stm.TObj) {
+func (o *rbOps) replaceChild(p, old, new rbRef) {
 	if o.left(p) == old {
 		o.setLeft(p, new)
 	} else {
@@ -120,7 +129,7 @@ func (o *rbOps) replaceChild(p, old, new *stm.TObj) {
 }
 
 // rotateLeft performs the CLRS left rotation about x.
-func (o *rbOps) rotateLeft(x *stm.TObj) {
+func (o *rbOps) rotateLeft(x rbRef) {
 	y := o.right(x)
 	yl := o.left(y)
 	o.setRight(x, yl)
@@ -135,7 +144,7 @@ func (o *rbOps) rotateLeft(x *stm.TObj) {
 }
 
 // rotateRight performs the mirror rotation about x.
-func (o *rbOps) rotateRight(x *stm.TObj) {
+func (o *rbOps) rotateRight(x rbRef) {
 	y := o.left(x)
 	yr := o.right(y)
 	o.setLeft(x, yr)
@@ -150,7 +159,7 @@ func (o *rbOps) rotateRight(x *stm.TObj) {
 }
 
 // search descends to the node holding key, or the sentinel.
-func (o *rbOps) search(key int) *stm.TObj {
+func (o *rbOps) search(key int) rbRef {
 	h := o.root()
 	for h != o.t.nil_ && o.err == nil {
 		n := o.node(h)
@@ -168,7 +177,7 @@ func (o *rbOps) search(key int) *stm.TObj {
 
 // minimum descends to the leftmost node of the subtree rooted at h
 // (h must not be the sentinel).
-func (o *rbOps) minimum(h *stm.TObj) *stm.TObj {
+func (o *rbOps) minimum(h rbRef) rbRef {
 	for o.err == nil {
 		l := o.left(h)
 		if l == o.t.nil_ {
@@ -200,7 +209,7 @@ func (t *RBTree) Insert(tx *stm.Tx, key int) (bool, error) {
 	if o.err != nil {
 		return false, o.err
 	}
-	z := stm.NewTObj(&rbNode{key: key, red: true, left: t.nil_, right: t.nil_, parent: parent})
+	z := stm.NewVar(rbNode{key: key, red: true, left: t.nil_, right: t.nil_, parent: parent})
 	if parent == t.header {
 		o.setLeft(t.header, z)
 	} else if key < o.node(parent).key {
@@ -218,7 +227,7 @@ func (t *RBTree) Insert(tx *stm.Tx, key int) (bool, error) {
 // insertFixup restores the red-black invariants after inserting the
 // red node z (CLRS 13.3). The loop never reaches the header: a red
 // parent is never the root, so the grandparent is always a real node.
-func (o *rbOps) insertFixup(z *stm.TObj) {
+func (o *rbOps) insertFixup(z rbRef) {
 	for o.err == nil {
 		zp := o.parent(z)
 		if zp == o.t.header || !o.isRed(zp) {
@@ -268,7 +277,7 @@ func (o *rbOps) insertFixup(z *stm.TObj) {
 
 // transplant replaces the subtree rooted at u with the one rooted at
 // v (CLRS 13.4), without ever writing the sentinel's parent link.
-func (o *rbOps) transplant(u, v *stm.TObj) {
+func (o *rbOps) transplant(u, v rbRef) {
 	p := o.parent(u)
 	o.replaceChild(p, u, v)
 	if v != o.t.nil_ {
@@ -285,7 +294,7 @@ func (t *RBTree) Remove(tx *stm.Tx, key int) (bool, error) {
 	}
 	y := z
 	yWasRed := o.isRed(y)
-	var x, xParent *stm.TObj
+	var x, xParent rbRef
 	switch {
 	case o.left(z) == t.nil_:
 		x = o.right(z)
@@ -324,7 +333,7 @@ func (t *RBTree) Remove(tx *stm.Tx, key int) (bool, error) {
 // deleteFixup restores the invariants after removing a black node
 // (CLRS 13.4 with x's parent threaded explicitly, since x may be the
 // unwritable sentinel).
-func (o *rbOps) deleteFixup(x, xParent *stm.TObj) {
+func (o *rbOps) deleteFixup(x, xParent rbRef) {
 	for o.err == nil && x != o.root() && !o.isRed(x) {
 		if x == o.left(xParent) {
 			w := o.right(xParent)
@@ -393,8 +402,8 @@ func (t *RBTree) Contains(tx *stm.Tx, key int) (bool, error) {
 func (t *RBTree) Keys(tx *stm.Tx) ([]int, error) {
 	o := t.ops(tx)
 	var keys []int
-	var walk func(h *stm.TObj)
-	walk = func(h *stm.TObj) {
+	var walk func(h rbRef)
+	walk = func(h rbRef) {
 		if h == t.nil_ || o.err != nil {
 			return
 		}
@@ -418,8 +427,8 @@ func (t *RBTree) CheckInvariants(tx *stm.Tx) error {
 	if root != t.nil_ && o.isRed(root) {
 		return fmt.Errorf("intset: red root")
 	}
-	var check func(h *stm.TObj, min, max *int) (int, error)
-	check = func(h *stm.TObj, min, max *int) (int, error) {
+	var check func(h rbRef, min, max *int) (int, error)
+	check = func(h rbRef, min, max *int) (int, error) {
 		if o.err != nil {
 			return 0, o.err
 		}

@@ -12,18 +12,27 @@ import (
 const skipMaxLevel = 8
 
 // skipNode is one tower of the skiplist. next[i] is the handle of the
-// successor tower at level i; the slice is re-allocated on Clone so a
-// writer's tentative link changes stay private.
+// successor tower at level i. The link slice is mutable state reached
+// through the value, so skiplist variables install a Cloner that
+// re-allocates it: a writer's tentative link changes stay private.
 type skipNode struct {
 	key  int
-	next []*stm.TObj
+	next []*stm.Var[skipNode]
 }
 
-// Clone implements stm.Value with a deep copy of the link slice.
-func (n *skipNode) Clone() stm.Value {
-	c := &skipNode{key: n.key, next: make([]*stm.TObj, len(n.next))}
-	copy(c.next, n.next)
-	return c
+// cloneSkipNode is the skiplist's stm.Cloner: a deep copy of the link
+// slice (the handles themselves are immutable and shared).
+func cloneSkipNode(n skipNode) skipNode {
+	next := make([]*stm.Var[skipNode], len(n.next))
+	copy(next, n.next)
+	n.next = next
+	return n
+}
+
+// newSkipVar wraps a tower in a transactional variable with the deep
+// link-slice clone.
+func newSkipVar(n skipNode) *stm.Var[skipNode] {
+	return stm.NewVarCloner(n, cloneSkipNode)
 }
 
 // SkipList is the paper's skiplist application, after the benchmark in
@@ -34,17 +43,17 @@ func (n *skipNode) Clone() stm.Value {
 // rather than of a mutable RNG: transactional code may retry, and a
 // retry must make the same choices.
 type SkipList struct {
-	head *stm.TObj
+	head *stm.Var[skipNode]
 }
 
 // NewSkipList returns an empty skiplist.
 func NewSkipList() *SkipList {
-	tail := stm.NewTObj(&skipNode{key: math.MaxInt, next: make([]*stm.TObj, skipMaxLevel)})
-	links := make([]*stm.TObj, skipMaxLevel)
+	tail := newSkipVar(skipNode{key: math.MaxInt, next: make([]*stm.Var[skipNode], skipMaxLevel)})
+	links := make([]*stm.Var[skipNode], skipMaxLevel)
 	for i := range links {
 		links[i] = tail
 	}
-	head := stm.NewTObj(&skipNode{key: math.MinInt, next: links})
+	head := newSkipVar(skipNode{key: math.MinInt, next: links})
 	return &SkipList{head: head}
 }
 
@@ -69,39 +78,32 @@ func levelFor(key int) int {
 // findPreds fills preds with the handle of the rightmost tower whose
 // key is strictly less than key at every level, and returns the value
 // of the level-0 successor.
-func (s *SkipList) findPreds(tx *stm.Tx, key int, preds []*stm.TObj) (*skipNode, error) {
-	curObj := s.head
-	v, err := tx.OpenRead(curObj)
+func (s *SkipList) findPreds(tx *stm.Tx, key int, preds []*stm.Var[skipNode]) (skipNode, error) {
+	curVar := s.head
+	cur, err := stm.Read(tx, curVar)
 	if err != nil {
-		return nil, err
+		return skipNode{}, err
 	}
-	cur := v.(*skipNode)
 	for level := skipMaxLevel - 1; level >= 0; level-- {
 		for {
-			nextObj := cur.next[level]
-			nv, err := tx.OpenRead(nextObj)
+			nextVar := cur.next[level]
+			next, err := stm.Read(tx, nextVar)
 			if err != nil {
-				return nil, err
+				return skipNode{}, err
 			}
-			next := nv.(*skipNode)
 			if next.key >= key {
 				break
 			}
-			curObj, cur = nextObj, next
+			curVar, cur = nextVar, next
 		}
-		preds[level] = curObj
+		preds[level] = curVar
 	}
-	succObj := cur.next[0]
-	nv, err := tx.OpenRead(succObj)
-	if err != nil {
-		return nil, err
-	}
-	return nv.(*skipNode), nil
+	return stm.Read(tx, cur.next[0])
 }
 
 // Insert implements Set.
 func (s *SkipList) Insert(tx *stm.Tx, key int) (bool, error) {
-	preds := make([]*stm.TObj, skipMaxLevel)
+	preds := make([]*stm.Var[skipNode], skipMaxLevel)
 	succ, err := s.findPreds(tx, key, preds)
 	if err != nil {
 		return false, err
@@ -110,30 +112,34 @@ func (s *SkipList) Insert(tx *stm.Tx, key int) (bool, error) {
 		return false, nil
 	}
 	level := levelFor(key)
-	node := &skipNode{key: key, next: make([]*stm.TObj, level)}
+	node := skipNode{key: key, next: make([]*stm.Var[skipNode], level)}
 	// Read the predecessors' current links first so the new tower can
 	// point at the right successors, then splice bottom-up.
 	for i := 0; i < level; i++ {
-		pv, err := tx.OpenRead(preds[i])
+		pred, err := stm.Read(tx, preds[i])
 		if err != nil {
 			return false, err
 		}
-		node.next[i] = pv.(*skipNode).next[i]
+		node.next[i] = pred.next[i]
 	}
-	nodeObj := stm.NewTObj(node)
+	nodeVar := newSkipVar(node)
 	for i := 0; i < level; i++ {
-		pv, err := tx.OpenWrite(preds[i])
+		// The writer's copy carries a deep-cloned link slice, so the
+		// in-place splice stays private until commit.
+		err := stm.Update(tx, preds[i], func(pred skipNode) skipNode {
+			pred.next[i] = nodeVar
+			return pred
+		})
 		if err != nil {
 			return false, err
 		}
-		pv.(*skipNode).next[i] = nodeObj
 	}
 	return true, nil
 }
 
 // Remove implements Set.
 func (s *SkipList) Remove(tx *stm.Tx, key int) (bool, error) {
-	preds := make([]*stm.TObj, skipMaxLevel)
+	preds := make([]*stm.Var[skipNode], skipMaxLevel)
 	succ, err := s.findPreds(tx, key, preds)
 	if err != nil {
 		return false, err
@@ -143,23 +149,24 @@ func (s *SkipList) Remove(tx *stm.Tx, key int) (bool, error) {
 	}
 	level := len(succ.next)
 	for i := 0; i < level; i++ {
-		pv, err := tx.OpenWrite(preds[i])
-		if err != nil {
-			return false, err
-		}
-		pred := pv.(*skipNode)
 		// The predecessor links to the victim at level i only if the
 		// victim's tower reaches it (it does: level = len(succ.next)),
 		// and pred is the rightmost key < victim, so the link is to
 		// the victim unless a duplicate key intervened (impossible).
-		pred.next[i] = succ.next[i]
+		err := stm.Update(tx, preds[i], func(pred skipNode) skipNode {
+			pred.next[i] = succ.next[i]
+			return pred
+		})
+		if err != nil {
+			return false, err
+		}
 	}
 	return true, nil
 }
 
 // Contains implements Set.
 func (s *SkipList) Contains(tx *stm.Tx, key int) (bool, error) {
-	preds := make([]*stm.TObj, skipMaxLevel)
+	preds := make([]*stm.Var[skipNode], skipMaxLevel)
 	succ, err := s.findPreds(tx, key, preds)
 	if err != nil {
 		return false, err
@@ -170,18 +177,15 @@ func (s *SkipList) Contains(tx *stm.Tx, key int) (bool, error) {
 // Keys implements Set.
 func (s *SkipList) Keys(tx *stm.Tx) ([]int, error) {
 	var keys []int
-	v, err := tx.OpenRead(s.head)
+	cur, err := stm.Read(tx, s.head)
 	if err != nil {
 		return nil, err
 	}
-	cur := v.(*skipNode)
 	for {
-		nextObj := cur.next[0]
-		nv, err := tx.OpenRead(nextObj)
+		next, err := stm.Read(tx, cur.next[0])
 		if err != nil {
 			return nil, err
 		}
-		next := nv.(*skipNode)
 		if next.key == math.MaxInt {
 			return keys, nil
 		}

@@ -14,6 +14,9 @@ import (
 	"repro/internal/stm"
 )
 
+// incr is the shared counter transition used by every experiment.
+func incr(v int) int { return v + 1 }
+
 // BoundedCommitResult reports one bounded-commit run: n concurrent
 // transactions (one per thread) over a set of shared objects, started
 // together.
@@ -50,9 +53,9 @@ func BoundedCommit(manager string, n, s, touches int, seed uint64) (*BoundedComm
 	// on a host with fewer cores than transactions they must be forced
 	// to overlap (see stm.WithInterleavePeriod).
 	world := stm.New(stm.WithInterleavePeriod(1))
-	objects := make([]*stm.TObj, s)
+	objects := make([]*stm.Var[int], s)
 	for i := range objects {
-		objects[i] = stm.NewTObj(stm.NewBox[int](0))
+		objects[i] = stm.NewVar(0)
 	}
 
 	var barrier, done sync.WaitGroup
@@ -72,11 +75,9 @@ func BoundedCommit(manager string, n, s, touches int, seed uint64) (*BoundedComm
 			errs[i] = th.Atomically(func(tx *stm.Tx) error {
 				attempts++
 				for _, obj := range order {
-					v, err := tx.OpenWrite(objects[obj])
-					if err != nil {
+					if err := stm.Update(tx, objects[obj], incr); err != nil {
 						return err
 					}
-					v.(*stm.Box[int]).V++
 				}
 				return nil
 			})
@@ -113,7 +114,7 @@ func BoundedCommit(manager string, n, s, touches int, seed uint64) (*BoundedComm
 		}
 	}
 	for i, obj := range objects {
-		if got := obj.Peek().(*stm.Box[int]).V; got != want[i] {
+		if got := obj.Peek(); got != want[i] {
 			return nil, fmt.Errorf("liveness: object %d = %d, want %d (lost update)", i, got, want[i])
 		}
 	}
@@ -147,18 +148,17 @@ func HaltedRecovery(manager string, survivors, opsEach int, deadline time.Durati
 		return nil, err
 	}
 	world := stm.New(stm.WithInterleavePeriod(2))
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	obj := stm.NewVar(0)
 
 	// The crasher takes the earliest timestamp, opens the object, and
 	// halts without committing or aborting.
 	crasher := world.NewThread(core.NewGreedy())
 	crashErr := crasher.Atomically(func(tx *stm.Tx) error {
-		if _, err := tx.OpenWrite(obj); err != nil {
+		if err := stm.Update(tx, obj, incr); err != nil {
 			return err
 		}
 		tx.Halt()
-		_, err := tx.OpenWrite(obj)
-		return err
+		return stm.Update(tx, obj, incr)
 	})
 	if crashErr != stm.ErrHalted {
 		return nil, fmt.Errorf("liveness: crasher returned %v, want ErrHalted", crashErr)
@@ -178,12 +178,7 @@ func HaltedRecovery(manager string, survivors, opsEach int, deadline time.Durati
 					break
 				}
 				err := th.Atomically(func(tx *stm.Tx) error {
-					v, err := tx.OpenWrite(obj)
-					if err != nil {
-						return err
-					}
-					v.(*stm.Box[int]).V++
-					return nil
+					return stm.Update(tx, obj, incr)
 				})
 				if err != nil {
 					break

@@ -14,7 +14,7 @@ import (
 func runCounterStress(t *testing.T, mgr func() stm.Manager, workers, perWorker int) {
 	t.Helper()
 	s := stm.New()
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	obj := stm.NewVar(0)
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {
@@ -58,8 +58,8 @@ func TestCounterStressPolite(t *testing.T) {
 func TestTwoObjectInvariant(t *testing.T) {
 	const workers, perWorker, initial = 6, 150, 10_000
 	s := stm.New()
-	a := stm.NewTObj(stm.NewBox[int](initial))
-	b := stm.NewTObj(stm.NewBox[int](0))
+	a := stm.NewVar(initial)
+	b := stm.NewVar(0)
 
 	var violations sync.Map
 	var wg sync.WaitGroup
@@ -70,21 +70,16 @@ func TestTwoObjectInvariant(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				err := th.Atomically(func(tx *stm.Tx) error {
-					av, err := tx.OpenWrite(a)
-					if err != nil {
+					var av int
+					if err := stm.Update(tx, a, func(v int) int { av = v; return v - 1 }); err != nil {
 						return err
 					}
-					bv, err := tx.OpenWrite(b)
-					if err != nil {
-						return err
-					}
-					ab, bb := av.(*stm.Box[int]), bv.(*stm.Box[int])
-					if ab.V+bb.V != initial {
-						violations.Store(id, ab.V+bb.V)
-					}
-					ab.V--
-					bb.V++
-					return nil
+					return stm.Update(tx, b, func(v int) int {
+						if av+v != initial {
+							violations.Store(id, av+v)
+						}
+						return v + 1
+					})
 				})
 				if err != nil {
 					violations.Store(id, err)
@@ -97,11 +92,11 @@ func TestTwoObjectInvariant(t *testing.T) {
 		t.Fatalf("worker %v observed violation: %v", k, v)
 		return false
 	})
-	got := a.Peek().(*stm.Box[int]).V + b.Peek().(*stm.Box[int]).V
+	got := a.Peek() + b.Peek()
 	if got != initial {
 		t.Fatalf("a+b = %d, want %d", got, initial)
 	}
-	if moved := b.Peek().(*stm.Box[int]).V; moved != workers*perWorker {
+	if moved := b.Peek(); moved != workers*perWorker {
 		t.Fatalf("b = %d, want %d", moved, workers*perWorker)
 	}
 }
@@ -112,8 +107,8 @@ func TestTwoObjectInvariant(t *testing.T) {
 func TestReadersSeeConsistentSnapshots(t *testing.T) {
 	const writers, readers, perWorker = 4, 4, 200
 	s := stm.New()
-	x := stm.NewTObj(stm.NewBox[int](0))
-	y := stm.NewTObj(stm.NewBox[int](0))
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, writers+readers)
@@ -124,17 +119,10 @@ func TestReadersSeeConsistentSnapshots(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				if err := th.Atomically(func(tx *stm.Tx) error {
-					xv, err := tx.OpenWrite(x)
-					if err != nil {
+					if err := incr(tx, x); err != nil {
 						return err
 					}
-					yv, err := tx.OpenWrite(y)
-					if err != nil {
-						return err
-					}
-					xv.(*stm.Box[int]).V++
-					yv.(*stm.Box[int]).V++
-					return nil
+					return incr(tx, y)
 				}); err != nil {
 					errs <- err
 					return
@@ -152,15 +140,15 @@ func TestReadersSeeConsistentSnapshots(t *testing.T) {
 			for i := 0; i < perWorker; i++ {
 				var p pair
 				if err := th.Atomically(func(tx *stm.Tx) error {
-					xv, err := tx.OpenRead(x)
+					xv, err := stm.Read(tx, x)
 					if err != nil {
 						return err
 					}
-					yv, err := tx.OpenRead(y)
+					yv, err := stm.Read(tx, y)
 					if err != nil {
 						return err
 					}
-					p = pair{xv.(*stm.Box[int]).V, yv.(*stm.Box[int]).V}
+					p = pair{xv, yv}
 					return nil
 				}); err != nil {
 					errs <- err
@@ -191,10 +179,10 @@ func TestQuickBankConservation(t *testing.T) {
 			return true
 		}
 		s := stm.New()
-		accounts := make([]*stm.TObj, len(seedAmounts))
+		accounts := make([]*stm.Var[int], len(seedAmounts))
 		total := 0
 		for i, amt := range seedAmounts {
-			accounts[i] = stm.NewTObj(stm.NewBox[int](int(amt)))
+			accounts[i] = stm.NewVar(int(amt))
 			total += int(amt)
 		}
 		th := s.NewThread(aggressiveManager{})
@@ -206,17 +194,10 @@ func TestQuickBankConservation(t *testing.T) {
 				continue
 			}
 			err := th.Atomically(func(tx *stm.Tx) error {
-				fv, err := tx.OpenWrite(accounts[from])
-				if err != nil {
+				if err := stm.Update(tx, accounts[from], func(v int) int { return v - amount }); err != nil {
 					return err
 				}
-				tv, err := tx.OpenWrite(accounts[to])
-				if err != nil {
-					return err
-				}
-				fv.(*stm.Box[int]).V -= amount
-				tv.(*stm.Box[int]).V += amount
-				return nil
+				return stm.Update(tx, accounts[to], func(v int) int { return v + amount })
 			})
 			if err != nil {
 				return false
@@ -224,7 +205,7 @@ func TestQuickBankConservation(t *testing.T) {
 		}
 		got := 0
 		for _, acct := range accounts {
-			got += acct.Peek().(*stm.Box[int]).V
+			got += acct.Peek()
 		}
 		return got == total
 	}

@@ -4,17 +4,51 @@
 // evaluation in Guerraoui, Herlihy and Pochon, "Toward a Theory of
 // Transactional Contention Managers" (PODC 2005/2006).
 //
-// The STM provides object-granularity transactions over TObj handles.
-// Each TObj holds a locator: a triple of (owner transaction, old
-// version, new version) installed by compare-and-swap. A transaction
-// commits by changing its status word from active to committed with a
-// single compare-and-swap; one transaction aborts another the same way.
-// Conflict detection is eager: a transaction discovers a conflict the
-// moment it opens an object another active transaction has open for
-// writing, and at that moment it consults its contention manager, which
-// decides whether to abort the enemy or to wait. This is exactly the
-// structure the paper assumes: correctness (serializability) is the
-// STM's job, progress (liveness) is the contention manager's job.
+// # Typed API
+//
+// Transactional data lives in generic Var[T] handles, accessed inside
+// transactions with the package-level Read, Write and Update
+// functions:
+//
+//	s := stm.New()
+//	account := stm.NewVar(10)
+//	th := s.NewThread(core.NewGreedy())   // one Thread per goroutine
+//	err := th.Atomically(func(tx *stm.Tx) error {
+//		return stm.Update(tx, account, func(balance int) int {
+//			return balance + 1
+//		})
+//	})
+//
+// The whole flow is compile-time checked: no Value interface, no type
+// assertions, no panic surface. By default a transaction's private
+// copy of a value is made by plain assignment, which is correct for
+// plain data and for payloads whose pointers, slices and maps are
+// treated as immutable (handles such as *Var are immutable and may be
+// shared freely between versions). Payloads with mutable indirect
+// state install a deep-copy strategy with NewVarCloner. Transactional
+// code must propagate the error returned by Read, Write and Update: a
+// non-nil error means the transaction has been aborted by an enemy,
+// and Atomically will retry it with the same timestamp.
+//
+// # The untyped engine
+//
+// Underneath the typed facade sits the untyped DSTM machinery — TObj
+// handles, the Value interface, OpenRead and OpenWrite — which is what
+// the contention managers, the failure injector and the tests of the
+// conflict protocol see. Each TObj holds a locator: a triple of (owner
+// transaction, old version, new version) installed by compare-and-swap.
+// A transaction commits by changing its status word from active to
+// committed with a single compare-and-swap; one transaction aborts
+// another the same way. Conflict detection is eager: a transaction
+// discovers a conflict the moment it opens an object another active
+// transaction has open for writing, and at that moment it consults its
+// contention manager, which decides whether to abort the enemy or to
+// wait. This is exactly the structure the paper assumes: correctness
+// (serializability) is the STM's job, progress (liveness) is the
+// contention manager's job. Var[T] adds nothing to this protocol — it
+// wraps a TObj whose versions carry a T, so the typed and untyped
+// surfaces drive one engine and the managers cannot tell them apart
+// (BenchmarkTypedVsUntyped holds the facade to allocation parity).
 //
 // Transactions carry the three pieces of state the paper's greedy
 // manager needs (Section 3):
@@ -31,22 +65,4 @@
 // and at commit time, so committed transactions are serializable and
 // reads are consistent (a transaction never observes two snapshots that
 // no serial execution could produce without subsequently aborting).
-//
-// # Usage
-//
-//	s := stm.New()
-//	acct := stm.NewTObj(&Account{Balance: 10})
-//	th := s.NewThread(core.NewGreedy())   // one Thread per goroutine
-//	err := th.Atomically(func(tx *stm.Tx) error {
-//		v, err := tx.OpenWrite(acct)
-//		if err != nil {
-//			return err
-//		}
-//		v.(*Account).Balance++
-//		return nil
-//	})
-//
-// Transactional code must propagate the error returned by OpenRead and
-// OpenWrite: a non-nil error means the transaction has been aborted by
-// an enemy and Atomically will retry it with the same timestamp.
 package stm

@@ -18,46 +18,46 @@ func (greedyLike) ResolveConflict(me, enemy *stm.Tx) stm.Decision {
 	return stm.Wait
 }
 
+// The typed API in one screen: a Var[T] holds a T, Update is the
+// transactional read-modify-write, and no type assertions appear
+// anywhere — the compiler checks the whole flow.
 func ExampleThread_Atomically() {
 	world := stm.New()
-	account := stm.NewTObj(stm.NewBox[int](100))
+	account := stm.NewVar(100)
 
 	th := world.NewThread(greedyLike{})
 	err := th.Atomically(func(tx *stm.Tx) error {
-		v, err := tx.OpenWrite(account)
-		if err != nil {
-			return err // aborted by an enemy; Atomically retries
-		}
-		v.(*stm.Box[int]).V += 42
-		return nil
+		// A non-nil error means an enemy aborted us; returning it makes
+		// Atomically retry with the same timestamp.
+		return stm.Update(tx, account, func(balance int) int { return balance + 42 })
 	})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	fmt.Println("balance:", account.Peek().(*stm.Box[int]).V)
+	fmt.Println("balance:", account.Peek())
 	// Output: balance: 142
 }
 
-func ExampleTx_OpenRead() {
+func ExampleRead() {
 	world := stm.New()
-	a := stm.NewTObj(stm.NewBox[int](3))
-	b := stm.NewTObj(stm.NewBox[int](4))
+	a := stm.NewVar(3)
+	b := stm.NewVar(4)
 
 	th := world.NewThread(greedyLike{})
 	var sum int
 	err := th.Atomically(func(tx *stm.Tx) error {
-		av, err := tx.OpenRead(a)
+		av, err := stm.Read(tx, a)
 		if err != nil {
 			return err
 		}
-		bv, err := tx.OpenRead(b)
+		bv, err := stm.Read(tx, b)
 		if err != nil {
 			return err
 		}
 		// The two reads are a consistent snapshot: if a writer commits
 		// between them, validation aborts and retries this function.
-		sum = av.(*stm.Box[int]).V + bv.(*stm.Box[int]).V
+		sum = av + bv
 		return nil
 	})
 	if err != nil {
@@ -68,28 +68,101 @@ func ExampleTx_OpenRead() {
 	// Output: sum: 7
 }
 
+func ExampleWrite() {
+	world := stm.New()
+	greeting := stm.NewVar("hello")
+
+	th := world.NewThread(greedyLike{})
+	err := th.Atomically(func(tx *stm.Tx) error {
+		old, err := stm.Read(tx, greeting)
+		if err != nil {
+			return err
+		}
+		return stm.Write(tx, greeting, old+", world")
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(greeting.Peek())
+	// Output: hello, world
+}
+
+// Var values compose: a payload may hold handles to other Vars, which
+// are immutable and safe to share between versions. Here a two-cell
+// list is rewired transactionally.
+func ExampleNewVar() {
+	type cell struct {
+		value int
+		next  *stm.Var[cell] // nil at the tail
+	}
+	world := stm.New()
+	second := stm.NewVar(cell{value: 2})
+	first := stm.NewVar(cell{value: 1, next: second})
+
+	th := world.NewThread(greedyLike{})
+	err := th.Atomically(func(tx *stm.Tx) error {
+		// Splice a new cell between first and second.
+		return stm.Update(tx, first, func(c cell) cell {
+			c.next = stm.NewVar(cell{value: 99, next: c.next})
+			return c
+		})
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("first:", first.Peek().value)
+	fmt.Println("spliced:", first.Peek().next.Peek().value)
+	// Output:
+	// first: 1
+	// spliced: 99
+}
+
+// NewVarCloner installs a deep-copy strategy for payloads with mutable
+// indirect state, so a writer's in-place mutations stay private until
+// commit.
+func ExampleNewVarCloner() {
+	world := stm.New()
+	scores := stm.NewVarCloner([]int{1, 2, 3}, func(s []int) []int {
+		c := make([]int, len(s))
+		copy(c, s)
+		return c
+	})
+
+	th := world.NewThread(greedyLike{})
+	err := th.Atomically(func(tx *stm.Tx) error {
+		return stm.Update(tx, scores, func(s []int) []int {
+			s[0] = 10 // mutates the private deep copy, not the committed slice
+			return s
+		})
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("scores:", scores.Peek())
+	// Output: scores: [10 2 3]
+}
+
 func ExampleWithLazyConflicts() {
 	// Commit-time conflict detection: transactions are invisible to
 	// one another until they commit, and the contention manager is
 	// never consulted (the STM design the paper's Section 6 contrasts
-	// with contention management).
+	// with contention management). The typed API is detection-mode
+	// agnostic.
 	world := stm.New(stm.WithLazyConflicts())
-	counter := stm.NewTObj(stm.NewBox[int](0))
+	counter := stm.NewVar(0)
 
 	th := world.NewThread(greedyLike{})
 	for i := 0; i < 3; i++ {
 		if err := th.Atomically(func(tx *stm.Tx) error {
-			v, err := tx.OpenWrite(counter)
-			if err != nil {
-				return err
-			}
-			v.(*stm.Box[int]).V++
-			return nil
+			return stm.Update(tx, counter, func(v int) int { return v + 1 })
 		}); err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 	}
-	fmt.Println("counter:", counter.Peek().(*stm.Box[int]).V)
+	fmt.Println("counter:", counter.Peek())
 	// Output: counter: 3
 }

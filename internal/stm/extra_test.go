@@ -12,25 +12,20 @@ func TestFullValidationEquivalence(t *testing.T) {
 	// scripted run produces the same final state.
 	for _, opts := range [][]stm.Option{nil, {stm.WithFullValidation()}} {
 		s := stm.New(opts...)
-		a := stm.NewTObj(stm.NewBox[int](1))
-		b := stm.NewTObj(stm.NewBox[int](2))
+		a := stm.NewVar(1)
+		b := stm.NewVar(2)
 		th := s.NewThread(politeManager{})
 		err := th.Atomically(func(tx *stm.Tx) error {
-			av, err := tx.OpenRead(a)
+			av, err := stm.Read(tx, a)
 			if err != nil {
 				return err
 			}
-			bv, err := tx.OpenWrite(b)
-			if err != nil {
-				return err
-			}
-			bv.(*stm.Box[int]).V += av.(*stm.Box[int]).V
-			return nil
+			return stm.Update(tx, b, func(v int) int { return v + av })
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := b.Peek().(*stm.Box[int]).V; got != 3 {
+		if got := b.Peek(); got != 3 {
 			t.Fatalf("b = %d, want 3 (opts %v)", got, opts)
 		}
 	}
@@ -40,7 +35,7 @@ func TestInterleaveOptionYields(t *testing.T) {
 	// Functional check only: transactions still commit correctly with
 	// the most aggressive yield period.
 	s := stm.New(stm.WithInterleavePeriod(1))
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	obj := stm.NewVar(0)
 	th := s.NewThread(politeManager{})
 	for i := 0; i < 50; i++ {
 		if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
@@ -81,7 +76,7 @@ func TestNamedTObjString(t *testing.T) {
 
 func TestTxStringAndAccessors(t *testing.T) {
 	s := stm.New()
-	obj := stm.NewTObj(stm.NewBox(0))
+	obj := stm.NewVar(0)
 	th := s.NewThread(politeManager{})
 	err := th.Atomically(func(tx *stm.Tx) error {
 		if tx.ID() == 0 {
@@ -96,7 +91,7 @@ func TestTxStringAndAccessors(t *testing.T) {
 		if tx.Aborts() != 0 {
 			t.Errorf("Aborts() = %d, want 0", tx.Aborts())
 		}
-		if _, err := tx.OpenWrite(obj); err != nil {
+		if err := stm.Write(tx, obj, 1); err != nil {
 			return err
 		}
 		if tx.Opens() != 1 {
@@ -120,12 +115,12 @@ func TestTxStringAndAccessors(t *testing.T) {
 func TestAbortIdempotentAndCommitExcluded(t *testing.T) {
 	s := stm.New()
 	th := s.NewThread(politeManager{})
-	obj := stm.NewTObj(stm.NewBox(0))
+	obj := stm.NewVar(0)
 	held := make(chan struct{})
 	release := make(chan struct{})
 	go func() {
 		_ = th.Atomically(func(tx *stm.Tx) error {
-			if _, err := tx.OpenWrite(obj); err != nil {
+			if err := stm.Write(tx, obj, 1); err != nil {
 				return err
 			}
 			select {
@@ -171,35 +166,30 @@ func TestWriteAfterReadUpgrade(t *testing.T) {
 	// transaction: the write sees the read version and the commit
 	// succeeds (no false self-conflict).
 	s := stm.New()
-	obj := stm.NewTObj(stm.NewBox(10))
+	obj := stm.NewVar(10)
 	th := s.NewThread(politeManager{})
 	err := th.Atomically(func(tx *stm.Tx) error {
-		v, err := tx.OpenRead(obj)
+		v, err := stm.Read(tx, obj)
 		if err != nil {
 			return err
 		}
-		w, err := tx.OpenWrite(obj)
-		if err != nil {
-			return err
-		}
-		w.(*stm.Box[int]).V = v.(*stm.Box[int]).V * 2
-		return nil
+		return stm.Write(tx, obj, v*2)
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := obj.Peek().(*stm.Box[int]).V; got != 20 {
+	if got := obj.Peek(); got != 20 {
 		t.Fatalf("obj = %d, want 20", got)
 	}
 }
 
 func TestCommitClockAdvancesOnWritesOnly(t *testing.T) {
 	s := stm.New()
-	obj := stm.NewTObj(stm.NewBox(0))
+	obj := stm.NewVar(0)
 	th := s.NewThread(politeManager{})
 	before := s.CommitClock()
 	if err := th.Atomically(func(tx *stm.Tx) error {
-		_, err := tx.OpenRead(obj)
+		_, err := stm.Read(tx, obj)
 		return err
 	}); err != nil {
 		t.Fatal(err)

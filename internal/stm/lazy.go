@@ -34,10 +34,12 @@ func WithLazyConflicts() Option {
 func (s *STM) Lazy() bool { return s.lazy }
 
 // openWriteLazy buffers a private clone of the object's committed
-// version in the transaction's write buffer. The pre-image is recorded
-// in the read set, which is what commit-time validation checks: if any
-// base version moved, the transaction aborts itself and retries.
-func (o *TObj) openWriteLazy(tx *Tx) (Value, error) {
+// version in the transaction's write buffer (or mk(), when the caller
+// replaces the whole value — see openWriteAs). The pre-image is
+// recorded in the read set, which is what commit-time validation
+// checks: if any base version moved, the transaction aborts itself
+// and retries.
+func (o *TObj) openWriteLazy(tx *Tx, mk func() Value) (Value, error) {
 	if err := tx.step(); err != nil {
 		return nil, err
 	}
@@ -49,7 +51,10 @@ func (o *TObj) openWriteLazy(tx *Tx) (Value, error) {
 		return nil, err
 	}
 	var clone Value
-	if base != nil {
+	switch {
+	case mk != nil:
+		clone = mk()
+	case base != nil:
 		clone = base.Clone()
 	}
 	if tx.lazyWrites == nil {

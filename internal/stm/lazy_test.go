@@ -9,12 +9,12 @@ import (
 
 func TestLazyBasicCommit(t *testing.T) {
 	s := stm.New(stm.WithLazyConflicts())
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	obj := stm.NewVar(0)
 	th := s.NewThread(politeManager{})
 	if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
 		t.Fatal(err)
 	}
-	if got := obj.Peek().(*stm.Box[int]).V; got != 1 {
+	if got := obj.Peek(); got != 1 {
 		t.Fatalf("counter = %d, want 1", got)
 	}
 	if !s.Lazy() {
@@ -27,9 +27,11 @@ func TestLazyReadOwnWrite(t *testing.T) {
 	obj := stm.NewTObj(stm.NewBox[int](10))
 	th := s.NewThread(politeManager{})
 	err := th.Atomically(func(tx *stm.Tx) error {
-		if err := incr(tx, obj); err != nil {
+		w0, err := tx.OpenWrite(obj)
+		if err != nil {
 			return err
 		}
+		w0.(*stm.Box[int]).V++
 		v, err := tx.OpenRead(obj)
 		if err != nil {
 			return err
@@ -54,7 +56,7 @@ func TestLazyReadOwnWrite(t *testing.T) {
 
 func TestLazyWritesInvisibleUntilCommit(t *testing.T) {
 	s := stm.New(stm.WithLazyConflicts())
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	obj := stm.NewVar(0)
 	writer := s.NewThread(politeManager{})
 
 	held := make(chan struct{})
@@ -80,16 +82,16 @@ func TestLazyWritesInvisibleUntilCommit(t *testing.T) {
 	// Mid-flight, the committed version is untouched and no locator
 	// conflict exists: a reader proceeds without consulting any
 	// contention manager.
-	if got := obj.Peek().(*stm.Box[int]).V; got != 0 {
+	if got := obj.Peek(); got != 0 {
 		t.Fatalf("uncommitted lazy write visible: %d", got)
 	}
 	reader := s.NewThread(politeManager{})
 	err := reader.Atomically(func(tx *stm.Tx) error {
-		v, err := tx.OpenRead(obj)
+		got, err := stm.Read(tx, obj)
 		if err != nil {
 			return err
 		}
-		if got := v.(*stm.Box[int]).V; got != 0 {
+		if got != 0 {
 			t.Errorf("reader saw uncommitted lazy write: %d", got)
 		}
 		return nil
@@ -99,14 +101,14 @@ func TestLazyWritesInvisibleUntilCommit(t *testing.T) {
 	}
 	close(release)
 	wg.Wait()
-	if got := obj.Peek().(*stm.Box[int]).V; got != 1 {
+	if got := obj.Peek(); got != 1 {
 		t.Fatalf("after commit counter = %d, want 1", got)
 	}
 }
 
 func TestLazyFirstCommitterWins(t *testing.T) {
 	s := stm.New(stm.WithLazyConflicts())
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	obj := stm.NewVar(0)
 
 	loser := s.NewThread(politeManager{})
 	held := make(chan struct{})
@@ -139,7 +141,7 @@ func TestLazyFirstCommitterWins(t *testing.T) {
 	if attempts < 2 {
 		t.Fatalf("loser committed without retrying (attempts=%d); commit-time validation failed to catch the conflict", attempts)
 	}
-	if got := obj.Peek().(*stm.Box[int]).V; got != 2 {
+	if got := obj.Peek(); got != 2 {
 		t.Fatalf("counter = %d, want 2", got)
 	}
 	if loser.Stats().Conflicts == 0 {
@@ -149,7 +151,7 @@ func TestLazyFirstCommitterWins(t *testing.T) {
 
 func TestLazyCounterStress(t *testing.T) {
 	s := stm.New(stm.WithLazyConflicts(), stm.WithInterleavePeriod(2))
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	obj := stm.NewVar(0)
 	const workers, perWorker = 6, 150
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
@@ -171,7 +173,7 @@ func TestLazyCounterStress(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if got := obj.Peek().(*stm.Box[int]).V; got != workers*perWorker {
+	if got := obj.Peek(); got != workers*perWorker {
 		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
 	}
 }
@@ -181,8 +183,8 @@ func TestLazySnapshotConsistency(t *testing.T) {
 	// x != y even though installation is multi-object (the seqlock
 	// protects the cut).
 	s := stm.New(stm.WithLazyConflicts(), stm.WithInterleavePeriod(2))
-	x := stm.NewTObj(stm.NewBox[int](0))
-	y := stm.NewTObj(stm.NewBox[int](0))
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
 	const writers, readers, per = 3, 3, 120
 	var wg sync.WaitGroup
 	bad := make(chan [2]int, readers*per)
@@ -194,17 +196,10 @@ func TestLazySnapshotConsistency(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				if err := th.Atomically(func(tx *stm.Tx) error {
-					xv, err := tx.OpenWrite(x)
-					if err != nil {
+					if err := incr(tx, x); err != nil {
 						return err
 					}
-					yv, err := tx.OpenWrite(y)
-					if err != nil {
-						return err
-					}
-					xv.(*stm.Box[int]).V++
-					yv.(*stm.Box[int]).V++
-					return nil
+					return incr(tx, y)
 				}); err != nil {
 					errs <- err
 					return
@@ -220,15 +215,15 @@ func TestLazySnapshotConsistency(t *testing.T) {
 			for i := 0; i < per; i++ {
 				var got [2]int
 				if err := th.Atomically(func(tx *stm.Tx) error {
-					xv, err := tx.OpenRead(x)
+					xv, err := stm.Read(tx, x)
 					if err != nil {
 						return err
 					}
-					yv, err := tx.OpenRead(y)
+					yv, err := stm.Read(tx, y)
 					if err != nil {
 						return err
 					}
-					got = [2]int{xv.(*stm.Box[int]).V, yv.(*stm.Box[int]).V}
+					got = [2]int{xv, yv}
 					return nil
 				}); err != nil {
 					errs <- err
@@ -253,7 +248,7 @@ func TestLazySnapshotConsistency(t *testing.T) {
 
 func TestLazyNeverConsultsManager(t *testing.T) {
 	s := stm.New(stm.WithLazyConflicts(), stm.WithInterleavePeriod(1))
-	obj := stm.NewTObj(stm.NewBox[int](0))
+	obj := stm.NewVar(0)
 	const workers, per = 4, 60
 	var wg sync.WaitGroup
 	threads := make([]*stm.Thread, workers)

@@ -33,24 +33,19 @@ func (suicidalManager) ResolveConflict(me, enemy *stm.Tx) stm.Decision {
 	return stm.AbortSelf
 }
 
-func newCounterWorld(t *testing.T) (*stm.STM, *stm.TObj) {
+func newCounterWorld(t *testing.T) (*stm.STM, *stm.Var[int]) {
 	t.Helper()
 	s := stm.New()
-	return s, stm.NewTObj(stm.NewBox[int](0))
+	return s, stm.NewVar(0)
 }
 
-func counterValue(t *testing.T, obj *stm.TObj) int {
+func counterValue(t *testing.T, counter *stm.Var[int]) int {
 	t.Helper()
-	return obj.Peek().(*stm.Box[int]).V
+	return counter.Peek()
 }
 
-func incr(tx *stm.Tx, obj *stm.TObj) error {
-	v, err := tx.OpenWrite(obj)
-	if err != nil {
-		return err
-	}
-	v.(*stm.Box[int]).V++
-	return nil
+func incr(tx *stm.Tx, counter *stm.Var[int]) error {
+	return stm.Update(tx, counter, func(v int) int { return v + 1 })
 }
 
 func TestCommitMakesWriteVisible(t *testing.T) {
@@ -89,11 +84,11 @@ func TestReadOwnWrite(t *testing.T) {
 		if err := incr(tx, obj); err != nil {
 			return err
 		}
-		v, err := tx.OpenRead(obj)
+		got, err := stm.Read(tx, obj)
 		if err != nil {
 			return err
 		}
-		if got := v.(*stm.Box[int]).V; got != 1 {
+		if got != 1 {
 			return fmt.Errorf("read own write saw %d, want 1", got)
 		}
 		return nil
@@ -110,7 +105,7 @@ func TestRepeatedReadIsStable(t *testing.T) {
 
 	interfered := false
 	err := reader.Atomically(func(tx *stm.Tx) error {
-		v1, err := tx.OpenRead(obj)
+		v1, err := stm.Read(tx, obj)
 		if err != nil {
 			return err
 		}
@@ -129,12 +124,12 @@ func TestRepeatedReadIsStable(t *testing.T) {
 				return fmt.Errorf("writer: %w", err)
 			}
 		}
-		v2, err := tx.OpenRead(obj)
+		v2, err := stm.Read(tx, obj)
 		if err != nil {
 			return err
 		}
 		if v1 != v2 {
-			return fmt.Errorf("repeated read changed versions within a transaction")
+			return fmt.Errorf("repeated read changed values within a transaction (%d then %d)", v1, v2)
 		}
 		return nil
 	})
@@ -294,7 +289,7 @@ func TestHaltedTransactionObstructsUntilAborted(t *testing.T) {
 			return err
 		}
 		tx.Halt()
-		_, err := tx.OpenWrite(obj) // any further access reports the halt
+		_, err := stm.Read(tx, obj) // any further access reports the halt
 		return err
 	})
 	if !errors.Is(err, stm.ErrHalted) {
@@ -336,8 +331,8 @@ func TestStatsAccumulate(t *testing.T) {
 }
 
 func TestPeekOutsideTransaction(t *testing.T) {
-	obj := stm.NewTObj(stm.NewBox[string]("hello"))
-	if got := obj.Peek().(*stm.Box[string]).V; got != "hello" {
+	v := stm.NewVar("hello")
+	if got := v.Peek(); got != "hello" {
 		t.Fatalf("Peek = %q, want %q", got, "hello")
 	}
 }

@@ -95,9 +95,18 @@ func (o *TObj) Peek() Value {
 // the paper's: if an active enemy owns the object, tx's contention
 // manager chooses between aborting the enemy and waiting, and the STM
 // retries until the object is free or tx itself dies.
-func (o *TObj) openWrite(tx *Tx) (Value, error) {
+func (o *TObj) openWrite(tx *Tx) (Value, error) { return o.openWriteAs(tx, nil) }
+
+// openWriteAs is openWrite with an optional replacement factory: when
+// mk is non-nil, a fresh acquisition installs mk() as the private
+// version instead of cloning the committed one. Callers that overwrite
+// the whole value (the typed Write) use it to skip a clone they would
+// immediately discard. When the transaction already owns the object,
+// the existing private version is returned and the caller overwrites
+// it in place.
+func (o *TObj) openWriteAs(tx *Tx, mk func() Value) (Value, error) {
 	if tx.stm.lazy {
-		return o.openWriteLazy(tx)
+		return o.openWriteLazy(tx, mk)
 	}
 	for spin := 0; ; spin++ {
 		if err := tx.step(); err != nil {
@@ -118,7 +127,10 @@ func (o *TObj) openWrite(tx *Tx) (Value, error) {
 		// not.
 		cur := l.current()
 		nl := &locator{owner: tx, oldVal: cur}
-		if cur != nil {
+		switch {
+		case mk != nil:
+			nl.newVal = mk()
+		case cur != nil:
 			nl.newVal = cur.Clone()
 		}
 		if !o.loc.CompareAndSwap(l, nl) {

@@ -1,11 +1,16 @@
 package stm
 
-// Box is a convenience Value wrapping any shallow-copyable payload, so
-// that callers need not hand-write Clone for simple records:
+// Box is a convenience Value wrapping any shallow-copyable payload for
+// code that drives the untyped engine directly (engine tests, manager
+// experiments):
 //
 //	counter := stm.NewTObj(&stm.Box[int]{})
 //	v, err := tx.OpenWrite(counter)
 //	v.(*stm.Box[int]).V++
+//
+// Application code should prefer the typed facade — Var[T] with Read,
+// Write and Update — which provides the same shallow-copy semantics
+// without the interface and the type assertion.
 //
 // Clone copies the struct shallowly; if T contains pointers, slices or
 // maps the clone aliases them, so Box is only appropriate when T's

@@ -1,0 +1,152 @@
+package stm
+
+// This file is the typed transactional API: a generic facade over the
+// untyped locator/TObj engine. Var[T] wraps a TObj whose committed
+// versions are varBox[T] values, so Read/Write/Update can hand callers
+// T directly — no Value interface, no type assertions, no panic
+// surface — while the conflict protocol underneath (and hence
+// everything the contention managers see) is exactly the one the
+// untyped API drives.
+//
+// The facade is zero-overhead relative to hand-written Box[T] code:
+// opening for writing still performs exactly one clone allocation (the
+// varBox), reads allocate nothing, and BenchmarkTypedVsUntyped holds
+// the two paths to identical allocation counts.
+
+// Cloner is a pluggable deep-copy strategy for a Var's payload. The
+// returned value must not share mutable state with the argument:
+// mutations of one must not be observable through the other. Handles
+// (*Var, *TObj) are immutable and may be shared freely.
+type Cloner[T any] func(T) T
+
+// varBox adapts a typed payload to the untyped Value engine. The
+// back-pointer carries the Var's clone strategy into Clone, which the
+// engine invokes without knowing the payload type.
+type varBox[T any] struct {
+	va  *Var[T]
+	val T
+}
+
+// Clone implements Value: a shallow copy of the payload, deepened by
+// the Var's Cloner when one is installed.
+func (b *varBox[T]) Clone() Value {
+	c := &varBox[T]{va: b.va, val: b.val}
+	if cl := b.va.clone; cl != nil {
+		c.val = cl(c.val)
+	}
+	return c
+}
+
+// Var is a typed transactional variable holding a T. It is the typed
+// counterpart of TObj: a shared handle whose versioned contents are
+// accessed inside transactions with Read, Write and Update. Handles
+// are immutable and safe to share between threads and to embed in
+// other transactional payloads; the zero Var is not usable — create
+// variables with NewVar (or its variants).
+//
+// By default a transaction's private copy is made by plain assignment
+// (the Box[T] semantics): appropriate when T is plain data, or when
+// any pointers, slices or maps inside T are treated as immutable.
+// Payloads with mutable indirect state need NewVarCloner.
+type Var[T any] struct {
+	obj   TObj
+	clone Cloner[T]
+}
+
+// NewVar creates a transactional variable whose initial committed
+// value is v, with the shallow (assignment) clone strategy.
+func NewVar[T any](v T) *Var[T] {
+	va := &Var[T]{}
+	va.obj.loc.Store(&locator{newVal: &varBox[T]{va: va, val: v}})
+	return va
+}
+
+// NewVarCloner creates a transactional variable with a deep-copy
+// strategy: clone is applied whenever a transaction takes a private
+// copy of the value, so mutable state reached through pointers, slices
+// or maps inside T stays private to the writer until commit. The
+// initial value is cloned too — like Write, NewVarCloner never lets a
+// committed version alias caller-owned mutable state.
+func NewVarCloner[T any](v T, clone Cloner[T]) *Var[T] {
+	va := NewVar(clone(v))
+	va.clone = clone
+	return va
+}
+
+// NewNamedVar creates a transactional variable with a debugging label
+// reported by String. Names are for tests and debugging; the hot paths
+// never touch them.
+func NewNamedVar[T any](name string, v T) *Var[T] {
+	va := NewVar(v)
+	va.obj.name = name
+	return va
+}
+
+// Obj returns the variable's underlying transactional object, for
+// interoperation with the untyped engine (failure injection, manager
+// tests, debugging). The handle identifies the same versioned slot:
+// opening it directly bypasses the typed facade, not the STM.
+func (v *Var[T]) Obj() *TObj { return &v.obj }
+
+// String identifies the variable for debugging.
+func (v *Var[T]) String() string { return v.obj.String() }
+
+// Peek returns the current committed value outside any transaction.
+// It is intended for post-run verification in tests and examples;
+// concurrent use is safe but yields only a single-variable snapshot.
+func (v *Var[T]) Peek() T { return v.obj.committed().(*varBox[T]).val }
+
+// Read records v's committed value in the transaction's read set and
+// returns it. The returned value is a copy at T's top level, but any
+// state it reaches through pointers, slices or maps is shared with the
+// committed version and must be treated as immutable. A non-nil error
+// means the transaction has been aborted or halted and must be
+// propagated out of the transactional function.
+func Read[T any](tx *Tx, v *Var[T]) (T, error) {
+	val, err := v.obj.openRead(tx)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return val.(*varBox[T]).val, nil
+}
+
+// Write opens v for writing and sets the transaction's private version
+// to x, which becomes the committed value if and only if the
+// transaction commits. Because the whole value is replaced, Write
+// skips the pre-image clone that Update pays for; the Var's Cloner
+// (if any) is instead applied to x, so the private version never
+// aliases caller-owned mutable state — without that copy, an in-place
+// Update after the Write would mutate the caller's value and an
+// abort-retry would replay against the corrupted input. The error
+// contract is Read's.
+func Write[T any](tx *Tx, v *Var[T], x T) error {
+	if v.clone != nil {
+		x = v.clone(x)
+	}
+	val, err := v.obj.openWriteAs(tx, func() Value { return &varBox[T]{va: v, val: x} })
+	if err != nil {
+		return err
+	}
+	// Write-after-write: ownership was already ours, so openWriteAs
+	// returned the existing private version; overwrite it in place.
+	// (On fresh acquisition this re-stores the value just installed.)
+	val.(*varBox[T]).val = x
+	return nil
+}
+
+// Update opens v for writing and replaces the transaction's private
+// version with f applied to it — the transactional read-modify-write.
+// f receives the private copy (deepened by the Var's Cloner, if any),
+// so it may mutate the value in place and return it; it must be free
+// of side effects outside the transaction, since an abort retries the
+// whole transactional function. The error contract is Read's.
+func Update[T any](tx *Tx, v *Var[T], f func(T) T) error {
+	val, err := v.obj.openWrite(tx)
+	if err != nil {
+		return err
+	}
+	b := val.(*varBox[T])
+	b.val = f(b.val)
+	return nil
+}
