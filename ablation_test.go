@@ -15,12 +15,12 @@ import (
 // the STM knob under study varies.
 func runListOps(b *testing.B, opts ...stm.Option) {
 	b.Helper()
+	opts = append(opts, stm.WithManagerFactory(core.MustFactory("greedy")))
 	world := stm.New(opts...)
 	list := intset.NewList()
-	th := world.NewThread(core.NewGreedy())
 	for key := 0; key < 256; key += 2 {
 		key := key
-		if err := th.Atomically(func(tx *stm.Tx) error {
+		if err := world.Atomically(func(tx *stm.Tx) error {
 			_, err := list.Insert(tx, key)
 			return err
 		}); err != nil {
@@ -32,7 +32,7 @@ func runListOps(b *testing.B, opts ...stm.Option) {
 	for i := 0; i < b.N; i++ {
 		key := int(rng.Int64N(256))
 		insert := rng.Int64N(2) == 0
-		if err := th.Atomically(func(tx *stm.Tx) error {
+		if err := world.Atomically(func(tx *stm.Tx) error {
 			var err error
 			if insert {
 				_, err = list.Insert(tx, key)
@@ -63,13 +63,13 @@ func BenchmarkAblationValidation(b *testing.B) {
 // full, so aborts/commit (reported) measures the wasted work.
 func BenchmarkLazyVsEager(b *testing.B) {
 	b.Run("eager-greedy", func(b *testing.B) {
-		world := stm.New(stm.WithInterleavePeriod(4))
+		world := stm.New(stm.WithInterleavePeriod(4), stm.WithManagerFactory(core.MustFactory("greedy")))
 		list := intset.NewList()
 		seedList(b, world, list)
 		benchContendedList(b, world, list)
 	})
 	b.Run("lazy", func(b *testing.B) {
-		world := stm.New(stm.WithInterleavePeriod(4), stm.WithLazyConflicts())
+		world := stm.New(stm.WithInterleavePeriod(4), stm.WithManagerFactory(core.MustFactory("greedy")), stm.WithLazyConflicts())
 		list := intset.NewList()
 		seedList(b, world, list)
 		benchContendedList(b, world, list)
@@ -78,10 +78,9 @@ func BenchmarkLazyVsEager(b *testing.B) {
 
 func seedList(b *testing.B, world *stm.STM, list *intset.List) {
 	b.Helper()
-	seed := world.NewThread(core.NewGreedy())
 	for key := 0; key < 256; key += 2 {
 		key := key
-		if err := seed.Atomically(func(tx *stm.Tx) error {
+		if err := world.Atomically(func(tx *stm.Tx) error {
 			_, err := list.Insert(tx, key)
 			return err
 		}); err != nil {
@@ -102,7 +101,7 @@ func BenchmarkAblationInterleave(b *testing.B) {
 			name = "period=off"
 		}
 		b.Run(name, func(b *testing.B) {
-			world := stm.New(stm.WithInterleavePeriod(period))
+			world := stm.New(stm.WithInterleavePeriod(period), stm.WithManagerFactory(core.MustFactory("greedy")))
 			list := intset.NewList()
 			seedList(b, world, list)
 			benchContendedList(b, world, list)
@@ -110,19 +109,19 @@ func BenchmarkAblationInterleave(b *testing.B) {
 	}
 }
 
-// benchContendedList spreads b.N list updates over 8 workers.
+// benchContendedList spreads b.N list updates over 8 goroutines on
+// the pooled API.
 func benchContendedList(b *testing.B, world *stm.STM, list *intset.List) {
 	b.Helper()
 	var next = make(chan int)
 	done := make(chan error, 8)
 	for w := 0; w < 8; w++ {
-		th := world.NewThread(core.NewGreedy())
 		rng := rand.New(rand.NewPCG(uint64(w)+7, 13))
 		go func() {
 			for range next {
 				key := int(rng.Int64N(256))
 				insert := rng.Int64N(2) == 0
-				err := th.Atomically(func(tx *stm.Tx) error {
+				err := world.Atomically(func(tx *stm.Tx) error {
 					var err error
 					if insert {
 						_, err = list.Insert(tx, key)

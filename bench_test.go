@@ -35,11 +35,10 @@ func runFixedOps(b *testing.B, structure, manager string, tailWork int, forestAl
 	if err != nil {
 		b.Fatal(err)
 	}
-	world := stm.New(stm.WithInterleavePeriod(4))
-	seedTh := world.NewThread(core.NewGreedy())
+	world := stm.New(stm.WithInterleavePeriod(4), stm.WithManagerFactory(factory))
 	for key := 0; key < 256; key += 2 {
 		key := key
-		if err := seedTh.Atomically(func(tx *stm.Tx) error {
+		if err := world.Atomically(func(tx *stm.Tx) error {
 			_, err := set.Insert(tx, key)
 			return err
 		}); err != nil {
@@ -54,7 +53,6 @@ func runFixedOps(b *testing.B, structure, manager string, tailWork int, forestAl
 	errs := make(chan error, benchThreads)
 	b.ResetTimer()
 	for w := 0; w < benchThreads; w++ {
-		th := world.NewThread(factory())
 		rng := rand.New(rand.NewPCG(uint64(w)+1, 0xbe7c))
 		wg.Add(1)
 		go func() {
@@ -68,7 +66,7 @@ func runFixedOps(b *testing.B, structure, manager string, tailWork int, forestAl
 					tree = int(rng.Int64N(int64(forest.Size())))
 				}
 				attempts := 0
-				err := th.Atomically(func(tx *stm.Tx) error {
+				err := world.Atomically(func(tx *stm.Tx) error {
 					// Livelock fuse: an always-abort manager can
 					// ping-pong workers forever; after a bound the
 					// operation is abandoned and counted.

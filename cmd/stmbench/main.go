@@ -7,7 +7,8 @@
 //
 //	stmbench -figure 1                 # one figure
 //	stmbench -all                      # all four figures
-//	stmbench -figure 4 -csv            # machine-readable output
+//	stmbench -figure 4 -csv            # machine-readable output (CSV)
+//	stmbench -all -json                # machine-readable output (JSON array)
 //	stmbench -figure 2 -threads 1,4,8 -duration 200ms -managers greedy,karma
 package main
 
@@ -33,6 +34,7 @@ func main() {
 		threads  = flag.String("threads", "", "comma-separated thread counts (default: the figure's 1..32 sweep)")
 		managers = flag.String("managers", "", "comma-separated manager names (default: the figure's five series)")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut  = flag.Bool("json", false, "emit a JSON array of per-point results instead of a table")
 		chart    = flag.Bool("plot", false, "render an ASCII chart of each figure (with the table)")
 		audit    = flag.Bool("audit", false, "verify structural integrity after every point")
 		keyDist  = flag.String("keys", "uniform", "key distribution: uniform, zipf, zipf:<s>")
@@ -40,6 +42,11 @@ func main() {
 		list     = flag.Bool("list", false, "list figures and managers, then exit")
 	)
 	flag.Parse()
+
+	if *csvOut && *jsonOut {
+		fmt.Fprintln(os.Stderr, "stmbench: -csv and -json are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("figures:")
@@ -80,24 +87,32 @@ func main() {
 	if *managers != "" {
 		opts.Managers = strings.Split(*managers, ",")
 	}
-	if !*csvOut {
+	machine := *csvOut || *jsonOut
+	if !machine {
 		opts.Progress = func(p harness.Point) {
 			fmt.Fprintf(os.Stderr, "  %-10s %-12s x%-3d %10.0f commits/s (abort rate %.2f)\n",
 				p.Structure, p.Manager, p.Threads, p.CommitsPerSec, p.AbortRate)
 		}
 	}
 
+	// jsonPoints accumulates across figures so the whole run is one
+	// JSON array; RunFigure stamps each point with its figure id.
+	var jsonPoints []harness.Point
 	for _, id := range ids {
 		fig, err := harness.FigureByID(id)
 		if err != nil {
 			fatal(err)
 		}
-		if !*csvOut {
+		if !machine {
 			fmt.Fprintf(os.Stderr, "running figure %d: %s\n", fig.ID, fig.Name)
 		}
 		points, err := harness.RunFigure(fig, opts)
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			jsonPoints = append(jsonPoints, points...)
+			continue
 		}
 		if *csvOut {
 			if err := harness.WriteCSV(os.Stdout, points); err != nil {
@@ -115,6 +130,11 @@ func main() {
 			if err := renderChart(title, points); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	if *jsonOut {
+		if err := harness.WriteJSON(os.Stdout, jsonPoints); err != nil {
+			fatal(err)
 		}
 	}
 }

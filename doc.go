@@ -1,17 +1,20 @@
 // Package repro is a Go reproduction of Guerraoui, Herlihy and Pochon,
 // "Toward a Theory of Transactional Contention Managers" (PODC
 // 2005/2006): an obstruction-free software transactional memory with a
-// typed generic API (stm.Var[T] / Read / Write / Update) over a
-// DSTM-style engine, pluggable contention managers (internal/stm,
-// internal/core), the paper's benchmark data structures
-// (internal/intset) and throughput harness (internal/harness), and the
-// scheduling-theory side — task systems, list and optimal schedulers,
-// the discrete transaction simulator, the Section 4 adversary and the
-// Lemma 7 graph machinery (internal/sched, internal/graph).
+// typed generic API (stm.Var[T] / Read / Write / Update / UpdateErr /
+// Snapshot) and goroutine-agnostic execution (STM.Atomically over
+// pooled sessions, with a per-session contention manager built by the
+// STM's ManagerFactory) over a DSTM-style engine, pluggable contention
+// managers (internal/stm, internal/core), the paper's benchmark data
+// structures (internal/intset) and throughput harness
+// (internal/harness), and the scheduling-theory side — task systems,
+// list and optimal schedulers, the discrete transaction simulator, the
+// Section 4 adversary and the Lemma 7 graph machinery (internal/sched,
+// internal/graph).
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for
-// paper-vs-measured results, cmd/stmbench and cmd/makespan for the
-// experiment drivers, and examples/ for runnable programs (each
-// verifies its own invariant and exits non-zero on violation, so CI
-// smoke-runs them).
+// See DESIGN.md for the architecture (engine / sessions / typed
+// facade / managers) and the hardware substitutions, cmd/stmbench
+// (tables, CSV and -json output) and cmd/makespan for the experiment
+// drivers, and examples/ for runnable programs (each verifies its own
+// invariant and exits non-zero on violation, so CI smoke-runs them).
 package repro

@@ -41,7 +41,7 @@ func main() {
 	}
 
 	const initialBalance = 1000
-	world := stm.New()
+	world := stm.New(stm.WithManagerFactory(factory))
 	bank := make([]*stm.Var[int], *accounts)
 	for i := range bank {
 		bank[i] = stm.NewVar(initialBalance)
@@ -53,7 +53,6 @@ func main() {
 	var wg sync.WaitGroup
 
 	for w := 0; w < *writers; w++ {
-		th := world.NewThread(factory())
 		rng := rand.New(rand.NewPCG(uint64(w)+1, 77))
 		wg.Add(1)
 		go func() {
@@ -65,7 +64,7 @@ func main() {
 					continue
 				}
 				amount := int(rng.Int64N(50)) + 1
-				err := th.Atomically(func(tx *stm.Tx) error {
+				err := world.Atomically(func(tx *stm.Tx) error {
 					if err := stm.Update(tx, bank[from], func(b int) int { return b - amount }); err != nil {
 						return err
 					}
@@ -79,25 +78,20 @@ func main() {
 		}()
 	}
 
-	auditor := world.NewThread(factory())
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for !stop.Load() {
-			var total int
-			err := auditor.Atomically(func(tx *stm.Tx) error {
-				total = 0
-				for _, acct := range bank {
-					v, err := stm.Read(tx, acct)
-					if err != nil {
-						return err
-					}
-					total += v
-				}
-				return nil
-			})
+			// One consistent multi-account snapshot per audit: the
+			// whole read set is validated at a single serialization
+			// point, so a mid-transfer state can never be observed.
+			balances, err := stm.Snapshot(world, bank...)
 			if err != nil {
 				log.Fatalf("audit: %v", err)
+			}
+			total := 0
+			for _, b := range balances {
+				total += b
 			}
 			if total != wantTotal {
 				log.Fatalf("audit observed total %d, want %d — serializability broken", total, wantTotal)

@@ -30,7 +30,10 @@ func main() {
 	fmt.Printf("%d workers, %d objects per transaction, %v per mode\n\n", *workers, *objects, *duration)
 	fmt.Printf("%-14s %14s %12s %16s\n", "mode", "commits/sec", "abort rate", "opens per abort")
 	for _, mode := range []string{"eager-greedy", "lazy"} {
-		opts := []stm.Option{stm.WithInterleavePeriod(2)}
+		opts := []stm.Option{
+			stm.WithInterleavePeriod(2),
+			stm.WithManagerFactory(core.MustFactory("greedy")),
+		}
 		if mode == "lazy" {
 			opts = append(opts, stm.WithLazyConflicts())
 		}
@@ -44,12 +47,11 @@ func main() {
 		var commits atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < *workers; w++ {
-			th := world.NewThread(core.NewGreedy())
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for !stop.Load() {
-					err := th.Atomically(func(tx *stm.Tx) error {
+					err := world.Atomically(func(tx *stm.Tx) error {
 						if stop.Load() {
 							return nil // commit empty and check again
 						}

@@ -1,8 +1,10 @@
 // Quickstart: the smallest complete STM program — a shared counter
 // incremented by concurrent transactions under the greedy contention
 // manager, demonstrating the typed transactional API (stm.Var and
-// stm.Update), automatic retry after enemy aborts, and the statistics
-// the STM keeps. Exits non-zero if any increment is lost.
+// stm.Update), the goroutine-agnostic entry point (any goroutine may
+// call STM.Atomically; sessions and their manager instances are
+// pooled), automatic retry after enemy aborts, and the statistics the
+// STM keeps. Exits non-zero if any increment is lost.
 package main
 
 import (
@@ -15,20 +17,20 @@ import (
 )
 
 func main() {
-	world := stm.New()
+	// The STM is configured once with the contention-manager policy;
+	// every transaction, from any goroutine, runs on a pooled session
+	// carrying its own greedy instance.
+	world := stm.New(stm.WithManagerFactory(core.MustFactory("greedy")))
 	counter := stm.NewVar(0)
 
 	const workers, perWorker = 8, 1000
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		// One Thread (and one contention manager instance) per
-		// goroutine.
-		th := world.NewThread(core.NewGreedy())
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				err := th.Atomically(func(tx *stm.Tx) error {
+				err := world.Atomically(func(tx *stm.Tx) error {
 					// Update retries automatically when an enemy aborts
 					// the transaction: the returned error propagates and
 					// Atomically re-runs the function.

@@ -454,18 +454,19 @@ func TestLivenessAllManagers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			s := stm.New()
+			// The pooled, goroutine-agnostic surface: the factory under
+			// test supplies each session's manager.
+			s := stm.New(stm.WithManagerFactory(factory))
 			obj := stm.NewVar(0)
 			const workers, perWorker = 4, 100
 			var wg sync.WaitGroup
 			errs := make(chan error, workers)
 			for w := 0; w < workers; w++ {
-				th := s.NewThread(factory())
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
 					for i := 0; i < perWorker; i++ {
-						err := th.Atomically(func(tx *stm.Tx) error {
+						err := s.Atomically(func(tx *stm.Tx) error {
 							return stm.Update(tx, obj, func(v int) int { return v + 1 })
 						})
 						if err != nil {

@@ -8,10 +8,10 @@ import (
 )
 
 // factories maps the canonical lower-case manager names to their
-// per-thread constructors. The five names plotted in the paper's
+// per-session constructors. The five names plotted in the paper's
 // figures are greedy, aggressive, backoff (an alias kept for the
 // figures' label for Polite), karma and eruption.
-var factories = map[string]stm.Factory{
+var factories = map[string]stm.ManagerFactory{
 	"greedy":         func() stm.Manager { return NewGreedy() },
 	"greedy-timeout": func() stm.Manager { return NewGreedyTimeout() },
 	"aggressive":     func() stm.Manager { return NewAggressive() },
@@ -41,8 +41,9 @@ func Names() []string {
 	return names
 }
 
-// Factory returns the constructor for the named manager.
-func Factory(name string) (stm.Factory, error) {
+// Factory returns the constructor for the named manager, for wiring
+// into an STM with stm.WithManagerFactory.
+func Factory(name string) (stm.ManagerFactory, error) {
 	f, ok := factories[name]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown contention manager %q (have %v)", name, Names())
@@ -50,7 +51,20 @@ func Factory(name string) (stm.Factory, error) {
 	return f, nil
 }
 
-// New constructs a per-thread instance of the named manager.
+// MustFactory is Factory for compile-time-constant names, panicking on
+// unknown ones — for examples and tests where a lookup error is a
+// programming mistake, e.g.
+//
+//	s := stm.New(stm.WithManagerFactory(core.MustFactory("greedy")))
+func MustFactory(name string) stm.ManagerFactory {
+	f, err := Factory(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// New constructs a per-session instance of the named manager.
 func New(name string) (stm.Manager, error) {
 	f, err := Factory(name)
 	if err != nil {

@@ -126,6 +126,7 @@ func RunFigure(fig Figure, opts FigureOptions) ([]Point, error) {
 			if err != nil {
 				return nil, fmt.Errorf("figure %d, %s x%d: %w", fig.ID, mgr, th, err)
 			}
+			point.Figure = fig.ID
 			if opts.Progress != nil {
 				opts.Progress(point)
 			}

@@ -95,6 +95,9 @@ type Point struct {
 	Structure string
 	Manager   string
 	Threads   int
+	// Figure is the paper figure the point belongs to; zero when the
+	// point was run outside a figure sweep (RunFigure stamps it).
+	Figure int
 	// CommitsPerSec is the figures' y axis: committed transactions
 	// per second during the measurement window.
 	CommitsPerSec float64
@@ -132,15 +135,20 @@ func Run(cfg Config) (Point, error) {
 	if interleave < 0 {
 		interleave = 0
 	}
-	s := stm.New(stm.WithInterleavePeriod(interleave))
+	// The STM carries the contention-manager factory; workers are
+	// plain goroutines calling s.Atomically, each served by a pooled
+	// session with its own manager instance. With cfg.Threads workers
+	// in flight the pool holds cfg.Threads sessions, so the
+	// manager-per-concurrent-transaction model of the paper's sweeps
+	// is preserved without pinning.
+	s := stm.New(stm.WithInterleavePeriod(interleave), stm.WithManagerFactory(factory))
 
 	// Pre-populate to roughly half occupancy so inserts and removes
 	// both do real work from the first measured transaction.
-	seedTh := s.NewThread(core.NewGreedy())
 	seedRng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
 	for i := 0; i < cfg.KeyRange/2; i++ {
 		key := keys.Sample(seedRng)
-		if err := seedTh.Atomically(func(tx *stm.Tx) error {
+		if err := s.Atomically(func(tx *stm.Tx) error {
 			_, err := set.Insert(tx, key)
 			return err
 		}); err != nil {
@@ -149,31 +157,26 @@ func Run(cfg Config) (Point, error) {
 	}
 
 	var stop atomic.Bool
-	commitCounts := make([]atomic.Int64, cfg.Threads)
 	workerErrs := make([]error, cfg.Threads)
 	latencies := make([]metrics.Histogram, cfg.Threads)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Threads; w++ {
-		th := s.NewThread(factory())
 		rng := rand.New(rand.NewPCG(cfg.Seed+uint64(w)+1, uint64(w)*0x9e37+1))
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerErrs[w] = work(&stop, th, set, keys, rng, cfg, &commitCounts[w], &latencies[w])
+			workerErrs[w] = work(&stop, s, set, keys, rng, cfg, &latencies[w])
 		}(w)
 	}
 
+	// The atomic per-STM counters make TotalStats safe mid-run, so the
+	// measurement window is delimited by two live snapshots instead of
+	// per-worker commit counters read at quiescence.
 	time.Sleep(cfg.Warmup)
-	var before int64
-	for i := range commitCounts {
-		before += commitCounts[i].Load()
-	}
+	before := s.TotalStats().Commits
 	start := time.Now()
 	time.Sleep(cfg.Duration)
-	var after int64
-	for i := range commitCounts {
-		after += commitCounts[i].Load()
-	}
+	after := s.TotalStats().Commits
 	elapsed := time.Since(start)
 	stop.Store(true)
 	wg.Wait()
@@ -215,9 +218,9 @@ func Run(cfg Config) (Point, error) {
 var errStopped = errors.New("harness: measurement window closed")
 
 // work is one worker's loop: pick an operation outside the
-// transaction (transactional functions must be retry-safe), run it,
-// count the commit.
-func work(stop *atomic.Bool, th *stm.Thread, set intset.Set, keys workload.KeyDist, rng *rand.Rand, cfg Config, commits *atomic.Int64, lat *metrics.Histogram) error {
+// transaction (transactional functions must be retry-safe), run it
+// through the goroutine-agnostic entry point, record the latency.
+func work(stop *atomic.Bool, s *stm.STM, set intset.Set, keys workload.KeyDist, rng *rand.Rand, cfg Config, lat *metrics.Histogram) error {
 	forest, isForest := set.(*intset.RBForest)
 	for !stop.Load() {
 		opStart := time.Now()
@@ -228,7 +231,7 @@ func work(stop *atomic.Bool, th *stm.Thread, set intset.Set, keys workload.KeyDi
 		if isForest {
 			tree = int(rng.Int64N(int64(forest.Size())))
 		}
-		err := th.Atomically(func(tx *stm.Tx) error {
+		err := s.Atomically(func(tx *stm.Tx) error {
 			if stop.Load() {
 				return errStopped
 			}
@@ -260,7 +263,6 @@ func work(stop *atomic.Bool, th *stm.Thread, set intset.Set, keys workload.KeyDi
 			return fmt.Errorf("harness: worker: %w", err)
 		}
 		lat.Observe(time.Since(opStart))
-		commits.Add(1)
 	}
 	return nil
 }
@@ -287,13 +289,10 @@ func spin(n int) {
 // Contains agreeing with Keys, and red-black invariants where
 // applicable.
 func audit(s *stm.STM, set intset.Set, cfg Config) error {
-	th := s.NewThread(core.NewGreedy())
-	var keys []int
-	if err := th.Atomically(func(tx *stm.Tx) error {
-		var err error
-		keys, err = set.Keys(tx)
-		return err
-	}); err != nil {
+	keys, err := stm.Atomic(s, func(tx *stm.Tx) ([]int, error) {
+		return set.Keys(tx)
+	})
+	if err != nil {
 		return fmt.Errorf("harness: audit keys: %w", err)
 	}
 	for i := 1; i < len(keys); i++ {
@@ -303,12 +302,12 @@ func audit(s *stm.STM, set intset.Set, cfg Config) error {
 	}
 	switch v := set.(type) {
 	case *intset.RBTree:
-		if err := th.Atomically(v.CheckInvariants); err != nil {
+		if err := s.Atomically(v.CheckInvariants); err != nil {
 			return fmt.Errorf("harness: audit rbtree: %w", err)
 		}
 	case *intset.RBForest:
 		for i := 0; i < v.Size(); i++ {
-			if err := th.Atomically(v.Tree(i).CheckInvariants); err != nil {
+			if err := s.Atomically(v.Tree(i).CheckInvariants); err != nil {
 				return fmt.Errorf("harness: audit forest tree %d: %w", i, err)
 			}
 		}

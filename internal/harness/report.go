@@ -2,11 +2,59 @@ package harness
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 )
+
+// pointJSON is the machine-readable form of a Point for -json output
+// and BENCH_*.json trajectory tracking. The latency histogram is
+// flattened to its tracked quantiles; Figure carries the paper figure
+// the point belongs to (0 when run outside a figure sweep).
+type pointJSON struct {
+	Figure        int     `json:"figure,omitempty"`
+	Structure     string  `json:"structure"`
+	Manager       string  `json:"manager"`
+	Threads       int     `json:"threads"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	Commits       int64   `json:"commits"`
+	Aborts        int64   `json:"aborts"`
+	Conflicts     int64   `json:"conflicts"`
+	EnemyAborts   int64   `json:"enemy_aborts"`
+	AbortRate     float64 `json:"abort_rate"`
+	LatP50Us      float64 `json:"lat_p50_us"`
+	LatP99Us      float64 `json:"lat_p99_us"`
+	LatMaxUs      float64 `json:"lat_max_us"`
+}
+
+// WriteJSON emits the points as an indented JSON array; each point
+// carries the figure it was measured for (Point.Figure, stamped by
+// RunFigure), so multi-figure runs stay distinguishable in one stream.
+func WriteJSON(w io.Writer, points []Point) error {
+	out := make([]pointJSON, len(points))
+	for i, p := range points {
+		out[i] = pointJSON{
+			Figure:        p.Figure,
+			Structure:     p.Structure,
+			Manager:       p.Manager,
+			Threads:       p.Threads,
+			CommitsPerSec: p.CommitsPerSec,
+			Commits:       p.Commits,
+			Aborts:        p.Aborts,
+			Conflicts:     p.Conflicts,
+			EnemyAborts:   p.EnemyAborts,
+			AbortRate:     p.AbortRate,
+			LatP50Us:      float64(p.Latency.Quantile(0.50).Nanoseconds()) / 1e3,
+			LatP99Us:      float64(p.Latency.Quantile(0.99).Nanoseconds()) / 1e3,
+			LatMaxUs:      float64(p.Latency.Max().Nanoseconds()) / 1e3,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
 
 // WriteCSV emits the points as CSV with a header row, suitable for
 // re-plotting the paper's figures.

@@ -9,11 +9,10 @@ import (
 )
 
 func ExampleRBTree() {
-	world := stm.New()
+	world := stm.New(stm.WithManagerFactory(core.MustFactory("greedy")))
 	tree := intset.NewRBTree()
-	th := world.NewThread(core.NewGreedy())
 
-	err := th.Atomically(func(tx *stm.Tx) error {
+	err := world.Atomically(func(tx *stm.Tx) error {
 		for _, k := range []int{5, 1, 9, 3} {
 			if _, err := tree.Insert(tx, k); err != nil {
 				return err
@@ -28,11 +27,8 @@ func ExampleRBTree() {
 		fmt.Println("error:", err)
 		return
 	}
-	var keys []int
-	err = th.Atomically(func(tx *stm.Tx) error {
-		var err error
-		keys, err = tree.Keys(tx)
-		return err
+	keys, err := stm.Atomic(world, func(tx *stm.Tx) ([]int, error) {
+		return tree.Keys(tx)
 	})
 	if err != nil {
 		fmt.Println("error:", err)
@@ -43,13 +39,12 @@ func ExampleRBTree() {
 }
 
 func ExampleRBForest() {
-	world := stm.New()
+	world := stm.New(stm.WithManagerFactory(core.MustFactory("karma")))
 	forest := intset.NewRBForest(3)
-	th := world.NewThread(core.NewKarma())
 
 	// One transaction updates every tree — the long transactions that
 	// give Figure 4 its high length variance.
-	err := th.Atomically(func(tx *stm.Tx) error {
+	err := world.Atomically(func(tx *stm.Tx) error {
 		_, err := forest.InsertAll(tx, 7)
 		return err
 	})
@@ -58,7 +53,7 @@ func ExampleRBForest() {
 		return
 	}
 	var in0, in2 bool
-	err = th.Atomically(func(tx *stm.Tx) error {
+	err = world.Atomically(func(tx *stm.Tx) error {
 		var err error
 		if in0, err = forest.ContainsIn(tx, 0, 7); err != nil {
 			return err

@@ -14,18 +14,18 @@ import (
 	"repro/internal/stm"
 )
 
-// world wires a fresh STM and a single greedy-managed thread for
-// sequential structure tests.
-func world(t *testing.T) (*stm.STM, *stm.Thread) {
+// world wires a fresh STM whose pooled sessions use the greedy
+// manager; sequential structure tests drive it through the
+// goroutine-agnostic Atomically.
+func world(t *testing.T) *stm.STM {
 	t.Helper()
-	s := stm.New()
-	return s, s.NewThread(core.NewGreedy())
+	return stm.New(stm.WithManagerFactory(core.MustFactory("greedy")))
 }
 
-func mustInsert(t *testing.T, th *stm.Thread, s intset.Set, key int) bool {
+func mustInsert(t *testing.T, w *stm.STM, s intset.Set, key int) bool {
 	t.Helper()
 	var ok bool
-	err := th.Atomically(func(tx *stm.Tx) error {
+	err := w.Atomically(func(tx *stm.Tx) error {
 		var err error
 		ok, err = s.Insert(tx, key)
 		return err
@@ -36,10 +36,10 @@ func mustInsert(t *testing.T, th *stm.Thread, s intset.Set, key int) bool {
 	return ok
 }
 
-func mustRemove(t *testing.T, th *stm.Thread, s intset.Set, key int) bool {
+func mustRemove(t *testing.T, w *stm.STM, s intset.Set, key int) bool {
 	t.Helper()
 	var ok bool
-	err := th.Atomically(func(tx *stm.Tx) error {
+	err := w.Atomically(func(tx *stm.Tx) error {
 		var err error
 		ok, err = s.Remove(tx, key)
 		return err
@@ -50,10 +50,10 @@ func mustRemove(t *testing.T, th *stm.Thread, s intset.Set, key int) bool {
 	return ok
 }
 
-func mustContains(t *testing.T, th *stm.Thread, s intset.Set, key int) bool {
+func mustContains(t *testing.T, w *stm.STM, s intset.Set, key int) bool {
 	t.Helper()
 	var ok bool
-	err := th.Atomically(func(tx *stm.Tx) error {
+	err := w.Atomically(func(tx *stm.Tx) error {
 		var err error
 		ok, err = s.Contains(tx, key)
 		return err
@@ -64,10 +64,10 @@ func mustContains(t *testing.T, th *stm.Thread, s intset.Set, key int) bool {
 	return ok
 }
 
-func mustKeys(t *testing.T, th *stm.Thread, s intset.Set) []int {
+func mustKeys(t *testing.T, w *stm.STM, s intset.Set) []int {
 	t.Helper()
 	var keys []int
-	err := th.Atomically(func(tx *stm.Tx) error {
+	err := w.Atomically(func(tx *stm.Tx) error {
 		var err error
 		keys, err = s.Keys(tx)
 		return err
@@ -94,15 +94,15 @@ func eachStructure(t *testing.T, fn func(t *testing.T, fresh func() intset.Set))
 
 func TestEmptySet(t *testing.T) {
 	eachStructure(t, func(t *testing.T, fresh func() intset.Set) {
-		_, th := world(t)
+		w := world(t)
 		s := fresh()
-		if mustContains(t, th, s, 7) {
+		if mustContains(t, w, s, 7) {
 			t.Fatal("empty set contains 7")
 		}
-		if mustRemove(t, th, s, 7) {
+		if mustRemove(t, w, s, 7) {
 			t.Fatal("removing from empty set reported a change")
 		}
-		if keys := mustKeys(t, th, s); len(keys) != 0 {
+		if keys := mustKeys(t, w, s); len(keys) != 0 {
 			t.Fatalf("empty set keys = %v", keys)
 		}
 	})
@@ -110,21 +110,21 @@ func TestEmptySet(t *testing.T) {
 
 func TestInsertRemoveRoundTrip(t *testing.T) {
 	eachStructure(t, func(t *testing.T, fresh func() intset.Set) {
-		_, th := world(t)
+		w := world(t)
 		s := fresh()
-		if !mustInsert(t, th, s, 42) {
+		if !mustInsert(t, w, s, 42) {
 			t.Fatal("first insert reported no change")
 		}
-		if mustInsert(t, th, s, 42) {
+		if mustInsert(t, w, s, 42) {
 			t.Fatal("duplicate insert reported a change")
 		}
-		if !mustContains(t, th, s, 42) {
+		if !mustContains(t, w, s, 42) {
 			t.Fatal("set does not contain inserted key")
 		}
-		if !mustRemove(t, th, s, 42) {
+		if !mustRemove(t, w, s, 42) {
 			t.Fatal("remove reported no change")
 		}
-		if mustContains(t, th, s, 42) {
+		if mustContains(t, w, s, 42) {
 			t.Fatal("set contains removed key")
 		}
 	})
@@ -132,13 +132,13 @@ func TestInsertRemoveRoundTrip(t *testing.T) {
 
 func TestKeysSortedAscending(t *testing.T) {
 	eachStructure(t, func(t *testing.T, fresh func() intset.Set) {
-		_, th := world(t)
+		w := world(t)
 		s := fresh()
 		for _, k := range []int{5, 1, 9, 3, 7, 0, 8, 2, 6, 4} {
-			mustInsert(t, th, s, k)
+			mustInsert(t, w, s, k)
 		}
 		want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
-		if got := mustKeys(t, th, s); !reflect.DeepEqual(got, want) {
+		if got := mustKeys(t, w, s); !reflect.DeepEqual(got, want) {
 			t.Fatalf("Keys = %v, want %v", got, want)
 		}
 	})
@@ -149,7 +149,7 @@ func TestKeysSortedAscending(t *testing.T) {
 // map-based model.
 func TestAgainstModel(t *testing.T) {
 	eachStructure(t, func(t *testing.T, fresh func() intset.Set) {
-		_, th := world(t)
+		w := world(t)
 		s := fresh()
 		model := make(map[int]bool)
 		rng := rand.New(rand.NewPCG(1, 2))
@@ -159,17 +159,17 @@ func TestAgainstModel(t *testing.T) {
 			case 0:
 				want := !model[key]
 				model[key] = true
-				if got := mustInsert(t, th, s, key); got != want {
+				if got := mustInsert(t, w, s, key); got != want {
 					t.Fatalf("op %d: Insert(%d) = %v, want %v", i, key, got, want)
 				}
 			case 1:
 				want := model[key]
 				delete(model, key)
-				if got := mustRemove(t, th, s, key); got != want {
+				if got := mustRemove(t, w, s, key); got != want {
 					t.Fatalf("op %d: Remove(%d) = %v, want %v", i, key, got, want)
 				}
 			default:
-				if got := mustContains(t, th, s, key); got != model[key] {
+				if got := mustContains(t, w, s, key); got != model[key] {
 					t.Fatalf("op %d: Contains(%d) = %v, want %v", i, key, got, model[key])
 				}
 			}
@@ -179,7 +179,7 @@ func TestAgainstModel(t *testing.T) {
 			want = append(want, k)
 		}
 		sort.Ints(want)
-		got := mustKeys(t, th, s)
+		got := mustKeys(t, w, s)
 		if len(got) == 0 && len(want) == 0 {
 			return
 		}
@@ -195,14 +195,14 @@ func TestAgainstModel(t *testing.T) {
 func TestQuickSetSemantics(t *testing.T) {
 	eachStructure(t, func(t *testing.T, fresh func() intset.Set) {
 		property := func(ops []uint16) bool {
-			_, th := world(t)
+			w := world(t)
 			s := fresh()
 			model := make(map[int]bool)
 			for _, op := range ops {
 				key := int(op & 0x1f)
 				var got, want bool
 				var err error
-				txErr := th.Atomically(func(tx *stm.Tx) error {
+				txErr := w.Atomically(func(tx *stm.Tx) error {
 					switch op >> 14 {
 					case 0, 2:
 						got, err = s.Insert(tx, key)
@@ -241,12 +241,12 @@ func TestQuickSetSemantics(t *testing.T) {
 // TestRBTreeInvariantsUnderRandomOps hammers the red-black tree
 // sequentially and audits the invariants after every operation.
 func TestRBTreeInvariantsUnderRandomOps(t *testing.T) {
-	_, th := world(t)
+	w := world(t)
 	tree := intset.NewRBTree()
 	rng := rand.New(rand.NewPCG(7, 11))
 	for i := 0; i < 3000; i++ {
 		key := int(rng.Int64N(128))
-		err := th.Atomically(func(tx *stm.Tx) error {
+		err := w.Atomically(func(tx *stm.Tx) error {
 			var err error
 			if rng.Int64N(2) == 0 {
 				_, err = tree.Insert(tx, key)
@@ -268,13 +268,13 @@ func TestRBTreeInvariantsUnderRandomOps(t *testing.T) {
 // valid red-black tree matching a model set.
 func TestQuickRBTreeInvariants(t *testing.T) {
 	property := func(script []int16) bool {
-		_, th := world(t)
+		w := world(t)
 		tree := intset.NewRBTree()
 		model := make(map[int]bool)
 		for _, op := range script {
 			key := int(op & 0xff)
 			insert := op >= 0
-			err := th.Atomically(func(tx *stm.Tx) error {
+			err := w.Atomically(func(tx *stm.Tx) error {
 				var err error
 				if insert {
 					_, err = tree.Insert(tx, key)
@@ -300,7 +300,7 @@ func TestQuickRBTreeInvariants(t *testing.T) {
 			want = append(want, k)
 		}
 		sort.Ints(want)
-		got := mustKeys(t, th, tree)
+		got := mustKeys(t, w, tree)
 		if len(got) == 0 && len(want) == 0 {
 			return true
 		}
@@ -319,14 +319,13 @@ func TestQuickRBTreeInvariants(t *testing.T) {
 // the final Keys with a replay that respects commit order per key —
 // simplified here to checking structural integrity plus Contains
 // consistency for every key in/out of Keys.
-func runConcurrentAudit(t *testing.T, fresh func() intset.Set, factory stm.Factory, workers, ops int) {
+func runConcurrentAudit(t *testing.T, fresh func() intset.Set, factory stm.ManagerFactory, workers, ops int) {
 	t.Helper()
-	s := stm.New()
+	s := stm.New(stm.WithManagerFactory(factory))
 	set := fresh()
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {
-		th := s.NewThread(factory())
 		rng := rand.New(rand.NewPCG(uint64(w), 99))
 		wg.Add(1)
 		go func() {
@@ -334,7 +333,7 @@ func runConcurrentAudit(t *testing.T, fresh func() intset.Set, factory stm.Facto
 			for i := 0; i < ops; i++ {
 				key := int(rng.Int64N(48))
 				insert := rng.Int64N(2) == 0
-				err := th.Atomically(func(tx *stm.Tx) error {
+				err := s.Atomically(func(tx *stm.Tx) error {
 					var err error
 					if insert {
 						_, err = set.Insert(tx, key)
@@ -357,8 +356,7 @@ func runConcurrentAudit(t *testing.T, fresh func() intset.Set, factory stm.Facto
 	}
 
 	// Structural audit.
-	auditTh := s.NewThread(core.NewGreedy())
-	keys := mustKeys(t, auditTh, set)
+	keys := mustKeys(t, s, set)
 	for i := 1; i < len(keys); i++ {
 		if keys[i-1] >= keys[i] {
 			t.Fatalf("final keys not strictly ascending: %v", keys)
@@ -369,12 +367,12 @@ func runConcurrentAudit(t *testing.T, fresh func() intset.Set, factory stm.Facto
 		inSet[k] = true
 	}
 	for key := 0; key < 48; key++ {
-		if got := mustContains(t, auditTh, set, key); got != inSet[key] {
+		if got := mustContains(t, s, set, key); got != inSet[key] {
 			t.Fatalf("Contains(%d) = %v disagrees with Keys %v", key, got, keys)
 		}
 	}
 	if tree, ok := set.(*intset.RBTree); ok {
-		if err := auditTh.Atomically(tree.CheckInvariants); err != nil {
+		if err := s.Atomically(tree.CheckInvariants); err != nil {
 			t.Fatalf("red-black invariants violated after concurrent run: %v", err)
 		}
 	}
@@ -410,12 +408,12 @@ func TestConcurrentListKarma(t *testing.T) {
 // agnostic, and the concurrent audit must still hold.
 func TestLazySTMRunsStructures(t *testing.T) {
 	eachStructure(t, func(t *testing.T, fresh func() intset.Set) {
-		s := stm.New(stm.WithLazyConflicts(), stm.WithInterleavePeriod(4))
+		s := stm.New(stm.WithLazyConflicts(), stm.WithInterleavePeriod(4),
+			stm.WithManagerFactory(core.MustFactory("greedy")))
 		set := fresh()
 		var wg sync.WaitGroup
 		errs := make(chan error, 4)
 		for w := 0; w < 4; w++ {
-			th := s.NewThread(core.NewGreedy())
 			rng := rand.New(rand.NewPCG(uint64(w), 3))
 			wg.Add(1)
 			go func() {
@@ -423,7 +421,7 @@ func TestLazySTMRunsStructures(t *testing.T) {
 				for i := 0; i < 60; i++ {
 					key := int(rng.Int64N(32))
 					insert := rng.Int64N(2) == 0
-					err := th.Atomically(func(tx *stm.Tx) error {
+					err := s.Atomically(func(tx *stm.Tx) error {
 						var err error
 						if insert {
 							_, err = set.Insert(tx, key)
@@ -444,15 +442,14 @@ func TestLazySTMRunsStructures(t *testing.T) {
 		for err := range errs {
 			t.Fatal(err)
 		}
-		auditTh := s.NewThread(core.NewGreedy())
-		keys := mustKeys(t, auditTh, set)
+		keys := mustKeys(t, s, set)
 		for i := 1; i < len(keys); i++ {
 			if keys[i-1] >= keys[i] {
 				t.Fatalf("keys not ascending after lazy run: %v", keys)
 			}
 		}
 		if tree, ok := set.(*intset.RBTree); ok {
-			if err := auditTh.Atomically(tree.CheckInvariants); err != nil {
+			if err := s.Atomically(tree.CheckInvariants); err != nil {
 				t.Fatalf("lazy rbtree invariants: %v", err)
 			}
 		}
@@ -460,10 +457,10 @@ func TestLazySTMRunsStructures(t *testing.T) {
 }
 
 func TestForestOneOrAll(t *testing.T) {
-	_, th := world(t)
+	w := world(t)
 	forest := intset.NewRBForest(7)
 	// InsertAll plants the key everywhere; RemoveOne carves one tree.
-	err := th.Atomically(func(tx *stm.Tx) error {
+	err := w.Atomically(func(tx *stm.Tx) error {
 		if _, err := forest.InsertAll(tx, 5); err != nil {
 			return err
 		}
@@ -475,7 +472,7 @@ func TestForestOneOrAll(t *testing.T) {
 	}
 	for i := 0; i < forest.Size(); i++ {
 		var got bool
-		err := th.Atomically(func(tx *stm.Tx) error {
+		err := w.Atomically(func(tx *stm.Tx) error {
 			var err error
 			got, err = forest.ContainsIn(tx, i, 5)
 			return err
@@ -491,9 +488,9 @@ func TestForestOneOrAll(t *testing.T) {
 }
 
 func TestForestIndexOutOfRange(t *testing.T) {
-	_, th := world(t)
+	w := world(t)
 	forest := intset.NewRBForest(3)
-	err := th.Atomically(func(tx *stm.Tx) error {
+	err := w.Atomically(func(tx *stm.Tx) error {
 		_, err := forest.InsertOne(tx, 9, 1)
 		return err
 	})

@@ -51,8 +51,10 @@ func BoundedCommit(manager string, n, s, touches int, seed uint64) (*BoundedComm
 	}
 	// Interleave aggressively: the experiment is about conflicts, and
 	// on a host with fewer cores than transactions they must be forced
-	// to overlap (see stm.WithInterleavePeriod).
-	world := stm.New(stm.WithInterleavePeriod(1))
+	// to overlap (see stm.WithInterleavePeriod). Workers are plain
+	// goroutines on the pooled API; the factory supplies each session's
+	// manager.
+	world := stm.New(stm.WithInterleavePeriod(1), stm.WithManagerFactory(factory))
 	objects := make([]*stm.Var[int], s)
 	for i := range objects {
 		objects[i] = stm.NewVar(0)
@@ -64,7 +66,6 @@ func BoundedCommit(manager string, n, s, touches int, seed uint64) (*BoundedComm
 	errs := make([]error, n)
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		th := world.NewThread(factory())
 		rng := rand.New(rand.NewPCG(seed+uint64(i), 0x51ed+uint64(i)))
 		order := rng.Perm(s)[:touches]
 		done.Add(1)
@@ -72,7 +73,7 @@ func BoundedCommit(manager string, n, s, touches int, seed uint64) (*BoundedComm
 			defer done.Done()
 			barrier.Wait()
 			var attempts int64
-			errs[i] = th.Atomically(func(tx *stm.Tx) error {
+			errs[i] = world.Atomically(func(tx *stm.Tx) error {
 				attempts++
 				for _, obj := range order {
 					if err := stm.Update(tx, objects[obj], incr); err != nil {
@@ -147,11 +148,14 @@ func HaltedRecovery(manager string, survivors, opsEach int, deadline time.Durati
 	if err != nil {
 		return nil, err
 	}
-	world := stm.New(stm.WithInterleavePeriod(2))
+	world := stm.New(stm.WithInterleavePeriod(2), stm.WithManagerFactory(factory))
 	obj := stm.NewVar(0)
 
 	// The crasher takes the earliest timestamp, opens the object, and
-	// halts without committing or aborting.
+	// halts without committing or aborting. It runs on a pinned Thread
+	// (the compatibility shim): its manager choice is irrelevant — it
+	// meets no conflicts — but pinning keeps it out of the survivors'
+	// session pool.
 	crasher := world.NewThread(core.NewGreedy())
 	crashErr := crasher.Atomically(func(tx *stm.Tx) error {
 		if err := stm.Update(tx, obj, incr); err != nil {
@@ -168,7 +172,6 @@ func HaltedRecovery(manager string, survivors, opsEach int, deadline time.Durati
 	var wg sync.WaitGroup
 	okCh := make(chan int64, survivors)
 	for i := 0; i < survivors; i++ {
-		th := world.NewThread(factory())
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -177,7 +180,7 @@ func HaltedRecovery(manager string, survivors, opsEach int, deadline time.Durati
 				if time.Since(start) > deadline {
 					break
 				}
-				err := th.Atomically(func(tx *stm.Tx) error {
+				err := world.Atomically(func(tx *stm.Tx) error {
 					return stm.Update(tx, obj, incr)
 				})
 				if err != nil {

@@ -10,20 +10,20 @@ import (
 
 // runCounterStress has workers concurrently increment a shared
 // transactional counter and checks that no increment is lost or
-// duplicated — the basic serializability smoke test.
-func runCounterStress(t *testing.T, mgr func() stm.Manager, workers, perWorker int) {
+// duplicated — the basic serializability smoke test, run through the
+// goroutine-agnostic pooled surface.
+func runCounterStress(t *testing.T, mgr stm.ManagerFactory, workers, perWorker int) {
 	t.Helper()
-	s := stm.New()
+	s := stm.New(stm.WithManagerFactory(mgr))
 	obj := stm.NewVar(0)
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {
-		th := s.NewThread(mgr())
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				if err := th.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
+				if err := s.Atomically(func(tx *stm.Tx) error { return incr(tx, obj) }); err != nil {
 					errs <- err
 					return
 				}
@@ -106,7 +106,7 @@ func TestTwoObjectInvariant(t *testing.T) {
 // read-only transaction is a serializability bug.
 func TestReadersSeeConsistentSnapshots(t *testing.T) {
 	const writers, readers, perWorker = 4, 4, 200
-	s := stm.New()
+	s := stm.New(stm.WithManagerFactory(func() stm.Manager { return politeManager{} }))
 	x := stm.NewVar(0)
 	y := stm.NewVar(0)
 
@@ -133,28 +133,28 @@ func TestReadersSeeConsistentSnapshots(t *testing.T) {
 	type pair struct{ x, y int }
 	seen := make(chan pair, readers*perWorker)
 	for r := 0; r < readers; r++ {
-		th := s.NewThread(politeManager{})
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				var p pair
-				if err := th.Atomically(func(tx *stm.Tx) error {
+				// Readers use the typed multi-var form on the pooled
+				// surface; the snapshot is consistent by construction.
+				vals, err := stm.Atomic(s, func(tx *stm.Tx) ([2]int, error) {
 					xv, err := stm.Read(tx, x)
 					if err != nil {
-						return err
+						return [2]int{}, err
 					}
 					yv, err := stm.Read(tx, y)
 					if err != nil {
-						return err
+						return [2]int{}, err
 					}
-					p = pair{xv, yv}
-					return nil
-				}); err != nil {
+					return [2]int{xv, yv}, nil
+				})
+				if err != nil {
 					errs <- err
 					return
 				}
-				seen <- p
+				seen <- pair{vals[0], vals[1]}
 			}
 		}()
 	}

@@ -7,17 +7,29 @@
 // # Typed API
 //
 // Transactional data lives in generic Var[T] handles, accessed inside
-// transactions with the package-level Read, Write and Update
-// functions:
+// transactions with the package-level Read, Write, Update, UpdateErr
+// and ReadAll functions. Transactions run from any goroutine through
+// the STM itself:
 //
-//	s := stm.New()
+//	s := stm.New(stm.WithManagerFactory(core.MustFactory("greedy")))
 //	account := stm.NewVar(10)
-//	th := s.NewThread(core.NewGreedy())   // one Thread per goroutine
-//	err := th.Atomically(func(tx *stm.Tx) error {
+//	err := s.Atomically(func(tx *stm.Tx) error {
 //		return stm.Update(tx, account, func(balance int) int {
 //			return balance + 1
 //		})
 //	})
+//
+// Each Atomically call borrows a pooled session carrying a private
+// contention-manager instance (built by the factory the STM was
+// configured with), so any number of goroutines may call it
+// concurrently — a goroutine-per-request server needs no worker
+// pinning. Atomic is the typed entry point for transactions that
+// return a value, and Snapshot is the packaged consistent multi-Var
+// read. The paper-faithful pinned surface remains as Thread (one
+// session, one manager instance, one goroutine at a time):
+//
+//	th := s.NewThread(core.NewGreedy())   // fixed-thread sweeps
+//	err = th.Atomically(...)
 //
 // The whole flow is compile-time checked: no Value interface, no type
 // assertions, no panic surface. By default a transaction's private
@@ -25,10 +37,15 @@
 // plain data and for payloads whose pointers, slices and maps are
 // treated as immutable (handles such as *Var are immutable and may be
 // shared freely between versions). Payloads with mutable indirect
-// state install a deep-copy strategy with NewVarCloner. Transactional
-// code must propagate the error returned by Read, Write and Update: a
-// non-nil error means the transaction has been aborted by an enemy,
-// and Atomically will retry it with the same timestamp.
+// state install a deep-copy strategy with NewVarCloner or
+// NewNamedVarCloner. Transactional code must propagate the error
+// returned by Read, Write, Update and friends: a non-nil error means
+// the transaction has been aborted by an enemy, and Atomically will
+// retry it with the same timestamp.
+//
+// Statistics are atomic per session and aggregated by STM.TotalStats,
+// which is safe to call at any time, concurrently with running
+// transactions — no quiescence required.
 //
 // # The untyped engine
 //

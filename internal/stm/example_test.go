@@ -2,6 +2,7 @@ package stm_test
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/stm"
 )
@@ -18,9 +19,110 @@ func (greedyLike) ResolveConflict(me, enemy *stm.Tx) stm.Decision {
 	return stm.Wait
 }
 
+// The goroutine-agnostic surface in one screen: configure the STM
+// with a manager factory once, then call Atomically from any
+// goroutine — each transaction runs on a pooled session with its own
+// manager instance.
+func ExampleSTM_Atomically() {
+	world := stm.New(stm.WithManagerFactory(func() stm.Manager { return greedyLike{} }))
+	counter := stm.NewVar(0)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := world.Atomically(func(tx *stm.Tx) error {
+					return stm.Update(tx, counter, func(v int) int { return v + 1 })
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Println("counter:", counter.Peek())
+	// Output: counter: 100
+}
+
+// Atomic is the typed entry point for transactions that compute a
+// value; Snapshot is its packaged multi-variable read.
+func ExampleAtomic() {
+	world := stm.New()
+	a := stm.NewVar(3)
+	b := stm.NewVar(4)
+
+	sum, err := stm.Atomic(world, func(tx *stm.Tx) (int, error) {
+		av, err := stm.Read(tx, a)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := stm.Read(tx, b)
+		if err != nil {
+			return 0, err
+		}
+		return av + bv, nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("sum:", sum)
+	// Output: sum: 7
+}
+
+// Snapshot reads many variables at one serialization point — the
+// auditor's tool: no interleaved writer commit can be observed
+// half-applied.
+func ExampleSnapshot() {
+	world := stm.New()
+	accounts := []*stm.Var[int]{stm.NewVar(10), stm.NewVar(20), stm.NewVar(30)}
+
+	balances, err := stm.Snapshot(world, accounts...)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	total := 0
+	for _, b := range balances {
+		total += b
+	}
+	fmt.Println("balances:", balances, "total:", total)
+	// Output: balances: [10 20 30] total: 60
+}
+
+// UpdateErr is the fallible read-modify-write: the transition may read
+// other variables and may refuse, in which case the transaction aborts
+// once and the error surfaces unchanged.
+func ExampleUpdateErr() {
+	world := stm.New()
+	balance := stm.NewVar(100)
+	limit := stm.NewVar(0) // no overdraft
+
+	err := world.Atomically(func(tx *stm.Tx) error {
+		return stm.UpdateErr(tx, balance, func(bal int) (int, error) {
+			lim, err := stm.Read(tx, limit)
+			if err != nil {
+				return 0, err
+			}
+			if bal-150 < -lim {
+				return 0, fmt.Errorf("insufficient funds: have %d, want 150", bal)
+			}
+			return bal - 150, nil
+		})
+	})
+	fmt.Println("err:", err)
+	fmt.Println("balance:", balance.Peek())
+	// Output:
+	// err: insufficient funds: have 100, want 150
+	// balance: 100
+}
+
 // The typed API in one screen: a Var[T] holds a T, Update is the
 // transactional read-modify-write, and no type assertions appear
-// anywhere — the compiler checks the whole flow.
+// anywhere — the compiler checks the whole flow. Thread is the pinned
+// compatibility surface; new code should prefer STM.Atomically.
 func ExampleThread_Atomically() {
 	world := stm.New()
 	account := stm.NewVar(100)

@@ -61,7 +61,7 @@ func (o *TObj) openWriteLazy(tx *Tx, mk func() Value) (Value, error) {
 		tx.lazyWrites = make(map[*TObj]Value, 4)
 	}
 	tx.lazyWrites[o] = clone
-	tx.thread.mgr.Opened(tx, true)
+	tx.sess.mgr.Opened(tx, true)
 	return clone, nil
 }
 

@@ -37,8 +37,9 @@ func (d Decision) String() string {
 
 // Manager is the contention-manager interface, the module the paper
 // holds responsible for progress. One Manager instance serves one
-// Thread, mirroring the per-thread managers of DSTM and SXM: managers
-// are highly decentralized and decide conflicts by comparing only the
+// session — a pinned Thread or a pooled STM.Atomically session —
+// mirroring the per-thread managers of DSTM and SXM: managers are
+// highly decentralized and decide conflicts by comparing only the
 // two transactions' public states (timestamp, status, waiting flag,
 // priority), never by coordinating with third parties.
 //
@@ -52,7 +53,7 @@ func (d Decision) String() string {
 //
 // The notification methods (Begin, Opened, Committed, Aborted) let
 // managers such as Karma and Eruption maintain priority estimates.
-// They are called from the owning thread only.
+// They are called from the goroutine running the owning session only.
 type Manager interface {
 	// Begin is called when an attempt of a logical transaction starts,
 	// including each retry after an abort.
@@ -71,9 +72,44 @@ type Manager interface {
 	Aborted(tx *Tx)
 }
 
-// Factory constructs a fresh per-thread Manager. Benchmarks create one
-// manager per worker goroutine from the same factory.
-type Factory func() Manager
+// ManagerFactory constructs a fresh Manager instance. The STM calls it
+// once per pooled session (see WithManagerFactory); benchmarks that
+// pin Threads call it once per worker. Managers stay as decentralized
+// as the paper requires either way: one instance per concurrent
+// transaction stream, no coordination between instances.
+type ManagerFactory func() Manager
+
+// Factory is the former name of ManagerFactory, kept as an alias for
+// compatibility.
+type Factory = ManagerFactory
+
+// defaultManager backs STM.Atomically when no WithManagerFactory is
+// configured: wait politely with growing backoff, but give up on an
+// enemy after a bounded number of rounds and abort it, so a halted or
+// descheduled enemy cannot obstruct forever. The registry managers in
+// internal/core implement the paper's actual policies; this one only
+// has to be safe and live for casual use of the pooled API.
+type defaultManager struct {
+	BaseManager
+	spin int
+}
+
+// Opened implements Manager: a successful open ends the conflict
+// episode, so patience resets.
+func (m *defaultManager) Opened(*Tx, bool) { m.spin = 0 }
+
+// ResolveConflict implements bounded politeness.
+func (m *defaultManager) ResolveConflict(me, enemy *Tx) Decision {
+	if enemy.Halted() {
+		return AbortOther
+	}
+	if m.spin++; m.spin > 48 {
+		m.spin = 0
+		return AbortOther
+	}
+	Backoff(m.spin)
+	return Wait
+}
 
 // BaseManager is a no-op implementation of the notification methods of
 // Manager, for embedding in managers that only care about

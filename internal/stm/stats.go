@@ -1,9 +1,11 @@
 package stm
 
-// Stats accumulates per-thread transaction statistics. Each Thread
-// owns one Stats and updates it without synchronization; read a
-// thread's stats only after its workers have stopped, or use
-// STM.TotalStats for an aggregate snapshot.
+import "sync/atomic"
+
+// Stats is a snapshot of transaction statistics: per session through
+// Thread.Stats, or aggregated over every session of an STM through
+// STM.TotalStats. The live counters are atomic, so snapshots may be
+// taken at any time, concurrently with running transactions.
 type Stats struct {
 	// Commits counts committed logical transactions.
 	Commits int64
@@ -30,6 +32,31 @@ func (s *Stats) Add(other Stats) {
 	s.EnemyAborts += other.EnemyAborts
 	s.Opens += other.Opens
 	s.Halted += other.Halted
+}
+
+// atomicStats is the live, concurrently readable form of Stats. Each
+// counter is written only by the goroutine currently holding the
+// session (uncontended atomic adds) and read by TotalStats at any
+// time.
+type atomicStats struct {
+	commits     atomic.Int64
+	aborts      atomic.Int64
+	conflicts   atomic.Int64
+	enemyAborts atomic.Int64
+	opens       atomic.Int64
+	halted      atomic.Int64
+}
+
+// snapshot captures the counters as a plain Stats value.
+func (a *atomicStats) snapshot() Stats {
+	return Stats{
+		Commits:     a.commits.Load(),
+		Aborts:      a.aborts.Load(),
+		Conflicts:   a.conflicts.Load(),
+		EnemyAborts: a.enemyAborts.Load(),
+		Opens:       a.opens.Load(),
+		Halted:      a.halted.Load(),
+	}
 }
 
 // AbortRate returns the fraction of attempts that aborted, in [0,1].

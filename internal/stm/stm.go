@@ -1,14 +1,24 @@
 package stm
 
 import (
-	"errors"
 	"sync"
 	"sync/atomic"
 )
 
 // STM is a transactional-memory instance: the shared timestamp source,
-// commit clock and thread registry that a set of cooperating Threads
-// uses. Independent STM instances are fully isolated from one another.
+// commit clock, session pool and session registry that a set of
+// cooperating transactions uses. Independent STM instances are fully
+// isolated from one another.
+//
+// Transactions are executed through two equivalent surfaces:
+//
+//   - STM.Atomically (and the typed Atomic), callable from any
+//     goroutine: each call borrows a pooled session carrying a private
+//     contention-manager instance built by the STM's ManagerFactory
+//     (see WithManagerFactory);
+//   - Thread, the paper-faithful pinned form: one session bound to one
+//     manager instance for its lifetime, for harnesses that sweep a
+//     fixed number of worker threads.
 type STM struct {
 	txIDs       atomic.Uint64
 	timestamps  atomic.Uint64
@@ -40,8 +50,22 @@ type STM struct {
 	// race with visible reader lists instead (see DESIGN.md).
 	commitMu sync.Mutex
 
-	mu      sync.Mutex
-	threads []*Thread
+	// factory builds the per-session contention manager for sessions
+	// created by STM.Atomically (see WithManagerFactory).
+	factory ManagerFactory
+
+	// free is the LIFO pool of idle sessions behind STM.Atomically,
+	// guarded by freeMu. An explicit list (rather than sync.Pool) keeps
+	// the session count equal to the peak number of concurrent
+	// transactions: sessions are never dropped, so the registry below —
+	// and with it TotalStats — stays exact and bounded. (A lock-free
+	// Treiber stack with in-place links would suffer ABA here because
+	// sessions are reused; the mutex section is a slice push/pop.)
+	freeMu sync.Mutex
+	free   []*session
+
+	mu       sync.Mutex
+	sessions []*session
 }
 
 // Option configures an STM instance.
@@ -64,6 +88,17 @@ func WithFullValidation() Option {
 	return func(s *STM) { s.fullValidation = true }
 }
 
+// WithManagerFactory sets the constructor for the per-session
+// contention managers behind STM.Atomically; wire it to a registry
+// entry (core.Factory) to pick a policy by name. Without this option
+// the STM falls back to a built-in polite-with-patience-bound manager
+// (wait with growing backoff, abort the enemy after a bounded number
+// of rounds so a halted enemy cannot obstruct forever). Threads are
+// unaffected: NewThread takes its manager instance explicitly.
+func WithManagerFactory(f ManagerFactory) Option {
+	return func(s *STM) { s.factory = f }
+}
+
 // New creates an empty STM instance.
 func New(opts ...Option) *STM {
 	s := &STM{}
@@ -74,53 +109,74 @@ func New(opts ...Option) *STM {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.factory == nil {
+		s.factory = func() Manager { return &defaultManager{} }
+	}
 	return s
 }
 
-// Thread is the per-goroutine execution context: it binds a contention
-// manager instance to a stream of transactions. A Thread must be used
-// by one goroutine at a time (concurrent Atomically calls on the same
-// Thread are a bug), matching the paper's model of one transaction per
-// thread.
+// Thread is the paper's per-thread execution context, kept as a thin
+// shim over a pinned session: it binds one contention-manager instance
+// to a stream of transactions for its whole lifetime, matching the
+// model of one transaction per thread that the figures sweep. A Thread
+// must be used by one goroutine at a time (concurrent Atomically calls
+// on the same Thread are a bug). Code that is not reproducing the
+// fixed-thread sweeps should prefer STM.Atomically, which any
+// goroutine may call.
 type Thread struct {
-	stm   *STM
-	mgr   Manager
-	stats Stats
-
-	// current is the attempt now running on this thread, exposed so
-	// that failure injectors and tests can halt or examine it.
-	current atomic.Pointer[Tx]
+	sess *session
 }
 
 // NewThread registers a new thread with its per-thread contention
 // manager.
 func (s *STM) NewThread(mgr Manager) *Thread {
-	t := &Thread{stm: s, mgr: mgr}
-	s.mu.Lock()
-	s.threads = append(s.threads, t)
-	s.mu.Unlock()
-	return t
+	sess := s.newSession(mgr)
+	sess.pinned = true
+	return &Thread{sess: sess}
 }
 
 // Manager returns the thread's contention manager.
-func (t *Thread) Manager() Manager { return t.mgr }
+func (t *Thread) Manager() Manager { return t.sess.mgr }
 
-// Stats returns a snapshot of the thread's counters. Call it only when
-// the thread's goroutine is quiescent.
-func (t *Thread) Stats() Stats { return t.stats }
+// Stats returns a snapshot of the thread's counters. The counters are
+// atomic, so the snapshot is safe (and exact to the last completed
+// update) even while the thread's goroutine is running.
+func (t *Thread) Stats() Stats { return t.sess.stats.snapshot() }
 
 // Current returns the transaction attempt currently running on the
-// thread, or nil. Intended for failure injection and tests.
-func (t *Thread) Current() *Tx { return t.current.Load() }
+// thread, or nil. Intended for failure injection and tests. A
+// Thread's descriptors are never recycled (unlike a pooled session's),
+// so poking a stale reference after the attempt finished remains a
+// harmless no-op on a frozen transaction, as it always was.
+func (t *Thread) Current() *Tx { return t.sess.current.Load() }
 
-// TotalStats aggregates the statistics of every thread registered with
-// the STM. Call it only when worker goroutines are quiescent.
+// Atomically runs fn as a transaction on the thread's pinned session,
+// retrying until it commits.
+//
+// The logical transaction receives its timestamp before the first
+// attempt and keeps it across retries (the greedy manager's key
+// requirement). fn must propagate errors from the typed accessors (or
+// OpenRead/OpenWrite); when the underlying cause is an enemy-inflicted
+// abort, Atomically retries fn, and any other error aborts the
+// transaction and is returned to the caller unchanged.
+//
+// fn may be called many times and must therefore be free of side
+// effects other than through the transaction.
+func (t *Thread) Atomically(fn func(tx *Tx) error) error {
+	return t.sess.atomically(fn)
+}
+
+// TotalStats aggregates the statistics of every session the STM has
+// created — pooled sessions and Threads alike. The counters are
+// atomic, so it may be called at any time, concurrently with running
+// transactions; each counter is exact to the last completed update.
 func (s *STM) TotalStats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var total Stats
-	for _, t := range s.threads {
-		total.Add(t.stats)
+	for _, sess := range s.sessions {
+		snap := sess.stats.snapshot()
+		total.Add(snap)
 	}
 	return total
 }
@@ -129,65 +185,6 @@ func (s *STM) TotalStats() Stats {
 // it advances on every commit and is the basis for cheap read-set
 // validation.
 func (s *STM) CommitClock() uint64 { return s.commitClock.Load() }
-
-// Atomically runs fn as a transaction, retrying until it commits.
-//
-// The logical transaction receives its timestamp before the first
-// attempt and keeps it across retries (the greedy manager's key
-// requirement). fn must propagate errors from OpenRead/OpenWrite; when
-// the underlying cause is an enemy-inflicted abort, Atomically retries
-// fn, and any other error aborts the transaction and is returned to
-// the caller unchanged.
-//
-// fn may be called many times and must therefore be free of side
-// effects other than through the transaction.
-func (t *Thread) Atomically(fn func(tx *Tx) error) error {
-	shared := &txShared{
-		id:        t.stm.txIDs.Add(1),
-		timestamp: t.stm.timestamps.Add(1),
-	}
-	return t.run(shared, fn)
-}
-
-// run executes attempts of the logical transaction shared until one
-// commits, fn fails with a non-retryable error, or the transaction is
-// halted by failure injection.
-func (t *Thread) run(shared *txShared, fn func(tx *Tx) error) error {
-	for {
-		tx := newTx(t, shared)
-		t.current.Store(tx)
-		t.mgr.Begin(tx)
-		err := fn(tx)
-		switch {
-		case err == nil:
-			if tx.tryCommit() {
-				t.current.Store(nil)
-				t.mgr.Committed(tx)
-				t.stats.Commits++
-				return nil
-			}
-			// Aborted between fn returning and commit.
-		case errors.Is(err, ErrHalted):
-			// Failure injection: abandon the transaction without
-			// aborting it. It remains active and obstructing.
-			t.current.Store(nil)
-			t.stats.Halted++
-			return ErrHalted
-		case errors.Is(err, ErrAborted):
-			// Enemy abort: fall through to retry.
-		default:
-			// User error: abort the transaction, surface the error.
-			tx.Abort()
-			t.current.Store(nil)
-			t.mgr.Aborted(tx)
-			return err
-		}
-		tx.Abort() // make the attempt's fate unambiguous
-		shared.aborts.Add(1)
-		t.stats.Aborts++
-		t.mgr.Aborted(tx)
-	}
-}
 
 // tryCommit validates the read set one final time and attempts the
 // commit CAS, advancing the commit clock when a writer commits.

@@ -139,8 +139,8 @@ func (o *TObj) openWriteAs(tx *Tx, mk func() Value) (Value, error) {
 		}
 		tx.writes = append(tx.writes, o)
 		tx.opens++
-		tx.thread.mgr.Opened(tx, true)
-		tx.thread.stats.Opens++
+		tx.sess.mgr.Opened(tx, true)
+		tx.sess.stats.opens.Add(1)
 		tx.maybeYield()
 		// Writing this object may form part of an inconsistent view;
 		// early validation keeps the transaction opaque.
@@ -187,8 +187,8 @@ func (o *TObj) openRead(tx *Tx) (Value, error) {
 		v := l.current()
 		tx.recordRead(o, v)
 		tx.opens++
-		tx.thread.mgr.Opened(tx, false)
-		tx.thread.stats.Opens++
+		tx.sess.mgr.Opened(tx, false)
+		tx.sess.stats.opens.Add(1)
 		tx.maybeYield()
 		if !tx.validate() {
 			return nil, ErrAborted
@@ -197,17 +197,17 @@ func (o *TObj) openRead(tx *Tx) (Value, error) {
 	}
 }
 
-func (tx *Tx) noteConflict() { tx.thread.stats.Conflicts++ }
+func (tx *Tx) noteConflict() { tx.sess.stats.conflicts.Add(1) }
 
 // resolve runs one round of the contention-management protocol between
 // tx and enemy, translating the manager's decision into an abort of
 // one side or an (already-performed) wait.
 func resolve(tx, enemy *Tx) error {
 	tx.noteConflict()
-	switch d := tx.thread.mgr.ResolveConflict(tx, enemy); d {
+	switch d := tx.sess.mgr.ResolveConflict(tx, enemy); d {
 	case AbortOther:
 		enemy.Abort()
-		tx.thread.stats.EnemyAborts++
+		tx.sess.stats.enemyAborts.Add(1)
 	case AbortSelf:
 		tx.Abort()
 		return ErrAborted

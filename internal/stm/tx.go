@@ -9,26 +9,31 @@ import (
 // txShared is the state of a logical transaction that survives aborts
 // and retries. The paper's greedy manager requires that a transaction
 // keeps its timestamp when it restarts; Karma-family managers likewise
-// accumulate priority across retries. All fields other than id and
-// timestamp are atomics because enemy transactions read them
-// concurrently.
+// accumulate priority across retries. Every field is atomic: enemy
+// transactions read them concurrently, and a session may reuse the
+// record for its next logical transaction while a straggling enemy
+// (one that observed the previous, now-frozen transaction as owner)
+// still reads it — such a read can only influence a contention-manager
+// heuristic, never safety, but it must be race-free.
 type txShared struct {
-	id        uint64 // unique logical transaction id
-	timestamp uint64 // acquisition order; smaller = older = higher priority
+	id        atomic.Uint64 // unique logical transaction id
+	timestamp atomic.Uint64 // acquisition order; smaller = older = higher priority
 
 	priority atomic.Int64 // Karma/Eruption/Polka accumulated priority
 	aborts   atomic.Int64 // completed attempts that ended in abort
 }
 
-// Tx is one attempt of a logical transaction. A fresh Tx descriptor is
-// created for every retry (statuses are one-shot), but all attempts
-// share the same txShared, and in particular the same timestamp.
+// Tx is one attempt of a logical transaction. All attempts share the
+// same txShared, and in particular the same timestamp. Statuses are
+// one-shot, so a descriptor that was ever installed in a locator is
+// never reused; descriptors that no enemy can reference are recycled
+// by the owning session (see session.recycle).
 //
 // Enemy transactions hold references to a Tx through object locators
 // and interrogate it only through the atomic accessors below.
 type Tx struct {
 	stm    *STM
-	thread *Thread
+	sess   *session
 	shared *txShared
 
 	status  atomic.Int32
@@ -53,17 +58,8 @@ type Tx struct {
 	lazyWrites map[*TObj]Value
 }
 
-func newTx(t *Thread, shared *txShared) *Tx {
-	return &Tx{
-		stm:    t.stm,
-		thread: t,
-		shared: shared,
-		reads:  make(map[*TObj]Value, 8),
-	}
-}
-
 // ID returns the logical transaction id, stable across retries.
-func (tx *Tx) ID() uint64 { return tx.shared.id }
+func (tx *Tx) ID() uint64 { return tx.shared.id.Load() }
 
 // Timestamp returns the transaction's priority timestamp. Timestamps
 // are assigned from a global atomic counter when the logical
@@ -71,7 +67,7 @@ func (tx *Tx) ID() uint64 { return tx.shared.id }
 // there is a fixed bound on the number of transactions that ever run
 // with an earlier timestamp — the property the greedy manager's
 // Theorem 1 rests on. Smaller means older means higher priority.
-func (tx *Tx) Timestamp() uint64 { return tx.shared.timestamp }
+func (tx *Tx) Timestamp() uint64 { return tx.shared.timestamp.Load() }
 
 // Status returns the transaction's current status.
 func (tx *Tx) Status() Status { return Status(tx.status.Load()) }
@@ -125,10 +121,16 @@ func (tx *Tx) commit() bool {
 }
 
 // Halt marks the transaction as halted for failure injection: the
-// owning thread abandons it mid-flight without aborting it, modelling
+// owning session abandons it mid-flight without aborting it, modelling
 // the prematurely stopped transactions of the paper's Section 6. The
 // transaction stays active (and keeps obstructing its objects) until
 // some enemy's manager aborts it.
+//
+// Halt is meaningful on a running attempt: one's own tx inside the
+// transactional function, or a Thread.Current() reference (Thread
+// descriptors are never recycled, so a stale Halt is a no-op on a
+// frozen transaction). Descriptors of pooled STM.Atomically sessions
+// are not exposed outside the transactional function.
 func (tx *Tx) Halt() { tx.halted.Store(true) }
 
 // Halted reports whether failure injection has halted the transaction.
@@ -136,7 +138,7 @@ func (tx *Tx) Halted() bool { return tx.halted.Load() }
 
 // String identifies the transaction for debugging.
 func (tx *Tx) String() string {
-	return fmt.Sprintf("tx(id=%d ts=%d %s)", tx.shared.id, tx.shared.timestamp, tx.Status())
+	return fmt.Sprintf("tx(id=%d ts=%d %s)", tx.ID(), tx.Timestamp(), tx.Status())
 }
 
 // step checks that the attempt may keep running, translating an

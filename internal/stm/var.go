@@ -82,6 +82,16 @@ func NewNamedVar[T any](name string, v T) *Var[T] {
 	return va
 }
 
+// NewNamedVarCloner combines NewNamedVar and NewVarCloner: a
+// transactional variable with both a debugging label and a deep-copy
+// strategy. Like NewVarCloner, the initial value is cloned so the
+// committed version never aliases caller-owned mutable state.
+func NewNamedVarCloner[T any](name string, v T, clone Cloner[T]) *Var[T] {
+	va := NewVarCloner(v, clone)
+	va.obj.name = name
+	return va
+}
+
 // Obj returns the variable's underlying transactional object, for
 // interoperation with the untyped engine (failure injection, manager
 // tests, debugging). The handle identifies the same versioned slot:
@@ -149,4 +159,69 @@ func Update[T any](tx *Tx, v *Var[T], f func(T) T) error {
 	b := val.(*varBox[T])
 	b.val = f(b.val)
 	return nil
+}
+
+// UpdateErr is the fallible form of Update for transitions that must
+// themselves read other variables or otherwise fail: f receives the
+// private copy and may return an error, in which case the private
+// version is left unchanged and the error propagates out — Atomically
+// then aborts the transaction once and surfaces the error to the
+// caller unchanged (unless it is ErrAborted, which retries as usual,
+// so f may simply propagate errors from nested Read calls):
+//
+//	err := stm.UpdateErr(tx, account, func(bal int) (int, error) {
+//		limit, err := stm.Read(tx, creditLimit)
+//		if err != nil {
+//			return 0, err
+//		}
+//		if bal-amount < -limit {
+//			return 0, ErrInsufficientFunds
+//		}
+//		return bal - amount, nil
+//	})
+func UpdateErr[T any](tx *Tx, v *Var[T], f func(T) (T, error)) error {
+	val, err := v.obj.openWrite(tx)
+	if err != nil {
+		return err
+	}
+	b := val.(*varBox[T])
+	nv, err := f(b.val)
+	if err != nil {
+		return err
+	}
+	b.val = nv
+	return nil
+}
+
+// ReadAll records every variable's committed value in the
+// transaction's read set and returns the values in argument order — a
+// consistent multi-variable read: validation guarantees that some
+// serial execution could have exhibited exactly these values
+// simultaneously (a writer committing mid-scan aborts and retries the
+// transaction). The error contract is Read's.
+func ReadAll[T any](tx *Tx, vars ...*Var[T]) ([]T, error) {
+	out := make([]T, len(vars))
+	for i, v := range vars {
+		val, err := Read(tx, v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = val
+	}
+	return out, nil
+}
+
+// Snapshot returns a consistent snapshot of the variables, taken in
+// its own read-only transaction on a pooled session — the
+// multi-variable counterpart of Peek, callable from any goroutine:
+//
+//	balances, err := stm.Snapshot(s, accounts...)
+//
+// Unlike looping Var.Peek, the values are guaranteed simultaneously
+// valid: the transaction's serialization point is a commit-clock-
+// stable scan of the read set.
+func Snapshot[T any](s *STM, vars ...*Var[T]) ([]T, error) {
+	return Atomic(s, func(tx *Tx) ([]T, error) {
+		return ReadAll(tx, vars...)
+	})
 }

@@ -1,6 +1,8 @@
 package stm_test
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/stm"
@@ -58,19 +60,77 @@ func BenchmarkTypedVsUntyped(b *testing.B) {
 	})
 }
 
-// BenchmarkTypedRead measures the typed read path (no allocations in
-// the facade: Read returns the payload by value).
+// BenchmarkPooledAtomically drives the goroutine-agnostic surface from
+// 64 goroutines over one pooled STM — the serving-shape workload the
+// redesign targets (a goroutine per request, not pinned workers). Two
+// flavours: "disjoint" gives each goroutine its own counter (measures
+// the pool and session plumbing under parallelism, no data conflicts);
+// "shared" has all 64 hammer one counter (measures the full conflict
+// path at maximal contention).
+func BenchmarkPooledAtomically(b *testing.B) {
+	const goroutines = 64
+	run := func(b *testing.B, vars []*stm.Var[int]) {
+		b.Helper()
+		world := stm.New(stm.WithManagerFactory(func() stm.Manager { return politeManager{} }))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for g := 0; g < goroutines; g++ {
+			v := vars[g%len(vars)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(b.N) {
+					if err := world.Atomically(func(tx *stm.Tx) error {
+						return stm.Update(tx, v, func(n int) int { return n + 1 })
+					}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+		sum := 0
+		for _, v := range vars {
+			sum += v.Peek()
+		}
+		if sum != b.N {
+			b.Fatalf("sum of counters = %d, want %d", sum, b.N)
+		}
+	}
+	b.Run("disjoint", func(b *testing.B) {
+		vars := make([]*stm.Var[int], goroutines)
+		for i := range vars {
+			vars[i] = stm.NewVar(0)
+		}
+		run(b, vars)
+	})
+	b.Run("shared", func(b *testing.B) {
+		run(b, []*stm.Var[int]{stm.NewVar(0)})
+	})
+}
+
+// BenchmarkTypedRead measures the typed read path on the pooled
+// surface: with descriptor and read-set recycling, a steady-state
+// read-only transaction performs zero heap allocations.
 func BenchmarkTypedRead(b *testing.B) {
-	world := stm.New()
+	world := stm.New(stm.WithManagerFactory(func() stm.Manager { return politeManager{} }))
 	vars := make([]*stm.Var[int], 16)
 	for i := range vars {
 		vars[i] = stm.NewVar(i)
 	}
-	th := world.NewThread(politeManager{})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := th.Atomically(func(tx *stm.Tx) error {
+		if err := world.Atomically(func(tx *stm.Tx) error {
 			sum := 0
 			for _, v := range vars {
 				n, err := stm.Read(tx, v)

@@ -133,17 +133,16 @@ func TestVarUpdateContentionAllManagers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			s := stm.New(stm.WithInterleavePeriod(2))
+			s := stm.New(stm.WithInterleavePeriod(2), stm.WithManagerFactory(factory))
 			counter := stm.NewVar(0)
 			var wg sync.WaitGroup
 			errs := make(chan error, workers)
 			for w := 0; w < workers; w++ {
-				th := s.NewThread(factory())
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
 					for i := 0; i < perWorker; i++ {
-						err := th.Atomically(func(tx *stm.Tx) error {
+						err := s.Atomically(func(tx *stm.Tx) error {
 							return stm.Update(tx, counter, func(v int) int { return v + 1 })
 						})
 						if err != nil {
