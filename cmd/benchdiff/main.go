@@ -1,0 +1,149 @@
+// Command benchdiff compares two `stmbench -json` outputs — the
+// committed baseline (BENCH_baseline.json, refreshed each PR) against
+// a fresh run (BENCH_pr.json in CI) — and prints per-point throughput
+// deltas.
+//
+// Coverage is the contract, throughput is advisory: a point present in
+// the baseline but missing from the new run means a structure, manager
+// or thread count stopped being measured, and benchdiff exits 1.
+// Throughput deltas are printed for trend-watching but never fail the
+// run — CI machines vary far too much for a hard threshold.
+//
+// Usage:
+//
+//	benchdiff BENCH_baseline.json BENCH_pr.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// point is the subset of harness.pointJSON benchdiff keys on and
+// reports. Unknown fields are ignored, so the record can keep growing.
+type point struct {
+	Figure        int     `json:"figure"`
+	Structure     string  `json:"structure"`
+	Manager       string  `json:"manager"`
+	Threads       int     `json:"threads"`
+	Mix           string  `json:"mix"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// key identifies a measured point across runs.
+type key struct {
+	Figure    int
+	Structure string
+	Manager   string
+	Threads   int
+	Mix       string
+}
+
+func (k key) String() string {
+	s := fmt.Sprintf("fig%d %s/%s x%d", k.Figure, k.Structure, k.Manager, k.Threads)
+	if k.Mix != "" {
+		s += " mix=" + k.Mix
+	}
+	return s
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldPts, err := load(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	newPts, err := load(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+	missing := diff(os.Stdout, oldPts, newPts)
+	if missing > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d baseline point(s) missing from the new run\n", missing)
+		os.Exit(1)
+	}
+}
+
+func load(path string) ([]point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts []point
+	if err := json.NewDecoder(f).Decode(&pts); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pts, nil
+}
+
+// diff prints the old-vs-new comparison and returns how many baseline
+// points the new run no longer covers.
+func diff(w io.Writer, oldPts, newPts []point) int {
+	index := func(pts []point) map[key]float64 {
+		m := make(map[key]float64, len(pts))
+		for _, p := range pts {
+			m[key{p.Figure, p.Structure, p.Manager, p.Threads, p.Mix}] = p.CommitsPerSec
+		}
+		return m
+	}
+	oldIdx, newIdx := index(oldPts), index(newPts)
+
+	keys := make([]key, 0, len(oldIdx)+len(newIdx))
+	for k := range oldIdx {
+		keys = append(keys, k)
+	}
+	for k := range newIdx {
+		if _, ok := oldIdx[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.Figure != kb.Figure {
+			return ka.Figure < kb.Figure
+		}
+		if ka.Structure != kb.Structure {
+			return ka.Structure < kb.Structure
+		}
+		if ka.Manager != kb.Manager {
+			return ka.Manager < kb.Manager
+		}
+		if ka.Threads != kb.Threads {
+			return ka.Threads < kb.Threads
+		}
+		return ka.Mix < kb.Mix
+	})
+
+	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "point", "old commits/s", "new commits/s", "delta")
+	missing := 0
+	for _, k := range keys {
+		o, hasOld := oldIdx[k]
+		n, hasNew := newIdx[k]
+		switch {
+		case hasOld && hasNew:
+			delta := "n/a"
+			if o > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+			}
+			fmt.Fprintf(w, "%-44s %14.0f %14.0f %9s\n", k, o, n, delta)
+		case hasOld:
+			missing++
+			fmt.Fprintf(w, "%-44s %14.0f %14s %9s\n", k, o, "MISSING", "")
+		default:
+			fmt.Fprintf(w, "%-44s %14s %14.0f %9s\n", k, "(new)", n, "")
+		}
+	}
+	return missing
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffMatchingRuns(t *testing.T) {
+	old := []point{
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 4, CommitsPerSec: 1000},
+		{Figure: 5, Structure: "hashset", Manager: "karma", Threads: 4, Mix: "update", CommitsPerSec: 2000},
+	}
+	neu := []point{
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 4, CommitsPerSec: 1100},
+		{Figure: 5, Structure: "hashset", Manager: "karma", Threads: 4, Mix: "update", CommitsPerSec: 1800},
+	}
+	var sb strings.Builder
+	if missing := diff(&sb, old, neu); missing != 0 {
+		t.Fatalf("missing = %d, want 0", missing)
+	}
+	out := sb.String()
+	for _, want := range []string{"+10.0%", "-10.0%", "fig1 list/greedy x4", "fig5 hashset/karma x4 mix=update"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffReportsMissingPoints(t *testing.T) {
+	old := []point{
+		{Figure: 6, Structure: "queue", Manager: "greedy", Threads: 1, Mix: "update", CommitsPerSec: 500},
+		{Figure: 6, Structure: "queue", Manager: "greedy", Threads: 4, Mix: "update", CommitsPerSec: 900},
+	}
+	neu := []point{
+		{Figure: 6, Structure: "queue", Manager: "greedy", Threads: 1, Mix: "update", CommitsPerSec: 510},
+	}
+	var sb strings.Builder
+	if missing := diff(&sb, old, neu); missing != 1 {
+		t.Fatalf("missing = %d, want 1", missing)
+	}
+	if !strings.Contains(sb.String(), "MISSING") {
+		t.Errorf("output does not flag the missing point:\n%s", sb.String())
+	}
+}
+
+func TestDiffNewPointsAreNotFailures(t *testing.T) {
+	old := []point{
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 1, CommitsPerSec: 100},
+	}
+	neu := []point{
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 1, CommitsPerSec: 100},
+		{Figure: 7, Structure: "omap", Manager: "karma", Threads: 8, Mix: "mixed", CommitsPerSec: 300},
+	}
+	var sb strings.Builder
+	if missing := diff(&sb, old, neu); missing != 0 {
+		t.Fatalf("missing = %d, want 0 (new points are additive)", missing)
+	}
+	if !strings.Contains(sb.String(), "(new)") {
+		t.Errorf("output does not mark the new point:\n%s", sb.String())
+	}
+}

@@ -1,18 +1,22 @@
-// Command stmbench regenerates the paper's evaluation figures: for
-// each figure it sweeps the number of threads and prints committed
-// transactions per second per contention manager — the same series
-// Figures 1–4 plot.
+// Command stmbench regenerates the paper's evaluation figures and the
+// container-subsystem extensions: for each figure it sweeps the number
+// of threads and prints committed transactions per second per
+// contention manager — the same series Figures 1–4 plot, plus the
+// hash-set, queue and ordered-map sweeps (figures 5–7).
 //
 // Usage:
 //
 //	stmbench -figure 1                 # one figure
-//	stmbench -all                      # all four figures
+//	stmbench -all                      # all figures (paper + containers)
+//	stmbench -structure omap           # sweep one structure by name
+//	stmbench -structure queue -mix rangeheavy
 //	stmbench -figure 4 -csv            # machine-readable output (CSV)
 //	stmbench -all -json                # machine-readable output (JSON array)
 //	stmbench -figure 2 -threads 1,4,8 -duration 200ms -managers greedy,karma
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,25 +31,26 @@ import (
 
 func main() {
 	var (
-		figureID = flag.Int("figure", 0, "figure number to run (1-4)")
-		all      = flag.Bool("all", false, "run all four figures")
-		duration = flag.Duration("duration", 300*time.Millisecond, "measurement window per point")
-		warmup   = flag.Duration("warmup", 50*time.Millisecond, "warmup per point")
-		threads  = flag.String("threads", "", "comma-separated thread counts (default: the figure's 1..32 sweep)")
-		managers = flag.String("managers", "", "comma-separated manager names (default: the figure's five series)")
-		csvOut   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		jsonOut  = flag.Bool("json", false, "emit a JSON array of per-point results instead of a table")
-		chart    = flag.Bool("plot", false, "render an ASCII chart of each figure (with the table)")
-		audit    = flag.Bool("audit", false, "verify structural integrity after every point")
-		keyDist  = flag.String("keys", "uniform", "key distribution: uniform, zipf, zipf:<s>")
-		seed     = flag.Uint64("seed", 0x5eed, "workload seed")
-		list     = flag.Bool("list", false, "list figures and managers, then exit")
+		figureID  = flag.Int("figure", 0, "figure number to run (1-7, see -list)")
+		all       = flag.Bool("all", false, "run every figure")
+		structure = flag.String("structure", "", "sweep one structure by name (list, skiplist, rbtree, rbforest, hashset, queue, omap)")
+		duration  = flag.Duration("duration", 300*time.Millisecond, "measurement window per point")
+		warmup    = flag.Duration("warmup", 50*time.Millisecond, "warmup per point")
+		threads   = flag.String("threads", "", "comma-separated thread counts (default: the figure's 1..32 sweep)")
+		managers  = flag.String("managers", "", "comma-separated manager names (default: the figure's five series)")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut   = flag.Bool("json", false, "emit a JSON array of per-point results instead of a table")
+		chart     = flag.Bool("plot", false, "render an ASCII chart of each figure (with the table)")
+		audit     = flag.Bool("audit", false, "verify structural integrity after every point")
+		keyDist   = flag.String("keys", "uniform", "key distribution: uniform, zipf, zipf:<s>")
+		mix       = flag.String("mix", "", "container op mix: update, readheavy, mixed, rangeheavy, w:l,i,d,r (containers only)")
+		seed      = flag.Uint64("seed", 0x5eed, "workload seed")
+		list      = flag.Bool("list", false, "list figures, structures and managers, then exit")
 	)
 	flag.Parse()
 
 	if *csvOut && *jsonOut {
-		fmt.Fprintln(os.Stderr, "stmbench: -csv and -json are mutually exclusive")
-		os.Exit(2)
+		usage("-csv and -json are mutually exclusive")
 	}
 
 	if *list {
@@ -53,21 +58,15 @@ func main() {
 		for _, fig := range harness.Figures {
 			fmt.Printf("  %d: %s (structure=%s)\n", fig.ID, fig.Name, fig.Structure)
 		}
+		fmt.Printf("structures: %s\n", strings.Join(harness.Structures(), ", "))
 		fmt.Printf("managers: %s\n", strings.Join(core.Names(), ", "))
+		fmt.Printf("mixes: update, readheavy, mixed, rangeheavy, w:<l>,<i>,<d>,<r>\n")
 		return
 	}
 
-	var ids []int
-	switch {
-	case *all:
-		for _, fig := range harness.Figures {
-			ids = append(ids, fig.ID)
-		}
-	case *figureID != 0:
-		ids = []int{*figureID}
-	default:
-		fmt.Fprintln(os.Stderr, "stmbench: pass -figure N or -all (see -list)")
-		os.Exit(2)
+	figures, err := selectFigures(*all, *figureID, *structure)
+	if err != nil {
+		usage(err.Error())
 	}
 
 	opts := harness.FigureOptions{
@@ -76,6 +75,7 @@ func main() {
 		Seed:     *seed,
 		Audit:    *audit,
 		KeyDist:  *keyDist,
+		Mix:      *mix,
 	}
 	if *threads != "" {
 		ts, err := parseInts(*threads)
@@ -98,13 +98,13 @@ func main() {
 	// jsonPoints accumulates across figures so the whole run is one
 	// JSON array; RunFigure stamps each point with its figure id.
 	var jsonPoints []harness.Point
-	for _, id := range ids {
-		fig, err := harness.FigureByID(id)
-		if err != nil {
-			fatal(err)
-		}
+	for _, fig := range figures {
 		if !machine {
-			fmt.Fprintf(os.Stderr, "running figure %d: %s\n", fig.ID, fig.Name)
+			if fig.ID != 0 {
+				fmt.Fprintf(os.Stderr, "running figure %d: %s\n", fig.ID, fig.Name)
+			} else {
+				fmt.Fprintf(os.Stderr, "running %s\n", fig.Name)
+			}
 		}
 		points, err := harness.RunFigure(fig, opts)
 		if err != nil {
@@ -121,7 +121,10 @@ func main() {
 			continue
 		}
 		fmt.Println()
-		title := fmt.Sprintf("Figure %d: %s", fig.ID, fig.Name)
+		title := fig.Name
+		if fig.ID != 0 {
+			title = fmt.Sprintf("Figure %d: %s", fig.ID, fig.Name)
+		}
 		if err := harness.WriteTable(os.Stdout, title, points); err != nil {
 			fatal(err)
 		}
@@ -136,6 +139,42 @@ func main() {
 		if err := harness.WriteJSON(os.Stdout, jsonPoints); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// selectFigures resolves the -all / -figure / -structure selection
+// into the figures to run, rejecting unknown or ambiguous selections
+// so a typo never silently measures the wrong thing.
+func selectFigures(all bool, figureID int, structure string) ([]harness.Figure, error) {
+	selected := 0
+	if all {
+		selected++
+	}
+	if figureID != 0 {
+		selected++
+	}
+	if structure != "" {
+		selected++
+	}
+	switch {
+	case selected == 0:
+		return nil, errors.New("pass -figure N, -structure NAME or -all (see -list)")
+	case selected > 1:
+		return nil, errors.New("-figure, -structure and -all are mutually exclusive")
+	case all:
+		return harness.Figures, nil
+	case structure != "":
+		fig, err := harness.StructureFigure(structure)
+		if err != nil {
+			return nil, err
+		}
+		return []harness.Figure{fig}, nil
+	default:
+		fig, err := harness.FigureByID(figureID)
+		if err != nil {
+			return nil, err
+		}
+		return []harness.Figure{fig}, nil
 	}
 }
 
@@ -177,6 +216,14 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// usage reports a bad invocation: the error, then the flag summary,
+// then exit code 2 (the flag package's own convention).
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "stmbench:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

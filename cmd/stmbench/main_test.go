@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestSelectFigures pins the -all/-figure/-structure resolution:
+// exactly one selector, and unknown values are rejected with an error
+// rather than silently running a default.
+func TestSelectFigures(t *testing.T) {
+	tests := []struct {
+		name      string
+		all       bool
+		figure    int
+		structure string
+		wantErr   bool
+		wantCount int
+		wantFirst string // Structure of the first figure, "" = don't check
+	}{
+		{name: "nothing selected", wantErr: true},
+		{name: "all", all: true, wantCount: 7},
+		{name: "figure 1", figure: 1, wantCount: 1, wantFirst: "list"},
+		{name: "figure 5 is hashset", figure: 5, wantCount: 1, wantFirst: "hashset"},
+		{name: "figure 7 is omap", figure: 7, wantCount: 1, wantFirst: "omap"},
+		{name: "unknown figure", figure: 99, wantErr: true},
+		{name: "negative figure", figure: -3, wantErr: true},
+		{name: "structure hashset", structure: "hashset", wantCount: 1, wantFirst: "hashset"},
+		{name: "structure queue", structure: "queue", wantCount: 1, wantFirst: "queue"},
+		{name: "structure omap", structure: "omap", wantCount: 1, wantFirst: "omap"},
+		{name: "structure list", structure: "list", wantCount: 1, wantFirst: "list"},
+		{name: "unknown structure", structure: "btree", wantErr: true},
+		{name: "all and figure", all: true, figure: 1, wantErr: true},
+		{name: "all and structure", all: true, structure: "queue", wantErr: true},
+		{name: "figure and structure", figure: 2, structure: "queue", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			figs, err := selectFigures(tt.all, tt.figure, tt.structure)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("selectFigures(%v, %d, %q) accepted; want error", tt.all, tt.figure, tt.structure)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("selectFigures(%v, %d, %q): %v", tt.all, tt.figure, tt.structure, err)
+			}
+			if len(figs) != tt.wantCount {
+				t.Fatalf("got %d figures, want %d", len(figs), tt.wantCount)
+			}
+			if tt.wantFirst != "" && figs[0].Structure != tt.wantFirst {
+				t.Fatalf("first figure structure = %q, want %q", figs[0].Structure, tt.wantFirst)
+			}
+		})
+	}
+}

@@ -6,15 +6,20 @@
 // pooled sessions, with a per-session contention manager built by the
 // STM's ManagerFactory) over a DSTM-style engine, pluggable contention
 // managers (internal/stm, internal/core), the paper's benchmark data
-// structures (internal/intset) and throughput harness
-// (internal/harness), and the scheduling-theory side — task systems,
+// structures (internal/intset), a transactional container subsystem —
+// hash set, FIFO queue and ordered map on Var[T]
+// (internal/container) — the throughput harness with configurable
+// lookup/insert/delete/range op mixes (internal/harness,
+// internal/workload), and the scheduling-theory side — task systems,
 // list and optimal schedulers, the discrete transaction simulator, the
 // Section 4 adversary and the Lemma 7 graph machinery (internal/sched,
 // internal/graph).
 //
 // See DESIGN.md for the architecture (engine / sessions / typed
-// facade / managers) and the hardware substitutions, cmd/stmbench
-// (tables, CSV and -json output) and cmd/makespan for the experiment
-// drivers, and examples/ for runnable programs (each verifies its own
-// invariant and exits non-zero on violation, so CI smoke-runs them).
+// facade / managers / containers) and the hardware substitutions;
+// cmd/stmbench (figures 1-7, -structure hashset|queue|omap, -mix,
+// tables, CSV and -json output), cmd/benchdiff (BENCH_*.json
+// trajectory diffs) and cmd/makespan for the experiment drivers; and
+// examples/ for runnable programs (each verifies its own invariant
+// and exits non-zero on violation, so CI smoke-runs them).
 package repro

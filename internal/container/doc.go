@@ -1,0 +1,25 @@
+// Package container provides typed transactional data structures
+// composed from the stm.Var facade, widening the benchmark suite
+// beyond the paper's four integer-set applications with the container
+// shapes real key-value systems are built from:
+//
+//   - HashSet[T]: a fixed bucket array of variables, each holding an
+//     immutable chain — operations on different buckets are disjoint,
+//     so contention scales with bucket occupancy rather than structure
+//     size (the friendliest profile for every manager);
+//   - Queue[T]: a Michael–Scott-style two-variable FIFO whose head and
+//     tail are permanent hot spots — every producer conflicts with
+//     every producer and every consumer with every consumer, the
+//     adversarial inverse of the hash set;
+//   - OMap[K, V]: an ordered map over a transactional skip list
+//     (generalizing intset.SkipList to arbitrary ordered keys and
+//     values), whose Range runs as a consistent multi-variable read —
+//     a long read-only scan competing with point writers, the pattern
+//     the paper notes backoff-style managers handle poorly.
+//
+// Every operation takes a *stm.Tx and composes inside larger
+// transactions: a dequeue-then-put across a Queue and an OMap in one
+// transaction is atomic, and its conflicts are arbitrated by the same
+// contention manager as any other. Run operations through
+// STM.Atomically / stm.Atomic from any goroutine.
+package container

@@ -1,0 +1,165 @@
+package container
+
+import (
+	"fmt"
+	"hash/maphash"
+
+	"repro/internal/stm"
+)
+
+// hsNode is one link of a bucket chain. Chains are immutable by
+// construction: Add and Remove build new nodes for the changed prefix
+// and share the unchanged suffix, so the Var's default shallow clone
+// (of the head pointer) is a correct private copy and a transaction's
+// tentative chain never aliases mutable committed state.
+type hsNode[T comparable] struct {
+	elem T
+	next *hsNode[T]
+}
+
+// HashSet is a transactional hash set: a fixed array of buckets, each
+// a single stm.Var holding the bucket's chain head. Conflict
+// granularity is the bucket — transactions touching different buckets
+// are disjoint and never consult the contention manager, while
+// collisions within a bucket conflict whole-chain. The bucket count is
+// fixed at construction (no transactional resize), which keeps the
+// disjointness profile stable across a benchmark run.
+type HashSet[T comparable] struct {
+	seed    maphash.Seed
+	buckets []*stm.Var[*hsNode[T]]
+}
+
+// NewHashSet returns an empty set with the given number of buckets
+// (minimum 1). More buckets mean more disjoint parallelism; fewer mean
+// hotter chains.
+func NewHashSet[T comparable](buckets int) *HashSet[T] {
+	if buckets < 1 {
+		buckets = 1
+	}
+	h := &HashSet[T]{
+		seed:    maphash.MakeSeed(),
+		buckets: make([]*stm.Var[*hsNode[T]], buckets),
+	}
+	for i := range h.buckets {
+		h.buckets[i] = stm.NewVar[*hsNode[T]](nil)
+	}
+	return h
+}
+
+// Buckets returns the fixed bucket count.
+func (h *HashSet[T]) Buckets() int { return len(h.buckets) }
+
+// bucket hashes x to its bucket variable. The seed is fixed at
+// construction, so the mapping is stable across transaction retries.
+func (h *HashSet[T]) bucket(x T) *stm.Var[*hsNode[T]] {
+	return h.buckets[maphash.Comparable(h.seed, x)%uint64(len(h.buckets))]
+}
+
+// Contains reports whether x is in the set.
+func (h *HashSet[T]) Contains(tx *stm.Tx, x T) (bool, error) {
+	head, err := stm.Read(tx, h.bucket(x))
+	if err != nil {
+		return false, err
+	}
+	for n := head; n != nil; n = n.next {
+		if n.elem == x {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Add inserts x and reports whether the set changed.
+func (h *HashSet[T]) Add(tx *stm.Tx, x T) (bool, error) {
+	b := h.bucket(x)
+	head, err := stm.Read(tx, b)
+	if err != nil {
+		return false, err
+	}
+	for n := head; n != nil; n = n.next {
+		if n.elem == x {
+			return false, nil
+		}
+	}
+	return true, stm.Write(tx, b, &hsNode[T]{elem: x, next: head})
+}
+
+// Remove deletes x and reports whether the set changed. The nodes
+// before x are rebuilt (chains are immutable); the suffix is shared.
+func (h *HashSet[T]) Remove(tx *stm.Tx, x T) (bool, error) {
+	b := h.bucket(x)
+	head, err := stm.Read(tx, b)
+	if err != nil {
+		return false, err
+	}
+	var prefix []T
+	for n := head; n != nil; n = n.next {
+		if n.elem != x {
+			prefix = append(prefix, n.elem)
+			continue
+		}
+		rebuilt := n.next
+		for i := len(prefix) - 1; i >= 0; i-- {
+			rebuilt = &hsNode[T]{elem: prefix[i], next: rebuilt}
+		}
+		return true, stm.Write(tx, b, rebuilt)
+	}
+	return false, nil
+}
+
+// Len counts the elements — a consistent multi-variable read over
+// every bucket, so it conflicts with all concurrent writers (the long
+// read-only scan the paper's bank-auditor scenario stresses).
+func (h *HashSet[T]) Len(tx *stm.Tx) (int, error) {
+	total := 0
+	for _, b := range h.buckets {
+		head, err := stm.Read(tx, b)
+		if err != nil {
+			return 0, err
+		}
+		for n := head; n != nil; n = n.next {
+			total++
+		}
+	}
+	return total, nil
+}
+
+// Elems returns every element, grouped by bucket in chain order — a
+// consistent snapshot of the whole set.
+func (h *HashSet[T]) Elems(tx *stm.Tx) ([]T, error) {
+	var out []T
+	for _, b := range h.buckets {
+		head, err := stm.Read(tx, b)
+		if err != nil {
+			return nil, err
+		}
+		for n := head; n != nil; n = n.next {
+			out = append(out, n.elem)
+		}
+	}
+	return out, nil
+}
+
+// CheckInvariants verifies the set's structural invariants inside tx:
+// every element hashes to the bucket that holds it, and no element
+// appears twice. It is the audit hook the harness runs after a
+// benchmark point.
+func (h *HashSet[T]) CheckInvariants(tx *stm.Tx) error {
+	seen := make(map[T]bool)
+	for i, b := range h.buckets {
+		head, err := stm.Read(tx, b)
+		if err != nil {
+			return err
+		}
+		for n := head; n != nil; n = n.next {
+			if want := h.bucket(n.elem); want != b {
+				return fmt.Errorf("container: hashset element %v in bucket %d, hashes elsewhere", n.elem, i)
+			}
+			if seen[n.elem] {
+				return fmt.Errorf("container: hashset element %v duplicated", n.elem)
+			}
+			seen[n.elem] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package container
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// qNode is one queue link. The struct itself is immutable after
+// construction — the mutable successor pointer lives behind its own
+// stm.Var — so nodes are shared freely between transactions and the
+// default shallow clone of *qNode is correct.
+type qNode[T any] struct {
+	val  T
+	next *stm.Var[*qNode[T]]
+}
+
+// Queue is a transactional FIFO in the Michael–Scott layout: a head
+// variable pointing at a sentinel node (whose successor is the front
+// element) and a tail variable pointing at the last node. Enqueue
+// writes the tail variable and the last node's successor; dequeue
+// writes the head variable after reading the sentinel's successor. The
+// two variables are permanent hot spots: every producer conflicts with
+// every producer and every consumer with every consumer, regardless of
+// queue length — the opposite contention profile of the hash set's
+// disjoint buckets, and a very different stress on contention managers
+// than any of the paper's four structures.
+type Queue[T any] struct {
+	head *stm.Var[*qNode[T]]
+	tail *stm.Var[*qNode[T]]
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	sentinel := &qNode[T]{next: stm.NewVar[*qNode[T]](nil)}
+	return &Queue[T]{
+		head: stm.NewVar(sentinel),
+		tail: stm.NewVar(sentinel),
+	}
+}
+
+// Enqueue appends v at the tail.
+func (q *Queue[T]) Enqueue(tx *stm.Tx, v T) error {
+	node := &qNode[T]{val: v, next: stm.NewVar[*qNode[T]](nil)}
+	last, err := stm.Read(tx, q.tail)
+	if err != nil {
+		return err
+	}
+	if err := stm.Write(tx, last.next, node); err != nil {
+		return err
+	}
+	return stm.Write(tx, q.tail, node)
+}
+
+// Dequeue removes and returns the front element; ok is false (and the
+// queue unchanged) when the queue is empty. The dequeued node becomes
+// the new sentinel, as in the Michael–Scott queue.
+func (q *Queue[T]) Dequeue(tx *stm.Tx) (v T, ok bool, err error) {
+	sentinel, err := stm.Read(tx, q.head)
+	if err != nil {
+		return v, false, err
+	}
+	front, err := stm.Read(tx, sentinel.next)
+	if err != nil {
+		return v, false, err
+	}
+	if front == nil {
+		return v, false, nil
+	}
+	if err := stm.Write(tx, q.head, front); err != nil {
+		return v, false, err
+	}
+	return front.val, true, nil
+}
+
+// Peek returns the front element without removing it; ok is false when
+// the queue is empty.
+func (q *Queue[T]) Peek(tx *stm.Tx) (v T, ok bool, err error) {
+	sentinel, err := stm.Read(tx, q.head)
+	if err != nil {
+		return v, false, err
+	}
+	front, err := stm.Read(tx, sentinel.next)
+	if err != nil {
+		return v, false, err
+	}
+	if front == nil {
+		return v, false, nil
+	}
+	return front.val, true, nil
+}
+
+// PeekN returns up to n front elements without removing them — a
+// bounded consistent prefix snapshot whose read set covers only the
+// nodes walked.
+func (q *Queue[T]) PeekN(tx *stm.Tx, n int) ([]T, error) {
+	sentinel, err := stm.Read(tx, q.head)
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for cur := sentinel; len(out) < n; {
+		next, err := stm.Read(tx, cur.next)
+		if err != nil {
+			return nil, err
+		}
+		if next == nil {
+			break
+		}
+		out = append(out, next.val)
+		cur = next
+	}
+	return out, nil
+}
+
+// Len counts the queued elements by walking the chain — a consistent
+// multi-variable read from head to tail, without materializing the
+// items.
+func (q *Queue[T]) Len(tx *stm.Tx) (int, error) {
+	sentinel, err := stm.Read(tx, q.head)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for cur := sentinel; ; {
+		next, err := stm.Read(tx, cur.next)
+		if err != nil {
+			return 0, err
+		}
+		if next == nil {
+			return n, nil
+		}
+		n++
+		cur = next
+	}
+}
+
+// Items returns the queued elements front to back — a consistent
+// snapshot of the whole queue.
+func (q *Queue[T]) Items(tx *stm.Tx) ([]T, error) {
+	sentinel, err := stm.Read(tx, q.head)
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for cur := sentinel; ; {
+		next, err := stm.Read(tx, cur.next)
+		if err != nil {
+			return nil, err
+		}
+		if next == nil {
+			return out, nil
+		}
+		out = append(out, next.val)
+		cur = next
+	}
+}
+
+// CheckInvariants verifies the queue's structural invariants inside
+// tx: the tail is reachable from the head and is the last node (its
+// successor is nil). It is the audit hook the harness runs after a
+// benchmark point.
+func (q *Queue[T]) CheckInvariants(tx *stm.Tx) error {
+	sentinel, err := stm.Read(tx, q.head)
+	if err != nil {
+		return err
+	}
+	last, err := stm.Read(tx, q.tail)
+	if err != nil {
+		return err
+	}
+	found := false
+	for cur := sentinel; ; {
+		if cur == last {
+			found = true
+		}
+		next, err := stm.Read(tx, cur.next)
+		if err != nil {
+			return err
+		}
+		if next == nil {
+			if cur != last {
+				return fmt.Errorf("container: queue tail is not the last node")
+			}
+			break
+		}
+		cur = next
+	}
+	if !found {
+		return fmt.Errorf("container: queue tail not reachable from head")
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/container"
+	"repro/internal/intset"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// app is one benchmark application: a structure plus the rules for
+// seeding it, drawing one operation, and auditing it afterwards. The
+// paper's four intset structures and the container subsystem both
+// implement it, so the measurement loop is shared.
+//
+// Drawing and executing are split (draw outside the transaction, step
+// inside) so that retries replay identical choices and the worker
+// loop can reuse one transactional closure for its whole run — no
+// per-operation allocation inside the measured window.
+type app interface {
+	// seed pre-populates the structure to roughly half occupancy so
+	// inserts and removes both do real work from the first measured
+	// transaction.
+	seed(s *stm.STM, rng *rand.Rand) error
+	// draw samples one operation outside the transaction.
+	draw(rng *rand.Rand) opDesc
+	// step runs the drawn operation inside tx; it must be retry-safe.
+	step(tx *stm.Tx, d opDesc) error
+	// mixName reports the op-mix label for measured points: the mix's
+	// name for apps that honour it, empty for fixed-workload apps.
+	mixName() string
+	// audit verifies structural integrity after the run.
+	audit(s *stm.STM) error
+}
+
+// seedHalf pre-populates a structure to half the key range, one
+// insert transaction per sampled key — the shared seeding policy of
+// every app.
+func seedHalf(s *stm.STM, cfg Config, keys workload.KeyDist, rng *rand.Rand, insert func(tx *stm.Tx, key int) error) error {
+	for i := 0; i < cfg.KeyRange/2; i++ {
+		key := keys.Sample(rng)
+		if err := s.Atomically(func(tx *stm.Tx) error { return insert(tx, key) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// opDesc is one drawn operation: everything step needs, fixed before
+// the transaction starts so aborts replay the same choices.
+type opDesc struct {
+	op     workload.Op
+	key    int
+	insert bool // intset: insert vs remove
+	all    bool // forest: update all trees
+	tree   int  // forest: target tree
+}
+
+// ContainerStructures are the structure names served by
+// internal/container, in the order they were added.
+var ContainerStructures = []string{"hashset", "queue", "omap"}
+
+// Structures returns every structure name the harness can run: the
+// paper's four intset applications followed by the container
+// subsystem's three.
+func Structures() []string {
+	return append(append([]string{}, intset.Structures...), ContainerStructures...)
+}
+
+// newApp builds the application for cfg.Structure.
+func newApp(cfg Config, keys workload.KeyDist, mix workload.OpMix) (app, error) {
+	switch cfg.Structure {
+	case "hashset":
+		return &hashsetApp{set: container.NewHashSet[int](cfg.Buckets), keys: keys, mix: mix, cfg: cfg}, nil
+	case "queue":
+		return &queueApp{q: container.NewQueue[int](), keys: keys, mix: mix, cfg: cfg}, nil
+	case "omap":
+		return &omapApp{m: container.NewOMap[int, int](), keys: keys, mix: mix, cfg: cfg}, nil
+	default:
+		set, err := intset.NewByName(cfg.Structure)
+		if err != nil {
+			return nil, fmt.Errorf("%w (harness structures: %v)", err, Structures())
+		}
+		forest, _ := set.(*intset.RBForest)
+		return &intsetApp{set: set, forest: forest, keys: keys, cfg: cfg}, nil
+	}
+}
+
+// intsetApp is the paper's workload: continuous random inserts and
+// removes on a small key range (100% updates, half and half), with the
+// forest's one-or-all variant. The op mix is fixed by the paper, so
+// cfg.Mix does not apply here.
+type intsetApp struct {
+	set intset.Set
+	// forest is non-nil when set is the red-black forest, hoisting the
+	// type assertion out of the per-operation path.
+	forest *intset.RBForest
+	keys   workload.KeyDist
+	cfg    Config
+}
+
+func (a *intsetApp) seed(s *stm.STM, rng *rand.Rand) error {
+	return seedHalf(s, a.cfg, a.keys, rng, func(tx *stm.Tx, key int) error {
+		_, err := a.set.Insert(tx, key)
+		return err
+	})
+}
+
+// mixName is empty: the intset apps run the paper's fixed workload,
+// not a configurable mix.
+func (a *intsetApp) mixName() string { return "" }
+
+func (a *intsetApp) draw(rng *rand.Rand) opDesc {
+	d := opDesc{
+		key:    a.keys.Sample(rng),
+		insert: rng.Int64N(2) == 0, // 100% updates, half insert half remove
+	}
+	if a.forest != nil {
+		d.all = rng.Float64() < a.cfg.ForestAllProb
+		d.tree = int(rng.Int64N(int64(a.forest.Size())))
+	}
+	return d
+}
+
+func (a *intsetApp) step(tx *stm.Tx, d opDesc) error {
+	var err error
+	switch {
+	case a.forest != nil && d.all && d.insert:
+		_, err = a.forest.InsertAll(tx, d.key)
+	case a.forest != nil && d.all:
+		_, err = a.forest.RemoveAll(tx, d.key)
+	case a.forest != nil && d.insert:
+		_, err = a.forest.InsertOne(tx, d.tree, d.key)
+	case a.forest != nil:
+		_, err = a.forest.RemoveOne(tx, d.tree, d.key)
+	case d.insert:
+		_, err = a.set.Insert(tx, d.key)
+	default:
+		_, err = a.set.Remove(tx, d.key)
+	}
+	return err
+}
+
+func (a *intsetApp) audit(s *stm.STM) error {
+	keys, err := stm.Atomic(s, func(tx *stm.Tx) ([]int, error) {
+		return a.set.Keys(tx)
+	})
+	if err != nil {
+		return fmt.Errorf("harness: audit keys: %w", err)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return fmt.Errorf("harness: audit: keys not strictly ascending at %d: %v", i, keys[i-1:i+1])
+		}
+	}
+	switch v := a.set.(type) {
+	case *intset.RBTree:
+		if err := s.Atomically(v.CheckInvariants); err != nil {
+			return fmt.Errorf("harness: audit rbtree: %w", err)
+		}
+	case *intset.RBForest:
+		for i := 0; i < v.Size(); i++ {
+			if err := s.Atomically(v.Tree(i).CheckInvariants); err != nil {
+				return fmt.Errorf("harness: audit forest tree %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// hashsetApp drives container.HashSet: point ops hash to one bucket
+// (mostly disjoint under the default 64 buckets), and the mix's range
+// op is a consistent whole-set Len — the long read-only scan that
+// conflicts with every concurrent writer.
+type hashsetApp struct {
+	set  *container.HashSet[int]
+	keys workload.KeyDist
+	mix  workload.OpMix
+	cfg  Config
+}
+
+func (a *hashsetApp) seed(s *stm.STM, rng *rand.Rand) error {
+	return seedHalf(s, a.cfg, a.keys, rng, func(tx *stm.Tx, key int) error {
+		_, err := a.set.Add(tx, key)
+		return err
+	})
+}
+
+func (a *hashsetApp) mixName() string { return a.mix.Name() }
+
+func (a *hashsetApp) draw(rng *rand.Rand) opDesc {
+	return opDesc{op: a.mix.Sample(rng), key: a.keys.Sample(rng)}
+}
+
+func (a *hashsetApp) step(tx *stm.Tx, d opDesc) error {
+	var err error
+	switch d.op {
+	case workload.OpInsert:
+		_, err = a.set.Add(tx, d.key)
+	case workload.OpDelete:
+		_, err = a.set.Remove(tx, d.key)
+	case workload.OpRange:
+		_, err = a.set.Len(tx)
+	default:
+		_, err = a.set.Contains(tx, d.key)
+	}
+	return err
+}
+
+func (a *hashsetApp) audit(s *stm.STM) error {
+	if err := s.Atomically(a.set.CheckInvariants); err != nil {
+		return fmt.Errorf("harness: audit hashset: %w", err)
+	}
+	return nil
+}
+
+// queueApp drives container.Queue: inserts enqueue, deletes dequeue,
+// lookups peek, and the mix's range op snapshots the first RangeSpan
+// items. A dequeue that finds the queue empty enqueues the drawn key
+// instead: under a symmetric mix the queue length is a random walk
+// whose excursions exceed any fixed seed within a measurement window,
+// and without the fallback a drained queue turns half the measured
+// commits into cheap two-read no-ops, inflating throughput. With it,
+// every committed operation does real queue work. Every producer
+// conflicts with every producer at the tail and every consumer with
+// every consumer at the head, whatever the key distribution — the
+// keys only supply the enqueued values.
+type queueApp struct {
+	q    *container.Queue[int]
+	keys workload.KeyDist
+	mix  workload.OpMix
+	cfg  Config
+}
+
+func (a *queueApp) seed(s *stm.STM, rng *rand.Rand) error {
+	return seedHalf(s, a.cfg, a.keys, rng, func(tx *stm.Tx, key int) error {
+		return a.q.Enqueue(tx, key)
+	})
+}
+
+func (a *queueApp) mixName() string { return a.mix.Name() }
+
+func (a *queueApp) draw(rng *rand.Rand) opDesc {
+	return opDesc{op: a.mix.Sample(rng), key: a.keys.Sample(rng)}
+}
+
+func (a *queueApp) step(tx *stm.Tx, d opDesc) error {
+	var err error
+	switch d.op {
+	case workload.OpInsert:
+		err = a.q.Enqueue(tx, d.key)
+	case workload.OpDelete:
+		var ok bool
+		_, ok, err = a.q.Dequeue(tx)
+		if err == nil && !ok {
+			err = a.q.Enqueue(tx, d.key) // empty: refill instead of no-op
+		}
+	case workload.OpRange:
+		_, err = a.q.PeekN(tx, a.cfg.RangeSpan)
+	default:
+		_, _, err = a.q.Peek(tx)
+	}
+	return err
+}
+
+func (a *queueApp) audit(s *stm.STM) error {
+	if err := s.Atomically(a.q.CheckInvariants); err != nil {
+		return fmt.Errorf("harness: audit queue: %w", err)
+	}
+	return nil
+}
+
+// omapApp drives container.OMap with keys doubling as values: point
+// ops walk the tower path, and the mix's range op scans
+// [key, key+RangeSpan) as one consistent read set.
+type omapApp struct {
+	m    *container.OMap[int, int]
+	keys workload.KeyDist
+	mix  workload.OpMix
+	cfg  Config
+}
+
+func (a *omapApp) seed(s *stm.STM, rng *rand.Rand) error {
+	return seedHalf(s, a.cfg, a.keys, rng, func(tx *stm.Tx, key int) error {
+		_, _, err := a.m.Put(tx, key, key)
+		return err
+	})
+}
+
+func (a *omapApp) mixName() string { return a.mix.Name() }
+
+func (a *omapApp) draw(rng *rand.Rand) opDesc {
+	return opDesc{op: a.mix.Sample(rng), key: a.keys.Sample(rng)}
+}
+
+func (a *omapApp) step(tx *stm.Tx, d opDesc) error {
+	var err error
+	switch d.op {
+	case workload.OpInsert:
+		_, _, err = a.m.Put(tx, d.key, d.key)
+	case workload.OpDelete:
+		_, _, err = a.m.Delete(tx, d.key)
+	case workload.OpRange:
+		_, err = a.m.Range(tx, d.key, d.key+a.cfg.RangeSpan)
+	default:
+		_, _, err = a.m.Get(tx, d.key)
+	}
+	return err
+}
+
+func (a *omapApp) audit(s *stm.STM) error {
+	if err := s.Atomically(a.m.CheckInvariants); err != nil {
+		return fmt.Errorf("harness: audit omap: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package harness_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func TestRunContainerStructures(t *testing.T) {
+	for _, structure := range harness.ContainerStructures {
+		structure := structure
+		t.Run(structure, func(t *testing.T) {
+			point, err := harness.Run(quickCfg(structure, "greedy", 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if point.Commits <= 0 {
+				t.Fatalf("no commits measured: %+v", point)
+			}
+			if point.Structure != structure || point.Manager != "greedy" || point.Threads != 2 {
+				t.Fatalf("point mislabelled: %+v", point)
+			}
+			if point.Mix != "update" {
+				t.Fatalf("container point carries mix %q, want %q", point.Mix, "update")
+			}
+		})
+	}
+}
+
+func TestRunContainerMixes(t *testing.T) {
+	for _, mix := range []string{"readheavy", "mixed", "rangeheavy"} {
+		mix := mix
+		t.Run(mix, func(t *testing.T) {
+			for _, structure := range harness.ContainerStructures {
+				cfg := quickCfg(structure, "karma", 2)
+				cfg.Mix = mix
+				point, err := harness.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if point.Commits <= 0 {
+					t.Fatalf("%s/%s: no commits measured", structure, mix)
+				}
+				if point.Mix != mix {
+					t.Fatalf("%s: point carries mix %q, want %q", structure, point.Mix, mix)
+				}
+			}
+		})
+	}
+}
+
+func TestRunContainerZipf(t *testing.T) {
+	cfg := quickCfg("omap", "greedy", 4)
+	cfg.KeyDist = "zipf:1.2"
+	cfg.Mix = "mixed"
+	point, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Commits <= 0 {
+		t.Fatalf("no commits under zipf keys: %+v", point)
+	}
+}
+
+func TestRunRejectsBadMix(t *testing.T) {
+	cfg := quickCfg("hashset", "greedy", 1)
+	cfg.Mix = "writeonly"
+	if _, err := harness.Run(cfg); err == nil {
+		t.Fatal("unknown op mix accepted")
+	}
+}
+
+func TestIntsetIgnoresMixLabel(t *testing.T) {
+	cfg := quickCfg("list", "greedy", 1)
+	cfg.Mix = "readheavy"
+	point, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Mix != "" {
+		t.Fatalf("intset point carries mix %q, want empty (fixed paper workload)", point.Mix)
+	}
+}
+
+func TestStructuresListsEverything(t *testing.T) {
+	got := harness.Structures()
+	want := []string{"list", "skiplist", "rbtree", "rbforest", "hashset", "queue", "omap"}
+	if len(got) != len(want) {
+		t.Fatalf("Structures() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Structures()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStructureFigure(t *testing.T) {
+	for _, structure := range harness.Structures() {
+		fig, err := harness.StructureFigure(structure)
+		if err != nil {
+			t.Fatalf("StructureFigure(%q): %v", structure, err)
+		}
+		if fig.ID != 0 || fig.Structure != structure {
+			t.Fatalf("StructureFigure(%q) = %+v", structure, fig)
+		}
+	}
+	if _, err := harness.StructureFigure("btree"); err == nil {
+		t.Fatal("unknown structure accepted")
+	}
+}
+
+func TestContainerFigureSweep(t *testing.T) {
+	fig, err := harness.FigureByID(6) // the queue figure
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := harness.RunFigure(fig, harness.FigureOptions{
+		Duration: 25 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Threads:  []int{1, 2},
+		Managers: []string{"greedy", "karma"},
+		Audit:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("sweep produced %d points, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.Figure != 6 || p.Structure != "queue" {
+			t.Fatalf("point mislabelled: %+v", p)
+		}
+		if p.CommitsPerSec <= 0 {
+			t.Fatalf("no throughput at %+v", p)
+		}
+	}
+}
+
+// TestMixPresetsExported pins the preset names the harness documents
+// to what workload actually exports.
+func TestMixPresetsExported(t *testing.T) {
+	for _, m := range []workload.OpMix{workload.UpdateMix, workload.ReadHeavyMix, workload.MixedMix, workload.RangeMix} {
+		if _, err := workload.NewOpMix(m.Name()); err != nil {
+			t.Fatalf("preset %q not reachable by name: %v", m.Name(), err)
+		}
+	}
+}

@@ -7,16 +7,20 @@ import (
 	"repro/internal/core"
 )
 
-// Figure describes one of the paper's evaluation figures: which
-// benchmark application, which contention scenario, and which manager
-// series to plot against the thread count.
+// Figure describes one evaluation figure: which benchmark
+// application, which contention scenario, and which manager series to
+// plot against the thread count.
 type Figure struct {
-	// ID is the paper's figure number (1-4).
+	// ID is the figure number: 1-4 are the paper's, 5-7 the container
+	// extensions.
 	ID int
-	// Name is the paper's caption.
+	// Name is the caption.
 	Name string
 	// Structure is the benchmark application.
 	Structure string
+	// Mix is the container op mix (see Config.Mix); empty selects the
+	// default update mix, and the intset structures ignore it.
+	Mix string
 	// TailWork is the uncontended in-transaction tail (Figure 3's low
 	// contention scenario); zero elsewhere.
 	TailWork int
@@ -31,7 +35,11 @@ type Figure struct {
 // DefaultThreads samples the paper's 1..32 thread range.
 var DefaultThreads = []int{1, 2, 4, 8, 16, 24, 32}
 
-// Figures are the paper's four evaluation figures.
+// Figures are the paper's four evaluation figures (1-4) plus the
+// container-subsystem extensions (5-7): the same manager series over
+// the contention profiles the paper's structures cannot produce —
+// disjoint hash buckets, a two-variable FIFO hot spot, and skip-list
+// range scans competing with point writers.
 var Figures = []Figure{
 	{
 		ID:        1,
@@ -63,6 +71,61 @@ var Figures = []Figure{
 		Managers:      core.FigureManagers,
 		Threads:       DefaultThreads,
 	},
+	{
+		ID:        5,
+		Name:      "Hash set application (disjoint buckets)",
+		Structure: "hashset",
+		Mix:       "update",
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
+	{
+		ID:        6,
+		Name:      "FIFO queue application (head/tail hot spots)",
+		Structure: "queue",
+		Mix:       "update",
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
+	{
+		ID:        7,
+		Name:      "Ordered map application (range scans vs point writes)",
+		Structure: "omap",
+		Mix:       "mixed",
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
+}
+
+// StructureFigure returns a synthetic one-structure figure (ID 0) for
+// sweeps selected by structure name rather than figure number —
+// stmbench's -structure flag. The name must be one of Structures.
+func StructureFigure(name string) (Figure, error) {
+	for _, s := range Structures() {
+		if s != name {
+			continue
+		}
+		fig := Figure{
+			Name:      name + " sweep",
+			Structure: name,
+			Managers:  core.FigureManagers,
+			Threads:   DefaultThreads,
+		}
+		// Inherit the structure's intrinsic parameters from its
+		// canonical numbered figure so a -structure sweep stays in
+		// lockstep if the figure is ever retuned. TailWork is left at
+		// zero and Mix at the default on purpose: those are scenario
+		// knobs (Figure 3's low-contention tail, Figure 7's mixed
+		// traffic), not properties of the structure.
+		for _, f := range Figures {
+			if f.Structure == name {
+				fig.ForestAllProb = f.ForestAllProb
+				break
+			}
+		}
+		return fig, nil
+	}
+	return Figure{}, fmt.Errorf("harness: unknown structure %q (have %v)", name, Structures())
 }
 
 // FigureByID returns the figure definition for the paper's figure
@@ -92,6 +155,9 @@ type FigureOptions struct {
 	Audit bool
 	// KeyDist overrides the key distribution (see Config.KeyDist).
 	KeyDist string
+	// Mix overrides the figure's container op mix when non-empty (see
+	// Config.Mix).
+	Mix string
 	// Progress, when non-nil, receives each point as it completes.
 	Progress func(Point)
 }
@@ -107,6 +173,10 @@ func RunFigure(fig Figure, opts FigureOptions) ([]Point, error) {
 	if len(opts.Managers) > 0 {
 		managers = opts.Managers
 	}
+	mix := fig.Mix
+	if opts.Mix != "" {
+		mix = opts.Mix
+	}
 	var points []Point
 	for _, mgr := range managers {
 		for _, th := range threads {
@@ -121,6 +191,7 @@ func RunFigure(fig Figure, opts FigureOptions) ([]Point, error) {
 				Seed:          opts.Seed,
 				Audit:         opts.Audit,
 				KeyDist:       opts.KeyDist,
+				Mix:           mix,
 			}
 			point, err := Run(cfg)
 			if err != nil {

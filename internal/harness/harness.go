@@ -1,8 +1,11 @@
-// Package harness drives the paper's benchmark workloads (Figures
-// 1–4) against the STM: a configurable number of worker threads
-// continuously inserting and removing random keys from a small key
-// range (forcing contention), under a chosen contention manager, with
-// committed transactions per second as the reported metric.
+// Package harness drives the benchmark workloads against the STM: a
+// configurable number of worker threads continuously operating on a
+// shared structure (forcing contention), under a chosen contention
+// manager, with committed transactions per second as the reported
+// metric. The applications are the paper's four intset structures
+// (Figures 1–4) and the container subsystem's hash set, FIFO queue
+// and ordered map (Figures 5–7), the latter with configurable
+// lookup/insert/delete/range op mixes (see workload.NewOpMix).
 package harness
 
 import (
@@ -14,7 +17,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/intset"
 	"repro/internal/metrics"
 	"repro/internal/stm"
 	"repro/internal/workload"
@@ -22,8 +24,9 @@ import (
 
 // Config describes one benchmark run (one point of a figure).
 type Config struct {
-	// Structure is the benchmark application: "list", "skiplist",
-	// "rbtree" or "rbforest".
+	// Structure is the benchmark application: one of the paper's four
+	// ("list", "skiplist", "rbtree", "rbforest") or a container
+	// structure ("hashset", "queue", "omap") — see Structures.
 	Structure string
 	// Manager is the contention manager's registry name.
 	Manager string
@@ -42,6 +45,17 @@ type Config struct {
 	// workload, default), "zipf" or "zipf:<exponent>" for skewed
 	// contention concentrated on hot keys.
 	KeyDist string
+	// Mix names the container op mix (see workload.NewOpMix):
+	// "update" (the paper's 50/50 insert/delete, default),
+	// "readheavy", "mixed", "rangeheavy" or explicit "w:l,i,d,r"
+	// weights. The intset structures always run the paper's fixed
+	// update workload; the mix applies to the container structures.
+	Mix string
+	// RangeSpan is how many keys (omap) or items (queue) a range
+	// operation covers; default 16.
+	RangeSpan int
+	// Buckets is the hashset bucket count; default 64.
+	Buckets int
 	// TailWork adds an uncontended computation of roughly TailWork
 	// arithmetic steps at the end of every transaction, reproducing
 	// Figure 3's low-contention scenario ("threads perform
@@ -86,6 +100,12 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 0x5eed
 	}
+	if c.RangeSpan <= 0 {
+		c.RangeSpan = 16
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 64
+	}
 	return c
 }
 
@@ -95,6 +115,9 @@ type Point struct {
 	Structure string
 	Manager   string
 	Threads   int
+	// Mix is the op mix the point ran (empty for the intset
+	// structures, which always run the paper's fixed update workload).
+	Mix string
 	// Figure is the paper figure the point belongs to; zero when the
 	// point was run outside a figure sweep (RunFigure stamps it).
 	Figure int
@@ -123,11 +146,15 @@ func Run(cfg Config) (Point, error) {
 	if err != nil {
 		return Point{}, err
 	}
-	set, err := intset.NewByName(cfg.Structure)
+	keys, err := workload.NewKeyDist(cfg.KeyDist, cfg.KeyRange)
 	if err != nil {
 		return Point{}, err
 	}
-	keys, err := workload.NewKeyDist(cfg.KeyDist, cfg.KeyRange)
+	mix, err := workload.NewOpMix(cfg.Mix)
+	if err != nil {
+		return Point{}, err
+	}
+	application, err := newApp(cfg, keys, mix)
 	if err != nil {
 		return Point{}, err
 	}
@@ -143,17 +170,9 @@ func Run(cfg Config) (Point, error) {
 	// is preserved without pinning.
 	s := stm.New(stm.WithInterleavePeriod(interleave), stm.WithManagerFactory(factory))
 
-	// Pre-populate to roughly half occupancy so inserts and removes
-	// both do real work from the first measured transaction.
 	seedRng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
-	for i := 0; i < cfg.KeyRange/2; i++ {
-		key := keys.Sample(seedRng)
-		if err := s.Atomically(func(tx *stm.Tx) error {
-			_, err := set.Insert(tx, key)
-			return err
-		}); err != nil {
-			return Point{}, fmt.Errorf("harness: seeding: %w", err)
-		}
+	if err := application.seed(s, seedRng); err != nil {
+		return Point{}, fmt.Errorf("harness: seeding: %w", err)
 	}
 
 	var stop atomic.Bool
@@ -165,7 +184,7 @@ func Run(cfg Config) (Point, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			workerErrs[w] = work(&stop, s, set, keys, rng, cfg, &latencies[w])
+			workerErrs[w] = work(&stop, s, application, rng, cfg, &latencies[w])
 		}(w)
 	}
 
@@ -191,6 +210,7 @@ func Run(cfg Config) (Point, error) {
 		Structure:     cfg.Structure,
 		Manager:       cfg.Manager,
 		Threads:       cfg.Threads,
+		Mix:           application.mixName(),
 		Commits:       after - before,
 		CommitsPerSec: float64(after-before) / elapsed.Seconds(),
 		Aborts:        total.Aborts,
@@ -202,7 +222,7 @@ func Run(cfg Config) (Point, error) {
 		point.Latency.Merge(&latencies[i])
 	}
 	if cfg.Audit {
-		if err := audit(s, set, cfg); err != nil {
+		if err := application.audit(s); err != nil {
 			return Point{}, err
 		}
 	}
@@ -217,45 +237,28 @@ func Run(cfg Config) (Point, error) {
 // is not ErrAborted, so Atomically surfaces it instead of retrying.
 var errStopped = errors.New("harness: measurement window closed")
 
-// work is one worker's loop: pick an operation outside the
+// work is one worker's loop: draw an operation outside the
 // transaction (transactional functions must be retry-safe), run it
-// through the goroutine-agnostic entry point, record the latency.
-func work(stop *atomic.Bool, s *stm.STM, set intset.Set, keys workload.KeyDist, rng *rand.Rand, cfg Config, lat *metrics.Histogram) error {
-	forest, isForest := set.(*intset.RBForest)
+// through the goroutine-agnostic entry point, record the latency. One
+// transactional closure serves the whole run — the drawn operation is
+// passed through a captured variable — so the measured loop allocates
+// nothing of its own per transaction.
+func work(stop *atomic.Bool, s *stm.STM, application app, rng *rand.Rand, cfg Config, lat *metrics.Histogram) error {
+	var d opDesc
+	fn := func(tx *stm.Tx) error {
+		if stop.Load() {
+			return errStopped
+		}
+		if err := application.step(tx, d); err != nil {
+			return err
+		}
+		spin(cfg.TailWork)
+		return nil
+	}
 	for !stop.Load() {
 		opStart := time.Now()
-		key := keys.Sample(rng)
-		insert := rng.Int64N(2) == 0 // 100% updates, half insert half remove
-		all := isForest && rng.Float64() < cfg.ForestAllProb
-		tree := 0
-		if isForest {
-			tree = int(rng.Int64N(int64(forest.Size())))
-		}
-		err := s.Atomically(func(tx *stm.Tx) error {
-			if stop.Load() {
-				return errStopped
-			}
-			var err error
-			switch {
-			case isForest && all && insert:
-				_, err = forest.InsertAll(tx, key)
-			case isForest && all:
-				_, err = forest.RemoveAll(tx, key)
-			case isForest && insert:
-				_, err = forest.InsertOne(tx, tree, key)
-			case isForest:
-				_, err = forest.RemoveOne(tx, tree, key)
-			case insert:
-				_, err = set.Insert(tx, key)
-			default:
-				_, err = set.Remove(tx, key)
-			}
-			if err != nil {
-				return err
-			}
-			spin(cfg.TailWork)
-			return nil
-		})
+		d = application.draw(rng)
+		err := s.Atomically(fn)
 		if errors.Is(err, errStopped) {
 			return nil
 		}
@@ -283,34 +286,4 @@ func spin(n int) {
 		x ^= x << 17
 	}
 	spinSink.Store(x)
-}
-
-// audit verifies the structure after a run: keys strictly ascending,
-// Contains agreeing with Keys, and red-black invariants where
-// applicable.
-func audit(s *stm.STM, set intset.Set, cfg Config) error {
-	keys, err := stm.Atomic(s, func(tx *stm.Tx) ([]int, error) {
-		return set.Keys(tx)
-	})
-	if err != nil {
-		return fmt.Errorf("harness: audit keys: %w", err)
-	}
-	for i := 1; i < len(keys); i++ {
-		if keys[i-1] >= keys[i] {
-			return fmt.Errorf("harness: audit: keys not strictly ascending at %d: %v", i, keys[i-1:i+1])
-		}
-	}
-	switch v := set.(type) {
-	case *intset.RBTree:
-		if err := s.Atomically(v.CheckInvariants); err != nil {
-			return fmt.Errorf("harness: audit rbtree: %w", err)
-		}
-	case *intset.RBForest:
-		for i := 0; i < v.Size(); i++ {
-			if err := s.Atomically(v.Tree(i).CheckInvariants); err != nil {
-				return fmt.Errorf("harness: audit forest tree %d: %w", i, err)
-			}
-		}
-	}
-	return nil
 }

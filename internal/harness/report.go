@@ -18,6 +18,7 @@ type pointJSON struct {
 	Structure     string  `json:"structure"`
 	Manager       string  `json:"manager"`
 	Threads       int     `json:"threads"`
+	Mix           string  `json:"mix,omitempty"`
 	CommitsPerSec float64 `json:"commits_per_sec"`
 	Commits       int64   `json:"commits"`
 	Aborts        int64   `json:"aborts"`
@@ -40,6 +41,7 @@ func WriteJSON(w io.Writer, points []Point) error {
 			Structure:     p.Structure,
 			Manager:       p.Manager,
 			Threads:       p.Threads,
+			Mix:           p.Mix,
 			CommitsPerSec: p.CommitsPerSec,
 			Commits:       p.Commits,
 			Aborts:        p.Aborts,

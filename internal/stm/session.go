@@ -38,6 +38,11 @@ type session struct {
 	freeTx     *Tx
 	freeReads  map[*TObj]Value
 	freeShared *txShared
+
+	// inline is the small-transaction read-set array lent to the
+	// session's running attempt (one runs at a time), so per-attempt
+	// descriptors stay small and small transactions need no map.
+	inline inlineReadSet
 }
 
 // newSession creates a session with its own contention-manager
@@ -128,6 +133,33 @@ func Atomic[T any](s *STM, fn func(tx *Tx) (T, error)) (T, error) {
 	return out, nil
 }
 
+// Atomic2 is Atomic for transactions that compute two values — the
+// shape of container lookups and conditional removals, whose methods
+// return (value, ok, error) and so plug in directly:
+//
+//	v, ok, err := stm.Atomic2(s, queue.Dequeue)
+//
+// On error the zero A and B are returned; only the committed attempt's
+// results are returned.
+func Atomic2[A, B any](s *STM, fn func(tx *Tx) (A, B, error)) (A, B, error) {
+	var outA A
+	var outB B
+	err := s.Atomically(func(tx *Tx) error {
+		a, b, err := fn(tx)
+		if err != nil {
+			return err
+		}
+		outA, outB = a, b
+		return nil
+	})
+	if err != nil {
+		var zeroA A
+		var zeroB B
+		return zeroA, zeroB, err
+	}
+	return outA, outB, nil
+}
+
 // atomically executes one logical transaction on the session.
 func (sess *session) atomically(fn func(tx *Tx) error) error {
 	// If fn panics (or calls runtime.Goexit) mid-attempt, the normal
@@ -140,7 +172,16 @@ func (sess *session) atomically(fn func(tx *Tx) error) error {
 		if tx := sess.current.Load(); tx != nil {
 			tx.Abort()
 			sess.current.Store(nil)
+			// The orphan skipped recycle; its read set is owner-private
+			// and never consulted again, so don't let it pin Values.
+			tx.reads = nil
 		}
+		// Halted and panicked attempts skip recycle, which is what
+		// normally empties the session's inline read set before it
+		// idles in the pool; reset here so an abandoned attempt's
+		// entries don't pin old committed Values (no-op when recycle
+		// already ran).
+		sess.inline.reset()
 	}()
 	shared := sess.freeShared
 	if shared != nil {
@@ -186,9 +227,13 @@ func (sess *session) run(shared *txShared, fn func(tx *Tx) error) error {
 		case errors.Is(err, ErrHalted):
 			// Failure injection: abandon the transaction without
 			// aborting it. It remains active and obstructing, so its
-			// descriptor is not recycled.
+			// descriptor is not recycled — but its read set is
+			// owner-private and never consulted again (enemies only
+			// read the descriptor's atomics), so sever it rather than
+			// letting stale locator references pin old Values.
 			sess.current.Store(nil)
 			sess.stats.halted.Add(1)
+			tx.reads = nil
 			return ErrHalted
 		case errors.Is(err, ErrAborted):
 			// Enemy abort: fall through to retry.
@@ -215,6 +260,10 @@ const maxRecycledReads = 256
 // newAttempt produces the descriptor for the next attempt, reusing the
 // session's cached descriptor or read-set map when available.
 func (sess *session) newAttempt(shared *txShared) *Tx {
+	// The previous attempt's inline entries are normally reset by
+	// recycle; a halted or panicked attempt skips recycling, so reset
+	// again here before lending the array out.
+	sess.inline.reset()
 	if tx := sess.freeTx; tx != nil {
 		sess.freeTx = nil
 		tx.shared = shared
@@ -225,12 +274,13 @@ func (sess *session) newAttempt(shared *txShared) *Tx {
 		tx.opens = 0
 		return tx
 	}
-	tx := &Tx{stm: sess.stm, sess: sess, shared: shared}
+	tx := &Tx{stm: sess.stm, sess: sess, shared: shared, inline: &sess.inline}
+	// The inline array serves small transactions without a map; adopt a
+	// salvaged overflow map when one is cached, and otherwise leave
+	// reads nil until the inline slots fill.
 	if sess.freeReads != nil {
 		tx.reads = sess.freeReads
 		sess.freeReads = nil
-	} else {
-		tx.reads = make(map[*TObj]Value, 8)
 	}
 	return tx
 }
@@ -245,18 +295,19 @@ func (sess *session) newAttempt(shared *txShared) *Tx {
 // referenced, so their descriptors and read-set maps are reused whole;
 // for eager writers only the owner-private read-set map is salvaged.
 func (sess *session) recycle(tx *Tx) {
+	// Reset here, not at reuse: a session may idle in the pool
+	// indefinitely, and its inline read-set entries must not pin old
+	// committed Values while it does.
+	sess.inline.reset()
 	if len(tx.writes) == 0 && !sess.pinned {
 		if sess.freeTx == nil && len(tx.reads) <= maxRecycledReads {
-			// Clear here, not at reuse: a session may idle in the pool
-			// indefinitely, and the retired maps must not pin old
-			// committed Values while it does.
 			clear(tx.reads)
 			clear(tx.lazyWrites)
 			sess.freeTx = tx
 		}
 		return
 	}
-	if sess.freeReads == nil && len(tx.reads) <= maxRecycledReads {
+	if sess.freeReads == nil && tx.reads != nil && len(tx.reads) <= maxRecycledReads {
 		m := tx.reads
 		tx.reads = nil
 		clear(m)

@@ -220,10 +220,5 @@ func (tx *Tx) tryCommit() bool {
 // scanReads performs a full read-set scan against current committed
 // versions, without the commit-clock shortcut.
 func (tx *Tx) scanReads() bool {
-	for obj, seen := range tx.reads {
-		if obj.committed() != seen {
-			return false
-		}
-	}
-	return true
+	return tx.readsStillCommitted()
 }

@@ -167,7 +167,7 @@ func (o *TObj) openRead(tx *Tx) (Value, error) {
 		return l.newVal, nil
 	}
 	// Repeated read: return the recorded version for a stable view.
-	if v, ok := tx.reads[o]; ok {
+	if v, ok := tx.lookupRead(o); ok {
 		return v, nil
 	}
 	for {

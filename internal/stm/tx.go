@@ -39,10 +39,22 @@ type Tx struct {
 	status  atomic.Int32
 	waiting atomic.Bool
 	halted  atomic.Bool
+	// opens counts objects opened by this attempt (reads and writes).
+	// An int32 here fills the status word's padding hole, keeping the
+	// per-attempt descriptor in the smaller allocation size class.
+	opens int32
 
-	// reads maps each object opened for reading to the version
-	// observed. Invisible to writers; validated lazily.
-	reads map[*TObj]Value
+	// The read set maps each object opened for reading to the version
+	// observed. Invisible to writers; validated lazily. Small
+	// transactions are the common case, so the first inlineReads
+	// entries live in a fixed array scanned linearly — no hashing, and
+	// a small transaction allocates no map at all — with the map as
+	// overflow (nil until the inline slots fill). The array is owned by
+	// the session (one attempt runs on a session at a time) rather than
+	// embedded here, so the descriptors of eager writers — allocated
+	// per attempt because they can never be recycled — stay small.
+	inline *inlineReadSet
+	reads  map[*TObj]Value
 	// writes lists objects this attempt has open for writing, in open
 	// order (used by statistics and tests; commit itself is just a
 	// status CAS).
@@ -51,8 +63,6 @@ type Tx struct {
 	// last known valid; validation is skipped while the clock has not
 	// advanced.
 	validClock uint64
-	// opens counts objects opened by this attempt (reads and writes).
-	opens int
 	// lazyWrites buffers tentative versions in lazy-conflict mode
 	// (nil in eager mode and for read-only lazy transactions).
 	lazyWrites map[*TObj]Value
@@ -101,7 +111,7 @@ func (tx *Tx) SetPriority(p int64) { tx.shared.priority.Store(p) }
 func (tx *Tx) Aborts() int64 { return tx.shared.aborts.Load() }
 
 // Opens returns the number of objects this attempt has opened.
-func (tx *Tx) Opens() int { return tx.opens }
+func (tx *Tx) Opens() int { return int(tx.opens) }
 
 // Abort moves the transaction from active to aborted on behalf of an
 // enemy (or of the transaction itself). It returns true if the
@@ -175,11 +185,9 @@ func (tx *Tx) validate() bool {
 		if clock == tx.validClock && !tx.stm.fullValidation {
 			return true
 		}
-		for obj, seen := range tx.reads {
-			if obj.committed() != seen {
-				tx.Abort()
-				return false
-			}
+		if !tx.readsStillCommitted() {
+			tx.Abort()
+			return false
 		}
 		if tx.stm.commitClock.Load() == clock {
 			// Stable scan: cache it.
@@ -199,14 +207,83 @@ func (tx *Tx) validate() bool {
 // configured interleave period, so transactions overlap even when the
 // host has fewer cores than workers (see WithInterleavePeriod).
 func (tx *Tx) maybeYield() {
-	if p := tx.stm.interleave; p > 0 && tx.opens%p == 0 {
+	if p := tx.stm.interleave; p > 0 && int(tx.opens)%p == 0 {
 		runtime.Gosched()
 	}
 }
 
-// recordRead notes that the transaction observed version v of obj.
-func (tx *Tx) recordRead(obj *TObj, v Value) {
-	if _, ok := tx.reads[obj]; !ok {
-		tx.reads[obj] = v
+// inlineReads is the number of read-set entries kept in the session's
+// fixed array before recording spills to the overflow map. Eight
+// covers the paper's small update transactions (a list or tree
+// operation on the benchmark key range reads a handful of nodes).
+const inlineReads = 8
+
+// inlineReadSet is the small-transaction read-set fast path: a fixed
+// array scanned linearly. Each session owns one, lent to its running
+// attempt; it is owner-private like the overflow map.
+type inlineReadSet struct {
+	objs [inlineReads]*TObj
+	vals [inlineReads]Value
+	n    int
+}
+
+// reset empties the set, releasing the recorded Values so an idle
+// session does not pin old committed versions.
+func (rs *inlineReadSet) reset() {
+	for i := 0; i < rs.n; i++ {
+		rs.objs[i] = nil
+		rs.vals[i] = nil
 	}
+	rs.n = 0
+}
+
+// lookupRead returns the version the transaction has recorded for obj,
+// if any: the inline entries first, then the overflow map.
+func (tx *Tx) lookupRead(obj *TObj) (Value, bool) {
+	rs := tx.inline
+	for i := 0; i < rs.n; i++ {
+		if rs.objs[i] == obj {
+			return rs.vals[i], true
+		}
+	}
+	if tx.reads != nil {
+		v, ok := tx.reads[obj]
+		return v, ok
+	}
+	return nil, false
+}
+
+// recordRead notes that the transaction observed version v of obj.
+// The caller (openRead) has already checked lookupRead and found
+// nothing, and only the owning goroutine mutates the read set, so no
+// duplicate check is repeated here — this is the hottest read path.
+func (tx *Tx) recordRead(obj *TObj, v Value) {
+	rs := tx.inline
+	if rs.n < inlineReads {
+		rs.objs[rs.n] = obj
+		rs.vals[rs.n] = v
+		rs.n++
+		return
+	}
+	if tx.reads == nil {
+		tx.reads = make(map[*TObj]Value, 16)
+	}
+	tx.reads[obj] = v
+}
+
+// readsStillCommitted re-checks every recorded read — inline entries
+// and overflow map — against the object's current committed version.
+func (tx *Tx) readsStillCommitted() bool {
+	rs := tx.inline
+	for i := 0; i < rs.n; i++ {
+		if rs.objs[i].committed() != rs.vals[i] {
+			return false
+		}
+	}
+	for obj, seen := range tx.reads {
+		if obj.committed() != seen {
+			return false
+		}
+	}
+	return true
 }

@@ -193,6 +193,47 @@ func UpdateErr[T any](tx *Tx, v *Var[T], f func(T) (T, error)) error {
 	return nil
 }
 
+// Swap opens v for writing, replaces the transaction's private version
+// with x, and returns the value it replaced — the transactional
+// exchange that container code (queue head/tail rotation, cache
+// eviction) would otherwise spell as a Read followed by a Write of the
+// same variable. The Var's Cloner (if any) is applied to x exactly as
+// in Write. The error contract is Read's.
+func Swap[T any](tx *Tx, v *Var[T], x T) (T, error) {
+	if v.clone != nil {
+		x = v.clone(x)
+	}
+	val, err := v.obj.openWrite(tx)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	b := val.(*varBox[T])
+	old := b.val
+	b.val = x
+	return old, nil
+}
+
+// CompareAndSwap replaces v's value with new only if it currently
+// equals old, reporting whether the swap happened. Unlike a hardware
+// CAS it needs no retry loop — the transaction already isolates the
+// compare from the swap — and a failed compare costs only a read, so
+// it never acquires ownership (and hence never creates a write
+// conflict) on the no-op path. The error contract is Read's.
+func CompareAndSwap[T comparable](tx *Tx, v *Var[T], old, new T) (bool, error) {
+	cur, err := Read(tx, v)
+	if err != nil {
+		return false, err
+	}
+	if cur != old {
+		return false, nil
+	}
+	if err := Write(tx, v, new); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // ReadAll records every variable's committed value in the
 // transaction's read set and returns the values in argument order — a
 // consistent multi-variable read: validation guarantees that some

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+)
+
+// Op is one container operation kind drawn from an OpMix. How an Op
+// maps onto a particular structure is the harness's business (a
+// "range" on a hash set is a whole-set consistent scan; on a queue it
+// is a prefix walk); the mix only fixes the frequencies.
+type Op int
+
+const (
+	// OpLookup is a read-only point query (Contains / Get / Peek).
+	OpLookup Op = iota
+	// OpInsert adds an element (Add / Put / Enqueue).
+	OpInsert
+	// OpDelete removes an element (Remove / Delete / Dequeue).
+	OpDelete
+	// OpRange is a consistent multi-variable read (Range / Len / Items).
+	OpRange
+)
+
+// String implements fmt.Stringer.
+func (op Op) String() string {
+	switch op {
+	case OpLookup:
+		return "lookup"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpRange:
+		return "range"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// OpMix is a distribution over container operations. The zero OpMix is
+// not usable; construct mixes with NewOpMix or the exported presets.
+type OpMix struct {
+	name string
+	// cum is the cumulative weight of [lookup, insert, delete, range],
+	// normalized to cum[3] == 1.
+	cum [4]float64
+}
+
+// newOpMix normalizes the weights into a sampleable mix.
+func newOpMix(name string, lookup, insert, delete, rang float64) (OpMix, error) {
+	w := [4]float64{lookup, insert, delete, rang}
+	total := 0.0
+	for _, x := range w {
+		if x < 0 {
+			return OpMix{}, fmt.Errorf("workload: negative op weight in %q", name)
+		}
+		total += x
+	}
+	if total <= 0 {
+		return OpMix{}, fmt.Errorf("workload: op mix %q has no positive weight", name)
+	}
+	m := OpMix{name: name}
+	run := 0.0
+	for i, x := range w {
+		run += x / total
+		m.cum[i] = run
+	}
+	m.cum[3] = 1 // guard against rounding
+	return m, nil
+}
+
+// mustOpMix builds the preset mixes; weights are compile-time
+// constants, so failure is a programming error.
+func mustOpMix(name string, lookup, insert, delete, rang float64) OpMix {
+	m, err := newOpMix(name, lookup, insert, delete, rang)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// The preset mixes. UpdateMix is the paper's workload (every
+// transaction writes); the others widen the scenarios the way the
+// ROADMAP asks: read-mostly point traffic, a balanced mix with
+// occasional scans, and a scan-heavy regime where long consistent
+// reads compete with writers — the case the paper notes backoff-style
+// managers handle poorly.
+var (
+	UpdateMix    = mustOpMix("update", 0, 0.5, 0.5, 0)
+	ReadHeavyMix = mustOpMix("readheavy", 0.90, 0.05, 0.05, 0)
+	MixedMix     = mustOpMix("mixed", 0.60, 0.15, 0.15, 0.10)
+	RangeMix     = mustOpMix("rangeheavy", 0.20, 0.20, 0.20, 0.40)
+)
+
+// Sample draws one operation.
+func (m OpMix) Sample(rng *rand.Rand) Op {
+	u := rng.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return Op(i)
+		}
+	}
+	return OpRange
+}
+
+// Name identifies the mix in reports.
+func (m OpMix) Name() string { return m.name }
+
+// NewOpMix constructs a mix by name: "update" (the paper's 50/50
+// insert/delete, the default for empty names), "readheavy", "mixed",
+// "rangeheavy", or explicit weights "w:<lookup>,<insert>,<delete>,<range>"
+// (e.g. "w:8,1,1,0"), normalized to probabilities.
+func NewOpMix(name string) (OpMix, error) {
+	switch name {
+	case "", "update":
+		return UpdateMix, nil
+	case "readheavy":
+		return ReadHeavyMix, nil
+	case "mixed":
+		return MixedMix, nil
+	case "rangeheavy":
+		return RangeMix, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "w:"); ok {
+		parts := strings.Split(rest, ",")
+		if len(parts) != 4 {
+			return OpMix{}, fmt.Errorf("workload: op weights %q: want exactly 4 comma-separated numbers", rest)
+		}
+		var w [4]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return OpMix{}, fmt.Errorf("workload: bad op weight %q: %w", p, err)
+			}
+			w[i] = v
+		}
+		return newOpMix(name, w[0], w[1], w[2], w[3])
+	}
+	return OpMix{}, fmt.Errorf("workload: unknown op mix %q (have update, readheavy, mixed, rangeheavy, w:l,i,d,r)", name)
+}

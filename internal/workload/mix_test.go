@@ -1,0 +1,90 @@
+package workload_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestOpMixSampleFrequencies(t *testing.T) {
+	m, err := workload.NewOpMix("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 9))
+	counts := make(map[workload.Op]int)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(rng)]++
+	}
+	want := map[workload.Op]float64{
+		workload.OpLookup: 0.60,
+		workload.OpInsert: 0.15,
+		workload.OpDelete: 0.15,
+		workload.OpRange:  0.10,
+	}
+	for op, p := range want {
+		got := float64(counts[op]) / n
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("%v frequency %.3f, want %.2f±0.02", op, got, p)
+		}
+	}
+}
+
+func TestOpMixNames(t *testing.T) {
+	for _, name := range []string{"update", "readheavy", "mixed", "rangeheavy"} {
+		m, err := workload.NewOpMix(name)
+		if err != nil {
+			t.Fatalf("NewOpMix(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("NewOpMix(%q).Name() = %q", name, m.Name())
+		}
+	}
+	// Empty name defaults to the paper's update mix.
+	m, err := workload.NewOpMix("")
+	if err != nil || m.Name() != "update" {
+		t.Fatalf("NewOpMix(\"\") = %q, %v; want update, nil", m.Name(), err)
+	}
+}
+
+func TestOpMixUpdateNeverReads(t *testing.T) {
+	m, err := workload.NewOpMix("update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 5000; i++ {
+		if op := m.Sample(rng); op != workload.OpInsert && op != workload.OpDelete {
+			t.Fatalf("update mix drew %v", op)
+		}
+	}
+}
+
+func TestOpMixExplicitWeights(t *testing.T) {
+	m, err := workload.NewOpMix("w:1,0,0,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	counts := make(map[workload.Op]int)
+	for i := 0; i < 10000; i++ {
+		counts[m.Sample(rng)]++
+	}
+	if counts[workload.OpInsert] != 0 || counts[workload.OpDelete] != 0 {
+		t.Fatalf("zero-weight ops drawn: %v", counts)
+	}
+	if counts[workload.OpLookup] == 0 || counts[workload.OpRange] == 0 {
+		t.Fatalf("positive-weight ops never drawn: %v", counts)
+	}
+}
+
+func TestOpMixRejectsBadNames(t *testing.T) {
+	for _, name := range []string{"nope", "w:1,2,3", "w:1,2,3,4,5", "w:1,2,3,4x", "w:-1,0,0,0", "w:0,0,0,0"} {
+		if _, err := workload.NewOpMix(name); err == nil {
+			t.Errorf("NewOpMix(%q) accepted", name)
+		}
+	}
+}
