@@ -12,10 +12,16 @@
 // Usage:
 //
 //	benchdiff BENCH_baseline.json BENCH_pr.json
+//	benchdiff -md BENCH_baseline.json BENCH_pr.json   # markdown table
+//
+// With -md the comparison is a GitHub-flavored markdown table plus a
+// one-line summary (point counts, improved/regressed tally, median
+// delta), so CI job logs and step summaries stay readable.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -51,19 +57,25 @@ func (k key) String() string {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+	md := flag.Bool("md", false, "emit a GitHub-flavored markdown table with a summary line")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-md] OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	oldPts, err := load(os.Args[1])
+	oldPts, err := load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	newPts, err := load(os.Args[2])
+	newPts, err := load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
-	missing := diff(os.Stdout, oldPts, newPts)
+	missing := diff(os.Stdout, oldPts, newPts, *md)
 	if missing > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d baseline point(s) missing from the new run\n", missing)
 		os.Exit(1)
@@ -83,9 +95,10 @@ func load(path string) ([]point, error) {
 	return pts, nil
 }
 
-// diff prints the old-vs-new comparison and returns how many baseline
-// points the new run no longer covers.
-func diff(w io.Writer, oldPts, newPts []point) int {
+// diff prints the old-vs-new comparison (aligned text, or markdown
+// when md is set) followed by a summary line, and returns how many
+// baseline points the new run no longer covers.
+func diff(w io.Writer, oldPts, newPts []point, md bool) int {
 	index := func(pts []point) map[key]float64 {
 		m := make(map[key]float64, len(pts))
 		for _, p := range pts {
@@ -121,8 +134,21 @@ func diff(w io.Writer, oldPts, newPts []point) int {
 		return ka.Mix < kb.Mix
 	})
 
-	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "point", "old commits/s", "new commits/s", "delta")
-	missing := 0
+	if md {
+		fmt.Fprintln(w, "| point | old commits/s | new commits/s | delta |")
+		fmt.Fprintln(w, "|---|---:|---:|---:|")
+	} else {
+		fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "point", "old commits/s", "new commits/s", "delta")
+	}
+	row := func(name, old, new, delta string) {
+		if md {
+			fmt.Fprintf(w, "| %s | %s | %s | %s |\n", name, old, new, delta)
+		} else {
+			fmt.Fprintf(w, "%-44s %14s %14s %9s\n", name, old, new, delta)
+		}
+	}
+	missing, added := 0, 0
+	var deltas []float64
 	for _, k := range keys {
 		o, hasOld := oldIdx[k]
 		n, hasNew := newIdx[k]
@@ -130,17 +156,53 @@ func diff(w io.Writer, oldPts, newPts []point) int {
 		case hasOld && hasNew:
 			delta := "n/a"
 			if o > 0 {
-				delta = fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+				d := 100 * (n - o) / o
+				deltas = append(deltas, d)
+				delta = fmt.Sprintf("%+.1f%%", d)
 			}
-			fmt.Fprintf(w, "%-44s %14.0f %14.0f %9s\n", k, o, n, delta)
+			row(k.String(), fmt.Sprintf("%.0f", o), fmt.Sprintf("%.0f", n), delta)
 		case hasOld:
 			missing++
-			fmt.Fprintf(w, "%-44s %14.0f %14s %9s\n", k, o, "MISSING", "")
+			row(k.String(), fmt.Sprintf("%.0f", o), "MISSING", "")
 		default:
-			fmt.Fprintf(w, "%-44s %14s %14.0f %9s\n", k, "(new)", n, "")
+			added++
+			row(k.String(), "(new)", fmt.Sprintf("%.0f", n), "")
 		}
 	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, summarize(deltas, added, missing, md))
 	return missing
+}
+
+// summarize condenses the per-point deltas into one line: how many
+// points moved meaningfully in each direction (±5%, below which CI
+// runner noise dominates) and the median delta.
+func summarize(deltas []float64, added, missing int, md bool) string {
+	improved, regressed := 0, 0
+	for _, d := range deltas {
+		switch {
+		case d >= 5:
+			improved++
+		case d <= -5:
+			regressed++
+		}
+	}
+	median := "n/a"
+	if len(deltas) > 0 {
+		s := append([]float64(nil), deltas...)
+		sort.Float64s(s)
+		m := s[len(s)/2]
+		if len(s)%2 == 0 {
+			m = (s[len(s)/2-1] + s[len(s)/2]) / 2
+		}
+		median = fmt.Sprintf("%+.1f%%", m)
+	}
+	line := fmt.Sprintf("%d compared: %d improved, %d regressed (|delta| >= 5%%), median delta %s; %d new, %d missing",
+		len(deltas), improved, regressed, median, added, missing)
+	if md {
+		return "**" + line + "**\n"
+	}
+	return line + "\n"
 }
 
 func fatal(err error) {

@@ -15,7 +15,7 @@ func TestDiffMatchingRuns(t *testing.T) {
 		{Figure: 5, Structure: "hashset", Manager: "karma", Threads: 4, Mix: "update", CommitsPerSec: 1800},
 	}
 	var sb strings.Builder
-	if missing := diff(&sb, old, neu); missing != 0 {
+	if missing := diff(&sb, old, neu, false); missing != 0 {
 		t.Fatalf("missing = %d, want 0", missing)
 	}
 	out := sb.String()
@@ -35,7 +35,7 @@ func TestDiffReportsMissingPoints(t *testing.T) {
 		{Figure: 6, Structure: "queue", Manager: "greedy", Threads: 1, Mix: "update", CommitsPerSec: 510},
 	}
 	var sb strings.Builder
-	if missing := diff(&sb, old, neu); missing != 1 {
+	if missing := diff(&sb, old, neu, false); missing != 1 {
 		t.Fatalf("missing = %d, want 1", missing)
 	}
 	if !strings.Contains(sb.String(), "MISSING") {
@@ -52,10 +52,57 @@ func TestDiffNewPointsAreNotFailures(t *testing.T) {
 		{Figure: 7, Structure: "omap", Manager: "karma", Threads: 8, Mix: "mixed", CommitsPerSec: 300},
 	}
 	var sb strings.Builder
-	if missing := diff(&sb, old, neu); missing != 0 {
+	if missing := diff(&sb, old, neu, false); missing != 0 {
 		t.Fatalf("missing = %d, want 0 (new points are additive)", missing)
 	}
 	if !strings.Contains(sb.String(), "(new)") {
 		t.Errorf("output does not mark the new point:\n%s", sb.String())
+	}
+}
+
+func TestDiffMarkdownTable(t *testing.T) {
+	old := []point{
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 64, CommitsPerSec: 1000},
+		{Figure: 1, Structure: "list", Manager: "karma", Threads: 64, CommitsPerSec: 1000},
+		{Figure: 2, Structure: "skiplist", Manager: "greedy", Threads: 128, CommitsPerSec: 400},
+	}
+	neu := []point{
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 64, CommitsPerSec: 1200},
+		{Figure: 1, Structure: "list", Manager: "karma", Threads: 64, CommitsPerSec: 1010},
+		{Figure: 2, Structure: "skiplist", Manager: "greedy", Threads: 128, CommitsPerSec: 300},
+	}
+	var sb strings.Builder
+	if missing := diff(&sb, old, neu, true); missing != 0 {
+		t.Fatalf("missing = %d, want 0", missing)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"| point | old commits/s | new commits/s | delta |",
+		"|---|---:|---:|---:|",
+		"| fig1 list/greedy x64 | 1000 | 1200 | +20.0% |",
+		"| fig2 skiplist/greedy x128 | 400 | 300 | -25.0% |",
+		"**3 compared: 1 improved, 1 regressed (|delta| >= 5%), median delta +1.0%; 0 new, 0 missing**",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffSummaryCountsAddedAndMissing(t *testing.T) {
+	old := []point{
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 1, CommitsPerSec: 100},
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 4, CommitsPerSec: 200},
+	}
+	neu := []point{
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 1, CommitsPerSec: 100},
+		{Figure: 1, Structure: "list", Manager: "greedy", Threads: 64, CommitsPerSec: 700},
+	}
+	var sb strings.Builder
+	if missing := diff(&sb, old, neu, false); missing != 1 {
+		t.Fatalf("missing = %d, want 1", missing)
+	}
+	if !strings.Contains(sb.String(), "1 compared: 0 improved, 0 regressed (|delta| >= 5%), median delta +0.0%; 1 new, 1 missing") {
+		t.Errorf("summary line wrong:\n%s", sb.String())
 	}
 }

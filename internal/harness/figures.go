@@ -32,8 +32,11 @@ type Figure struct {
 	Threads []int
 }
 
-// DefaultThreads samples the paper's 1..32 thread range.
-var DefaultThreads = []int{1, 2, 4, 8, 16, 24, 32}
+// DefaultThreads samples the paper's 1..32 thread range, extended
+// with 64- and 128-goroutine points: the striped commit protocol
+// removed the global writer-commit lock that made thread counts past
+// 32 meaningless, so the sweeps now measure the post-paper range too.
+var DefaultThreads = []int{1, 2, 4, 8, 16, 24, 32, 64, 128}
 
 // Figures are the paper's four evaluation figures (1-4) plus the
 // container-subsystem extensions (5-7): the same manager series over

@@ -18,9 +18,10 @@ package stm
 // the comparison BenchmarkLazyVsEager measures.
 //
 // Commit installs each written object's new version in place under the
-// writer lock, bracketed by odd/even transitions of the commit clock
-// (a seqlock), so concurrent readers never accept a cut that spans a
-// partial installation.
+// write set's commit stripes, bracketed by the STM's installer count
+// (the seqlock generalizing the old odd/even commit-clock window to
+// concurrent, stripe-disjoint installers), so concurrent readers never
+// accept a cut that spans a partial installation.
 
 // WithLazyConflicts switches the STM to commit-time conflict
 // detection. Contention managers still receive lifecycle
@@ -46,9 +47,19 @@ func (o *TObj) openWriteLazy(tx *Tx, mk func() Value) (Value, error) {
 	if v, ok := tx.lazyWrites[o]; ok {
 		return v, nil
 	}
-	base, err := o.openRead(tx) // records the pre-image for validation
-	if err != nil {
-		return nil, err
+	// Record the pre-image for commit-time validation. This is one
+	// write acquisition, not a read followed by a write: the manager
+	// hears a single Opened(tx, true) and stats.opens counts once.
+	// (Routing through openRead here used to fire a read-open *and* a
+	// write-open per acquired object, inflating Karma-family
+	// priorities and the opens count in lazy mode.)
+	base, ok := tx.lookupRead(o)
+	if !ok {
+		// Running lazy transactions install no locators, so no
+		// locator ever carries an active owner and the committed
+		// version is stable — no enemy-resolution loop is needed.
+		base = o.loc.Load().current()
+		tx.recordRead(o, base)
 	}
 	var clone Value
 	switch {
@@ -61,54 +72,78 @@ func (o *TObj) openWriteLazy(tx *Tx, mk func() Value) (Value, error) {
 		tx.lazyWrites = make(map[*TObj]Value, 4)
 	}
 	tx.lazyWrites[o] = clone
+	tx.opens++
+	tx.sess.stats.opens.Add(1)
 	tx.sess.mgr.Opened(tx, true)
+	tx.maybeYield()
+	if !tx.validate() {
+		return nil, ErrAborted
+	}
 	return clone, nil
 }
 
 // tryCommitLazy validates the read set (which includes every write's
-// base version) and installs the buffered writes under the writer
-// lock, with the commit clock held odd for the duration of the
-// installation so that concurrent clock-stable validations retry
-// rather than accept a partial commit.
+// base version) and installs the buffered writes under the write
+// set's commit stripes, with the STM's installer count held non-zero
+// for the duration of the installation so that concurrent clock-stable
+// validations retry rather than accept a partial commit. Validation is
+// lock-aware, exactly as in the eager writer commit: a read whose
+// stripe another writer holds mid-commit is a conflict.
 func (tx *Tx) tryCommitLazy() bool {
 	if len(tx.lazyWrites) == 0 {
 		return tx.tryCommitReadOnly()
 	}
-	tx.stm.commitMu.Lock()
-	defer tx.stm.commitMu.Unlock()
-	if !tx.scanReads() {
+	buf := tx.sess.stripeScratch[:0]
+	for obj := range tx.lazyWrites {
+		buf = append(buf, obj.stripe)
+	}
+	held := tx.lockStripes(buf)
+	defer tx.unlockStripes(held)
+	if !tx.readsCommittedAndUnowned() {
 		// A conflicting transaction committed first; all our work is
 		// wasted — the lazy design's signature cost.
 		tx.noteConflict()
 		tx.Abort()
 		return false
 	}
+	if h := tx.stm.commitHook; h != nil {
+		h()
+	}
 	if !tx.commit() {
 		return false
 	}
-	tx.stm.commitClock.Add(1) // odd: installation in progress
+	// Publish the buffered writes. The clock bump lands before the
+	// installer count drops back, so a validator that finds the count
+	// at zero after our installation necessarily re-reads a moved
+	// clock and rescans.
+	tx.stm.installers.Add(1)
 	for obj, newVal := range tx.lazyWrites {
 		obj.loc.Store(&locator{newVal: newVal})
 	}
-	tx.stm.commitClock.Add(1) // even: installation visible
+	tx.stm.commitClock.Add(2)
+	tx.stm.installers.Add(-1)
 	return true
 }
 
 // tryCommitReadOnly is the clock-stable read-only commit shared by the
-// eager and lazy paths.
+// eager and lazy paths. It takes no stripe locks: the scan plus the
+// stability check (installer count still zero, clock unmoved across
+// the scan) prove every read was simultaneously valid at the scan's
+// start, which is the serialization point.
 func (tx *Tx) tryCommitReadOnly() bool {
-	for {
-		c0 := tx.stm.commitClock.Load()
-		if c0&1 == 1 {
+	for attempt := 0; ; attempt++ {
+		if tx.stm.installers.Load() != 0 {
 			// An installation is in progress; wait it out.
-			Backoff(1)
+			Backoff(attempt)
 			continue
 		}
+		c0 := tx.stm.commitClock.Load()
 		if !tx.scanReads() {
+			tx.noteConflict()
 			tx.Abort()
 			return false
 		}
-		if tx.stm.commitClock.Load() == c0 {
+		if tx.stm.installers.Load() == 0 && tx.stm.commitClock.Load() == c0 {
 			return tx.commit()
 		}
 	}

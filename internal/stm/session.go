@@ -43,13 +43,19 @@ type session struct {
 	// session's running attempt (one runs at a time), so per-attempt
 	// descriptors stay small and small transactions need no map.
 	inline inlineReadSet
+
+	// stripeScratch is the reusable buffer writer commits collect
+	// their write set's stripe indices into (see Tx.lockStripes);
+	// owner-private like the rest of the attempt scaffolding, so a
+	// steady-state commit allocates nothing for stripe bookkeeping.
+	stripeScratch []uint32
 }
 
 // newSession creates a session with its own contention-manager
 // instance and registers it with the STM so TotalStats can see its
 // counters.
 func (s *STM) newSession(mgr Manager) *session {
-	sess := &session{stm: s, mgr: mgr}
+	sess := &session{stm: s, mgr: mgr, stripeScratch: make([]uint32, 0, 8)}
 	s.mu.Lock()
 	s.sessions = append(s.sessions, sess)
 	s.mu.Unlock()

@@ -13,7 +13,10 @@ type Stats struct {
 	// aborted twice and then committed contributes 2 here and 1 to
 	// Commits).
 	Aborts int64
-	// Conflicts counts contention-manager consultations.
+	// Conflicts counts conflicts observed: open-time
+	// contention-manager consultations (eager mode) plus commit-time
+	// validation failures (all modes — so eager and lazy conflict
+	// counts are comparable in the figures).
 	Conflicts int64
 	// EnemyAborts counts conflicts this thread resolved by aborting
 	// the enemy.

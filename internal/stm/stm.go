@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -41,18 +42,43 @@ type STM struct {
 	// clock optimization buys (see BenchmarkAblationValidation).
 	fullValidation bool
 
-	// commitMu serializes the validate-then-commit step of writer
-	// transactions. With invisible reads, two writers could otherwise
-	// each validate while the other was past validation but before its
-	// status CAS, committing a non-serializable pair. The critical
-	// section is a read-set scan plus one CAS — no user code — so the
-	// finite-delay model of the paper still holds; SXM avoided the
-	// race with visible reader lists instead (see DESIGN.md).
-	commitMu sync.Mutex
+	// stripes are the per-object commit locks. Every TObj maps to one
+	// stripe; a writer commit locks its write set's stripes in
+	// ascending index order (deadlock-free), validates its read set
+	// with lock-aware validation, performs the status CAS and
+	// releases. With invisible reads, two writers could otherwise each
+	// validate while the other was past validation but before its
+	// status CAS, committing a non-serializable pair; the stripes
+	// preserve the invariant the old global commitMu provided — of two
+	// conflicting writers the second observes the first — while
+	// letting writers on disjoint stripes commit in parallel. The
+	// per-stripe critical section is a read-set scan plus one CAS — no
+	// user code — so the finite-delay model of the paper still holds;
+	// SXM avoided the race with visible reader lists instead (see
+	// DESIGN.md).
+	stripes [commitStripes]commitStripe
+
+	// installers counts lazy-mode locator installations in flight. A
+	// lazy commit publishes its buffered writes object by object, so
+	// the window is non-atomic; validators treat installers != 0 the
+	// way a seqlock reader treats an odd sequence (the generalization
+	// of the old odd/even commit-clock parity to concurrent,
+	// stripe-disjoint installers) and wait it out rather than accept a
+	// cut through a partial installation.
+	installers atomic.Int64
 
 	// factory builds the per-session contention manager for sessions
 	// created by STM.Atomically (see WithManagerFactory).
 	factory ManagerFactory
+
+	// commitHook, when non-nil, runs inside every writer commit after
+	// read-set validation succeeds and before the status CAS — the
+	// window the striped protocol must keep exclusive between
+	// conflicting writers. Only tests install it (via the export_test
+	// option), to schedule two commits into the window
+	// deterministically on hosts without real parallelism; nil in
+	// production, costing one predictable branch per writer commit.
+	commitHook func()
 
 	// free is the LIFO pool of idle sessions behind STM.Atomically,
 	// guarded by freeMu. An explicit list (rather than sync.Pool) keeps
@@ -102,9 +128,8 @@ func WithManagerFactory(f ManagerFactory) Option {
 // New creates an empty STM instance.
 func New(opts ...Option) *STM {
 	s := &STM{}
-	// The commit clock starts at 2 (even — odd values mark an
-	// in-progress lazy installation) so that a transaction's
-	// zero-valued validClock always differs from it (see Tx.validate).
+	// The commit clock starts at 2 so that a transaction's zero-valued
+	// validClock always differs from it (see Tx.validate).
 	s.commitClock.Store(2)
 	for _, opt := range opts {
 		opt(s)
@@ -186,15 +211,67 @@ func (s *STM) TotalStats() Stats {
 // validation.
 func (s *STM) CommitClock() uint64 { return s.commitClock.Load() }
 
+// commitStripes is the size of the per-STM stripe-lock array writer
+// commits map their write sets onto. A power of two sized comfortably
+// past the paper's 32-thread sweeps (and our 64/128-goroutine
+// extensions), so that writers on disjoint objects rarely share a
+// stripe by accident.
+const commitStripes = 128
+
+// commitStripe is one slot of the striped writer-commit lock. The
+// mutex serializes committers whose write sets share the stripe; the
+// owner pointer publishes the committing transaction to lock-aware
+// read-set validation, which only loads it (never locks), so it must
+// be atomic. Padded to a cache line so contended neighbours do not
+// false-share.
+type commitStripe struct {
+	mu    sync.Mutex
+	owner atomic.Pointer[Tx]
+	_     [64 - 16]byte
+}
+
+// lockStripes sorts and dedupes the stripe indices in buf, locks each
+// stripe in ascending order (the global order that makes overlapping
+// writer commits deadlock-free) and publishes tx as the stripes'
+// committing owner. It returns the deduped prefix of buf, which the
+// caller passes to unlockStripes; buf is the session's reusable
+// scratch so a steady-state commit allocates nothing.
+func (tx *Tx) lockStripes(buf []uint32) []uint32 {
+	tx.sess.stripeScratch = buf // retain any growth for the next commit
+	slices.Sort(buf)
+	buf = slices.Compact(buf)
+	for _, i := range buf {
+		st := &tx.stm.stripes[i]
+		st.mu.Lock()
+		st.owner.Store(tx)
+	}
+	return buf
+}
+
+// unlockStripes clears the owner published by lockStripes and releases
+// the stripes. Owners are cleared only after the commit's status CAS
+// and clock bump, so a validator that sees a stripe unowned also sees
+// the committed versions the owner installed.
+func (tx *Tx) unlockStripes(held []uint32) {
+	for _, i := range held {
+		st := &tx.stm.stripes[i]
+		st.owner.Store(nil)
+		st.mu.Unlock()
+	}
+}
+
 // tryCommit validates the read set one final time and attempts the
 // commit CAS, advancing the commit clock when a writer commits.
 //
 // Read-only transactions validate with a clock-stability loop: if the
 // commit clock is unchanged across the scan, every read was
 // simultaneously valid at the scan's start, which is the transaction's
-// serialization point. Writer transactions validate and flip their
-// status under commitMu so that of two conflicting writers the second
-// to enter observes the first's commit and fails validation.
+// serialization point. Writer transactions lock the commit stripes
+// covering their write set (in ascending index order) and validate
+// with the lock-aware scan, which treats a stripe held by another
+// committing writer as a conflict — so of two writers racing on
+// overlapping read/write sets, at least one observes the other and
+// fails validation (see DESIGN.md for the ordering argument).
 func (tx *Tx) tryCommit() bool {
 	if tx.stm.lazy {
 		return tx.tryCommitLazy()
@@ -202,23 +279,47 @@ func (tx *Tx) tryCommit() bool {
 	if len(tx.writes) == 0 {
 		return tx.tryCommitReadOnly()
 	}
-	tx.stm.commitMu.Lock()
-	defer tx.stm.commitMu.Unlock()
-	if !tx.scanReads() {
+	if tx.inline.n == 0 && len(tx.reads) == 0 {
+		// Blind writer (e.g. a typed Update, whose pre-image is the
+		// owned locator's oldVal, not a read-set entry): with nothing
+		// to validate there is no validate-then-CAS window to protect,
+		// so no stripes are taken — the status CAS alone is the
+		// serialization point, exactly the original DSTM commit.
+		// Ownership guards the pre-images: an enemy acquires an owned
+		// object only by aborting this transaction first, which makes
+		// the CAS below fail. (Lazy mode never reaches here: its
+		// write acquisitions record pre-images in the read set.)
+		if !tx.commit() {
+			return false
+		}
+		tx.stm.commitClock.Add(2)
+		return true
+	}
+	buf := tx.sess.stripeScratch[:0]
+	for _, obj := range tx.writes {
+		buf = append(buf, obj.stripe)
+	}
+	held := tx.lockStripes(buf)
+	defer tx.unlockStripes(held)
+	if !tx.readsCommittedAndUnowned() {
+		tx.noteConflict()
 		tx.Abort()
 		return false
+	}
+	if h := tx.stm.commitHook; h != nil {
+		h()
 	}
 	if !tx.commit() {
 		return false
 	}
-	// Bump by 2: the clock's parity is reserved for lazy-mode
-	// installation windows and must stay even here.
 	tx.stm.commitClock.Add(2)
 	return true
 }
 
 // scanReads performs a full read-set scan against current committed
-// versions, without the commit-clock shortcut.
+// versions, without the commit-clock shortcut and without lock
+// awareness — the read-only commit's scan (writer commits use the
+// lock-aware readsCommittedAndUnowned instead).
 func (tx *Tx) scanReads() bool {
 	return tx.readsStillCommitted()
 }

@@ -45,15 +45,35 @@ func (l *locator) current() Value {
 // value is not usable; create handles with NewTObj.
 type TObj struct {
 	loc atomic.Pointer[locator]
+	// stripe indexes the commit-stripe lock guarding writer commits
+	// that include this object (see commitStripe in stm.go). Stripes
+	// are dealt round-robin from a process-wide counter at creation:
+	// cheaper and more evenly spread than hashing the pointer, and
+	// deterministic enough for tests to construct same-stripe and
+	// distinct-stripe object pairs. Stripe indices are STM-independent
+	// (a TObj is not bound to an STM instance); each STM owns its own
+	// lock array of the shared, fixed size.
+	stripe uint32
 	// name is an optional debugging label (see NewNamedTObj).
 	name string
 }
+
+// stripeSeq deals commit-stripe indices to new objects. commitStripes
+// is a power of two, so uint32 wraparound keeps the deal uniform.
+var stripeSeq atomic.Uint32
+
+// nextStripe returns the commit-stripe index for a newly created
+// transactional object. Every constructor that builds a TObj — NewTObj
+// and the typed Var variants, which embed the TObj directly — must
+// assign it, or the object silently joins stripe 0 and writer commits
+// touching it re-serialize.
+func nextStripe() uint32 { return stripeSeq.Add(1) % commitStripes }
 
 // NewTObj creates a transactional object whose initial committed
 // version is v (which may be nil for "not yet populated" slots, as in
 // optional tree children).
 func NewTObj(v Value) *TObj {
-	o := &TObj{}
+	o := &TObj{stripe: nextStripe()}
 	o.loc.Store(&locator{newVal: v})
 	return o
 }

@@ -173,15 +173,19 @@ func (tx *Tx) step() error {
 // On failure the transaction aborts itself and validate returns false.
 func (tx *Tx) validate() bool {
 	// The commit clock starts at 2, so the zero value of validClock
-	// means "never validated" and forces the first scan. Odd clock
-	// values mark an in-progress lazy installation: retry (bounded)
-	// so the scan never accepts a cut through a partial commit.
+	// means "never validated" and forces the first scan. A non-zero
+	// installer count marks an in-progress lazy installation: retry
+	// (bounded) so neither the shortcut nor the scan accepts a cut
+	// through a partial commit. The installer count must be loaded
+	// before the clock: an installation that finished before the count
+	// read zero bumped the clock first, so the subsequent clock load
+	// cannot match a pre-installation validClock.
 	for attempt := 0; ; attempt++ {
-		clock := tx.stm.commitClock.Load()
-		if clock&1 == 1 {
+		if tx.stm.installers.Load() != 0 {
 			Backoff(attempt)
 			continue
 		}
+		clock := tx.stm.commitClock.Load()
 		if clock == tx.validClock && !tx.stm.fullValidation {
 			return true
 		}
@@ -189,7 +193,7 @@ func (tx *Tx) validate() bool {
 			tx.Abort()
 			return false
 		}
-		if tx.stm.commitClock.Load() == clock {
+		if tx.stm.installers.Load() == 0 && tx.stm.commitClock.Load() == clock {
 			// Stable scan: cache it.
 			tx.validClock = clock
 			return true
@@ -273,17 +277,53 @@ func (tx *Tx) recordRead(obj *TObj, v Value) {
 
 // readsStillCommitted re-checks every recorded read — inline entries
 // and overflow map — against the object's current committed version.
+// This is the plain (open-time and read-only-commit) scan; writer
+// commits use the lock-aware readsCommittedAndUnowned.
 func (tx *Tx) readsStillCommitted() bool {
+	return tx.validateReads(false)
+}
+
+// readsCommittedAndUnowned is the writer commit's read-set scan, run
+// while tx holds its write set's commit stripes: each entry must match
+// the committed version and its stripe must not be held by another
+// committing writer. Treating a foreign stripe lock as a conflict is
+// what preserves the old global commitMu's invariant — see
+// readStillValid for the ordering argument.
+func (tx *Tx) readsCommittedAndUnowned() bool {
+	return tx.validateReads(true)
+}
+
+func (tx *Tx) validateReads(lockAware bool) bool {
 	rs := tx.inline
 	for i := 0; i < rs.n; i++ {
-		if rs.objs[i].committed() != rs.vals[i] {
+		if !tx.readStillValid(rs.objs[i], rs.vals[i], lockAware) {
 			return false
 		}
 	}
 	for obj, seen := range tx.reads {
-		if obj.committed() != seen {
+		if !tx.readStillValid(obj, seen, lockAware) {
 			return false
 		}
 	}
 	return true
+}
+
+// readStillValid checks one read-set entry. In lock-aware mode the
+// stripe-owner load precedes the version load, and that order is
+// load-bearing: a writer W2 that invalidates obj holds obj's stripe
+// from before its own validation until after its status CAS, so a
+// passing entry pins the owner load before W2's stripe acquisition —
+// and hence tx's whole validation (which starts after tx acquired its
+// own stripes) before W2's. Two writers racing on overlapping
+// read/write sets would each need their validation ordered before the
+// other's acquisition, which is impossible, so at least one fails.
+// (Checked the other way around, a stale version read could pair with
+// a post-release owner read and let both commit.)
+func (tx *Tx) readStillValid(obj *TObj, seen Value, lockAware bool) bool {
+	if lockAware {
+		if owner := tx.stm.stripes[obj.stripe].owner.Load(); owner != nil && owner != tx {
+			return false
+		}
+	}
+	return obj.committed() == seen
 }

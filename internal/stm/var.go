@@ -57,6 +57,7 @@ type Var[T any] struct {
 // value is v, with the shallow (assignment) clone strategy.
 func NewVar[T any](v T) *Var[T] {
 	va := &Var[T]{}
+	va.obj.stripe = nextStripe()
 	va.obj.loc.Store(&locator{newVal: &varBox[T]{va: va, val: v}})
 	return va
 }

@@ -1,12 +1,43 @@
 package stm_test
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/stm"
 )
+
+// runGoroutines spreads b.N operations across g goroutines (each op
+// receives its worker index) and reports allocations. Shared by the
+// concurrent benchmark points below.
+func runGoroutines(b *testing.B, g int, op func(w int) error) {
+	b.Helper()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < g; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if err := op(w); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+}
 
 // BenchmarkTypedVsUntyped holds the typed facade to its zero-overhead
 // claim on the shared-counter workload: stm.Update[int] against a raw
@@ -15,8 +46,59 @@ import (
 // beyond the one clone the engine already performs per open-for-write.
 // (This benchmark lives inside internal/stm because the untyped leg is
 // exactly the assertion style the typed API removes from the rest of
-// the repo.)
+// the repo.) The g64/g128 sub-benchmarks run the same comparison from
+// 64 and 128 goroutines over disjoint counters on the pooled surface,
+// checking that neither facade diverges once the striped commit
+// protocol lets writers commit in parallel.
 func BenchmarkTypedVsUntyped(b *testing.B) {
+	for _, g := range []int{64, 128} {
+		g := g
+		b.Run(fmt.Sprintf("typed-update/g%d", g), func(b *testing.B) {
+			world := stm.New(stm.WithManagerFactory(func() stm.Manager { return politeManager{} }))
+			vars := make([]*stm.Var[int], g)
+			for i := range vars {
+				vars[i] = stm.NewVar(0)
+			}
+			runGoroutines(b, g, func(w int) error {
+				return world.Atomically(func(tx *stm.Tx) error {
+					return stm.Update(tx, vars[w], func(v int) int { return v + 1 })
+				})
+			})
+			b.StopTimer()
+			sum := 0
+			for _, v := range vars {
+				sum += v.Peek()
+			}
+			if sum != b.N {
+				b.Fatalf("sum of counters = %d, want %d", sum, b.N)
+			}
+		})
+		b.Run(fmt.Sprintf("untyped-openwrite/g%d", g), func(b *testing.B) {
+			world := stm.New(stm.WithManagerFactory(func() stm.Manager { return politeManager{} }))
+			objs := make([]*stm.TObj, g)
+			for i := range objs {
+				objs[i] = stm.NewTObj(stm.NewBox[int](0))
+			}
+			runGoroutines(b, g, func(w int) error {
+				return world.Atomically(func(tx *stm.Tx) error {
+					v, err := tx.OpenWrite(objs[w])
+					if err != nil {
+						return err
+					}
+					v.(*stm.Box[int]).V++
+					return nil
+				})
+			})
+			b.StopTimer()
+			sum := 0
+			for _, o := range objs {
+				sum += o.Peek().(*stm.Box[int]).V
+			}
+			if sum != b.N {
+				b.Fatalf("sum of counters = %d, want %d", sum, b.N)
+			}
+		})
+	}
 	b.Run("typed-update", func(b *testing.B) {
 		world := stm.New()
 		counter := stm.NewVar(0)
@@ -60,44 +142,26 @@ func BenchmarkTypedVsUntyped(b *testing.B) {
 	})
 }
 
-// BenchmarkPooledAtomically drives the goroutine-agnostic surface from
-// 64 goroutines over one pooled STM — the serving-shape workload the
-// redesign targets (a goroutine per request, not pinned workers). Two
-// flavours: "disjoint" gives each goroutine its own counter (measures
-// the pool and session plumbing under parallelism, no data conflicts);
-// "shared" has all 64 hammer one counter (measures the full conflict
-// path at maximal contention).
+// BenchmarkPooledAtomically drives the goroutine-agnostic surface over
+// one pooled STM — the serving-shape workload the session redesign
+// targets (a goroutine per request, not pinned workers) — at 64 and
+// 128 goroutines, the range past the paper's 32-thread sweeps that the
+// striped commit protocol opens up. Two flavours per width: "disjoint"
+// gives each goroutine its own counter (writer commits land on
+// distinct stripes and proceed in parallel — the scaling case the old
+// global commit lock serialized); "shared" has every goroutine hammer
+// one counter (the full conflict path at maximal contention).
 func BenchmarkPooledAtomically(b *testing.B) {
-	const goroutines = 64
-	run := func(b *testing.B, vars []*stm.Var[int]) {
+	run := func(b *testing.B, goroutines int, vars []*stm.Var[int]) {
 		b.Helper()
 		world := stm.New(stm.WithManagerFactory(func() stm.Manager { return politeManager{} }))
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		errs := make(chan error, goroutines)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for g := 0; g < goroutines; g++ {
-			v := vars[g%len(vars)]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for next.Add(1) <= int64(b.N) {
-					if err := world.Atomically(func(tx *stm.Tx) error {
-						return stm.Update(tx, v, func(n int) int { return n + 1 })
-					}); err != nil {
-						errs <- err
-						return
-					}
-				}
-			}()
-		}
-		wg.Wait()
+		runGoroutines(b, goroutines, func(w int) error {
+			v := vars[w%len(vars)]
+			return world.Atomically(func(tx *stm.Tx) error {
+				return stm.Update(tx, v, func(n int) int { return n + 1 })
+			})
+		})
 		b.StopTimer()
-		close(errs)
-		for err := range errs {
-			b.Fatal(err)
-		}
 		sum := 0
 		for _, v := range vars {
 			sum += v.Peek()
@@ -106,16 +170,19 @@ func BenchmarkPooledAtomically(b *testing.B) {
 			b.Fatalf("sum of counters = %d, want %d", sum, b.N)
 		}
 	}
-	b.Run("disjoint", func(b *testing.B) {
-		vars := make([]*stm.Var[int], goroutines)
-		for i := range vars {
-			vars[i] = stm.NewVar(0)
-		}
-		run(b, vars)
-	})
-	b.Run("shared", func(b *testing.B) {
-		run(b, []*stm.Var[int]{stm.NewVar(0)})
-	})
+	for _, g := range []int{64, 128} {
+		g := g
+		b.Run(fmt.Sprintf("disjoint/g%d", g), func(b *testing.B) {
+			vars := make([]*stm.Var[int], g)
+			for i := range vars {
+				vars[i] = stm.NewVar(0)
+			}
+			run(b, g, vars)
+		})
+		b.Run(fmt.Sprintf("shared/g%d", g), func(b *testing.B) {
+			run(b, g, []*stm.Var[int]{stm.NewVar(0)})
+		})
+	}
 }
 
 // BenchmarkTypedRead measures the typed read path on the pooled
