@@ -17,6 +17,18 @@
 // With -md the comparison is a GitHub-flavored markdown table plus a
 // one-line summary (point counts, improved/regressed tally, median
 // delta), so CI job logs and step summaries stay readable.
+//
+// Trajectory mode plots the cross-PR per-figure medians instead of a
+// two-run diff: BENCH_trajectory.json holds one aggregate entry per
+// recorded PR (label → figure → median commits/s), far smaller than
+// keeping every historical BENCH_*.json:
+//
+//	benchdiff -trajectory BENCH_trajectory.json                # the table
+//	benchdiff -trajectory BENCH_trajectory.json BENCH_pr.json  # + "this run" column
+//	benchdiff -trajectory T.json -record pr5 BENCH_pr.json     # append + rewrite
+//
+// Medians are per figure across every (manager, threads) point, so the
+// table tracks whole-scenario health, not one configuration's noise.
 package main
 
 import (
@@ -36,16 +48,20 @@ type point struct {
 	Manager       string  `json:"manager"`
 	Threads       int     `json:"threads"`
 	Mix           string  `json:"mix"`
+	KeyDist       string  `json:"key_dist"`
 	CommitsPerSec float64 `json:"commits_per_sec"`
 }
 
-// key identifies a measured point across runs.
+// key identifies a measured point across runs. KeyDist is part of the
+// identity (empty = uniform, the historical default): a zipf point and
+// a uniform point are different workloads, never a throughput delta.
 type key struct {
 	Figure    int
 	Structure string
 	Manager   string
 	Threads   int
 	Mix       string
+	KeyDist   string
 }
 
 func (k key) String() string {
@@ -53,16 +69,31 @@ func (k key) String() string {
 	if k.Mix != "" {
 		s += " mix=" + k.Mix
 	}
+	if k.KeyDist != "" {
+		s += " keys=" + k.KeyDist
+	}
 	return s
 }
 
 func main() {
 	md := flag.Bool("md", false, "emit a GitHub-flavored markdown table with a summary line")
+	trajectory := flag.String("trajectory", "", "trajectory file: print the cross-PR per-figure table (one optional RUN.json arg adds a column)")
+	record := flag.String("record", "", "with -trajectory: append RUN.json's aggregates under this label and rewrite the trajectory file")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-md] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "       benchdiff [-md] -trajectory TRAJ.json [-record LABEL] [RUN.json]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *trajectory != "" {
+		if err := runTrajectory(os.Stdout, *trajectory, *record, flag.Args(), *md); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *record != "" {
+		fatal(fmt.Errorf("-record requires -trajectory"))
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
@@ -102,7 +133,7 @@ func diff(w io.Writer, oldPts, newPts []point, md bool) int {
 	index := func(pts []point) map[key]float64 {
 		m := make(map[key]float64, len(pts))
 		for _, p := range pts {
-			m[key{p.Figure, p.Structure, p.Manager, p.Threads, p.Mix}] = p.CommitsPerSec
+			m[key{p.Figure, p.Structure, p.Manager, p.Threads, p.Mix, p.KeyDist}] = p.CommitsPerSec
 		}
 		return m
 	}
@@ -131,7 +162,10 @@ func diff(w io.Writer, oldPts, newPts []point, md bool) int {
 		if ka.Threads != kb.Threads {
 			return ka.Threads < kb.Threads
 		}
-		return ka.Mix < kb.Mix
+		if ka.Mix != kb.Mix {
+			return ka.Mix < kb.Mix
+		}
+		return ka.KeyDist < kb.KeyDist
 	})
 
 	if md {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -104,5 +107,77 @@ func TestDiffSummaryCountsAddedAndMissing(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "1 compared: 0 improved, 0 regressed (|delta| >= 5%), median delta +0.0%; 1 new, 1 missing") {
 		t.Errorf("summary line wrong:\n%s", sb.String())
+	}
+}
+
+// TestTrajectoryAggregate pins the per-figure median reduction:
+// figure 0 points are skipped, odd and even counts take the proper
+// median.
+func TestTrajectoryAggregate(t *testing.T) {
+	pts := []point{
+		{Figure: 1, CommitsPerSec: 10},
+		{Figure: 1, CommitsPerSec: 30},
+		{Figure: 1, CommitsPerSec: 20},
+		{Figure: 2, CommitsPerSec: 100},
+		{Figure: 2, CommitsPerSec: 300},
+		{Figure: 0, CommitsPerSec: 999}, // outside any figure: skipped
+	}
+	got := aggregate(pts)
+	if len(got) != 2 || got["1"] != 20 || got["2"] != 200 {
+		t.Fatalf("aggregate = %v, want {1:20, 2:200}", got)
+	}
+}
+
+// TestTrajectoryRoundTrip records two runs into a file and checks the
+// rendered table: file order preserved, missing figures dashed, the
+// duplicate-label guard, and the -record file rewrite.
+func TestTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	traj := dir + "/traj.json"
+	if err := writeTrajectory(traj, []trajEntry{
+		{Label: "pr4", Figures: map[string]float64{"1": 100, "2": 200}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	run := dir + "/run.json"
+	if err := os.WriteFile(run, []byte(`[
+		{"figure":1,"structure":"list","manager":"greedy","threads":1,"commits_per_sec":150},
+		{"figure":8,"structure":"kv","manager":"greedy","threads":1,"commits_per_sec":50}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runTrajectory(&buf, traj, "pr5", []string{run}, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pr4", "pr5", "150", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// The file was rewritten with the new entry; recording the same
+	// label again is rejected.
+	entries, err := loadTrajectory(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Label != "pr5" || entries[1].Figures["8"] != 50 {
+		t.Fatalf("rewritten trajectory = %+v", entries)
+	}
+	if err := runTrajectory(io.Discard, traj, "pr5", []string{run}, false); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	// Read-only mode: an unsaved run appears as a column without
+	// touching the file.
+	buf.Reset()
+	if err := runTrajectory(&buf, traj, "", []string{run}, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "this run") {
+		t.Fatalf("markdown table missing unsaved column:\n%s", buf.String())
+	}
+	if entries, _ = loadTrajectory(traj); len(entries) != 2 {
+		t.Fatalf("read-only mode rewrote the file: %+v", entries)
 	}
 }

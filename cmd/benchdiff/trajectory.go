@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// trajEntry is one recorded PR in the trajectory file: a label and the
+// per-figure median commits/s of its benchmark sweep. Figure keys are
+// strings because JSON object keys are; figure 0 (points measured
+// outside a figure sweep) is skipped at record time.
+type trajEntry struct {
+	Label   string             `json:"label"`
+	Figures map[string]float64 `json:"figures"`
+}
+
+// runTrajectory implements -trajectory: load the recorded entries,
+// optionally aggregate a fresh run (appending it when -record LABEL is
+// set), and print the figures × PRs table.
+func runTrajectory(w io.Writer, path, record string, args []string, md bool) error {
+	if len(args) > 1 {
+		return fmt.Errorf("-trajectory takes at most one RUN.json argument, got %d", len(args))
+	}
+	if record != "" && len(args) != 1 {
+		return fmt.Errorf("-record needs the RUN.json to record")
+	}
+	entries, err := loadTrajectory(path)
+	if err != nil {
+		if !(record != "" && os.IsNotExist(err)) {
+			return err
+		}
+		entries = nil // -record bootstraps a fresh trajectory file
+	}
+	if len(args) == 1 {
+		pts, err := load(args[0])
+		if err != nil {
+			return err
+		}
+		label := "this run"
+		if record != "" {
+			label = record
+		}
+		entry := trajEntry{Label: label, Figures: aggregate(pts)}
+		if len(entry.Figures) == 0 {
+			// A -structure sweep tags every point figure 0; recording it
+			// would permanently reserve the label for an all-dash column.
+			return fmt.Errorf("%s holds no figure-tagged points (use a -figure/-all sweep)", args[0])
+		}
+		for _, e := range entries {
+			if e.Label == entry.Label {
+				return fmt.Errorf("label %q already recorded in %s", entry.Label, path)
+			}
+		}
+		entries = append(entries, entry)
+		if record != "" {
+			if err := writeTrajectory(path, entries); err != nil {
+				return err
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("%s holds no entries", path)
+	}
+	printTrajectory(w, entries, md)
+	return nil
+}
+
+func loadTrajectory(path string) ([]trajEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []trajEntry
+	if err := json.NewDecoder(f).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+func writeTrajectory(path string, entries []trajEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// aggregate reduces a run's points to per-figure medians.
+func aggregate(pts []point) map[string]float64 {
+	byFig := map[string][]float64{}
+	for _, p := range pts {
+		if p.Figure == 0 {
+			continue
+		}
+		key := strconv.Itoa(p.Figure)
+		byFig[key] = append(byFig[key], p.CommitsPerSec)
+	}
+	out := make(map[string]float64, len(byFig))
+	for fig, vals := range byFig {
+		sort.Float64s(vals)
+		m := vals[len(vals)/2]
+		if len(vals)%2 == 0 {
+			m = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
+		}
+		out[fig] = m
+	}
+	return out
+}
+
+// printTrajectory renders rows = figures, columns = recorded PRs, in
+// file order — the cross-PR per-figure median table.
+func printTrajectory(w io.Writer, entries []trajEntry, md bool) {
+	figSet := map[int]bool{}
+	for _, e := range entries {
+		for k := range e.Figures {
+			if n, err := strconv.Atoi(k); err == nil {
+				figSet[n] = true
+			}
+		}
+	}
+	figs := make([]int, 0, len(figSet))
+	for n := range figSet {
+		figs = append(figs, n)
+	}
+	sort.Ints(figs)
+
+	if md {
+		fmt.Fprint(w, "| figure |")
+		for _, e := range entries {
+			fmt.Fprintf(w, " %s |", e.Label)
+		}
+		fmt.Fprint(w, "\n|---|")
+		for range entries {
+			fmt.Fprint(w, "---:|")
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintf(w, "%-8s", "figure")
+		for _, e := range entries {
+			fmt.Fprintf(w, "%14s", e.Label)
+		}
+		fmt.Fprintln(w)
+	}
+	cell := func(e trajEntry, fig int) string {
+		v, ok := e.Figures[strconv.Itoa(fig)]
+		if !ok {
+			return "-"
+		}
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	for _, fig := range figs {
+		if md {
+			fmt.Fprintf(w, "| %d |", fig)
+			for _, e := range entries {
+				fmt.Fprintf(w, " %s |", cell(e, fig))
+			}
+			fmt.Fprintln(w)
+		} else {
+			fmt.Fprintf(w, "%-8d", fig)
+			for _, e := range entries {
+				fmt.Fprintf(w, "%14s", cell(e, fig))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if md {
+		fmt.Fprintf(w, "\n**median commits/s per figure across %d recorded run(s)**\n", len(entries))
+	} else {
+		fmt.Fprintf(w, "median commits/s per figure across %d recorded run(s)\n", len(entries))
+	}
+}

@@ -42,7 +42,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit a JSON array of per-point results instead of a table")
 		chart     = flag.Bool("plot", false, "render an ASCII chart of each figure (with the table)")
 		audit     = flag.Bool("audit", false, "verify structural integrity after every point")
-		keyDist   = flag.String("keys", "uniform", "key distribution: uniform, zipf, zipf:<s>")
+		keyDist   = flag.String("keys", "", "key distribution: uniform, zipf, zipf:<s> (default: the figure's own, uniform unless stated)")
 		mix       = flag.String("mix", "", "container op mix: update, readheavy, mixed, rangeheavy, w:l,i,d,r (containers only)")
 		seed      = flag.Uint64("seed", 0x5eed, "workload seed")
 		list      = flag.Bool("list", false, "list figures, structures and managers, then exit")

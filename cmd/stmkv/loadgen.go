@@ -1,0 +1,245 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resp"
+	"repro/internal/workload"
+)
+
+// loadConfig parameterizes the closed-loop load generator.
+type loadConfig struct {
+	clients  int
+	ops      int
+	keyRange int
+	keyDist  string
+	accounts int
+	transfer float64
+	seed     uint64
+}
+
+// client is one load-generator connection.
+type client struct {
+	conn net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &client{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}, nil
+}
+
+// do sends one command as an array frame and reads one reply.
+func (c *client) do(args ...string) (resp.Value, error) {
+	c.w.Array(len(args))
+	for _, a := range args {
+		c.w.Bulk(a)
+	}
+	if err := c.w.Flush(); err != nil {
+		return resp.Value{}, err
+	}
+	return c.r.ReadReply()
+}
+
+// must runs do and turns error replies into errors.
+func (c *client) must(args ...string) (resp.Value, error) {
+	v, err := c.do(args...)
+	if err != nil {
+		return v, fmt.Errorf("%s: %w", fields(args), err)
+	}
+	if v.IsError() {
+		return v, fmt.Errorf("%s: server error %q", fields(args), v.Str)
+	}
+	return v, nil
+}
+
+// counters aggregates what the generator actually did.
+type counters struct {
+	gets, sets, incrs, dels, mgets, transfers, expires atomic.Int64
+}
+
+// runLoadgen drives addr with cfg.clients closed-loop connections and
+// verifies two invariants on the way out: every transfer account
+// survives with the account total conserved (the MULTI/EXEC atomicity
+// contract over real sockets), and no command ever yields an
+// unexpected error reply.
+func runLoadgen(addr string, cfg loadConfig) (string, error) {
+	if cfg.clients < 1 || cfg.ops < 1 || cfg.accounts < 1 || cfg.keyRange < 1 {
+		return "", fmt.Errorf("loadgen: need positive clients, ops, accounts and keyrange")
+	}
+	dist, err := workload.NewKeyDist(cfg.keyDist, cfg.keyRange)
+	if err != nil {
+		return "", err
+	}
+	// Precompute the string key universe once: the generator should
+	// measure the server, not fmt.Sprintf.
+	keys := make([]string, cfg.keyRange)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%06d", i)
+	}
+	const initial = 1000
+	accounts := make([]string, cfg.accounts)
+	seedConn, err := dial(addr)
+	if err != nil {
+		return "", err
+	}
+	msetArgs := []string{"MSET"}
+	for i := range accounts {
+		accounts[i] = fmt.Sprintf("acct:%d", i)
+		msetArgs = append(msetArgs, accounts[i], strconv.Itoa(initial))
+	}
+	if _, err := seedConn.must(msetArgs...); err != nil {
+		seedConn.conn.Close()
+		return "", err
+	}
+	seedConn.conn.Close()
+
+	var cnt counters
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.clients)
+	start := time.Now()
+	for g := 0; g < cfg.clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = driveClient(addr, g, cfg, dist, keys, accounts, &cnt)
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return "", err
+		}
+	}
+
+	// Conservation audit: one consistent MGET across the accounts.
+	audit, err := dial(addr)
+	if err != nil {
+		return "", err
+	}
+	defer audit.conn.Close()
+	v, err := audit.must(append([]string{"MGET"}, accounts...)...)
+	if err != nil {
+		return "", err
+	}
+	sum := 0
+	for i, e := range v.Elems {
+		if e.Null {
+			return "", fmt.Errorf("loadgen: account %s vanished", accounts[i])
+		}
+		n, err := strconv.Atoi(e.Str)
+		if err != nil {
+			return "", fmt.Errorf("loadgen: account %s holds %q", accounts[i], e.Str)
+		}
+		sum += n
+	}
+	if want := cfg.accounts * initial; sum != want {
+		return "", fmt.Errorf("loadgen: conservation broken: accounts sum to %d, want %d", sum, want)
+	}
+
+	total := int64(cfg.clients) * int64(cfg.ops)
+	return fmt.Sprintf(
+		"loadgen: %d ops over %d clients in %v (%.0f ops/sec; keys=%s)\n"+
+			"  gets=%d sets=%d incrs=%d dels=%d mgets=%d expires=%d transfers=%d — accounts conserved",
+		total, cfg.clients, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), dist.Name(),
+		cnt.gets.Load(), cnt.sets.Load(), cnt.incrs.Load(), cnt.dels.Load(),
+		cnt.mgets.Load(), cnt.expires.Load(), cnt.transfers.Load()), nil
+}
+
+// driveClient is one connection's closed loop: a transfer with
+// probability cfg.transfer, otherwise a weighted singleton command on
+// a distribution-drawn key.
+func driveClient(addr string, g int, cfg loadConfig, dist workload.KeyDist, keys, accounts []string, cnt *counters) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.conn.Close()
+	rng := rand.New(rand.NewPCG(cfg.seed+uint64(g)+1, uint64(g)*0x9e37+7))
+	for i := 0; i < cfg.ops; i++ {
+		if rng.Float64() < cfg.transfer {
+			if err := doTransfer(c, rng, accounts); err != nil {
+				return err
+			}
+			cnt.transfers.Add(1)
+			continue
+		}
+		key := keys[dist.Sample(rng)]
+		switch rng.Int64N(10) {
+		case 0, 1, 2: // 30% SET
+			if _, err := c.must("SET", key, strconv.Itoa(i)); err != nil {
+				return err
+			}
+			cnt.sets.Add(1)
+		case 3: // 10% INCR on a dedicated integer namespace
+			if _, err := c.must("INCR", "ctr:"+key); err != nil {
+				return err
+			}
+			cnt.incrs.Add(1)
+		case 4: // 10% DEL
+			if _, err := c.must("DEL", key); err != nil {
+				return err
+			}
+			cnt.dels.Add(1)
+		case 5: // 10% MGET of a small neighbourhood
+			k2 := keys[dist.Sample(rng)]
+			k3 := keys[dist.Sample(rng)]
+			if _, err := c.must("MGET", key, k2, k3); err != nil {
+				return err
+			}
+			cnt.mgets.Add(1)
+		case 6: // 10% short-TTL SET (exercises expiry under load)
+			if _, err := c.must("SET", "tmp:"+key, "x", "PX", "5"); err != nil {
+				return err
+			}
+			cnt.expires.Add(1)
+		default: // 30% GET
+			if _, err := c.must("GET", key); err != nil {
+				return err
+			}
+			cnt.gets.Add(1)
+		}
+	}
+	return nil
+}
+
+// doTransfer runs one MULTI/INCRBY/INCRBY/EXEC block and sanity-checks
+// the replies: QUEUED twice, then an array of the two new balances.
+func doTransfer(c *client, rng *rand.Rand, accounts []string) error {
+	from := accounts[rng.Int64N(int64(len(accounts)))]
+	to := accounts[rng.Int64N(int64(len(accounts)))]
+	amount := strconv.FormatInt(rng.Int64N(20)+1, 10)
+	if _, err := c.must("MULTI"); err != nil {
+		return err
+	}
+	if v, err := c.must("INCRBY", from, "-"+amount); err != nil {
+		return err
+	} else if v.Str != "QUEUED" {
+		return fmt.Errorf("transfer: INCRBY reply %+v, want QUEUED", v)
+	}
+	if v, err := c.must("INCRBY", to, amount); err != nil {
+		return err
+	} else if v.Str != "QUEUED" {
+		return fmt.Errorf("transfer: INCRBY reply %+v, want QUEUED", v)
+	}
+	v, err := c.must("EXEC")
+	if err != nil {
+		return err
+	}
+	if len(v.Elems) != 2 || v.Elems[0].Kind != ':' || v.Elems[1].Kind != ':' {
+		return fmt.Errorf("transfer: EXEC reply %+v, want two integers", v)
+	}
+	return nil
+}

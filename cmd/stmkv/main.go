@@ -1,0 +1,177 @@
+// Command stmkv serves the transactional key-value store over a
+// RESP-lite protocol (see README.md for usage and the wire surface),
+// and doubles as its own closed-loop load generator and CI smoke
+// harness.
+//
+// Modes:
+//
+//	stmkv                          # serve on -addr (default :6399)
+//	stmkv -loadgen -addr HOST:PORT # drive an already-running server
+//	stmkv -smoke                   # in-process server + loadgen + invariants
+//
+// The server runs one goroutine per connection; every command borrows
+// a pooled STM session (PR 2's goroutine-agnostic surface), so
+// concurrent clients commit in parallel under the striped commit
+// protocol, arbitrated by the contention manager named with -manager.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/stm"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":6399", "listen address (serve) or target address (-loadgen)")
+		manager = flag.String("manager", "greedy", "contention manager registry name (see stmbench -list)")
+		shards  = flag.Int("shards", 16, "store shard count (rounded up to a power of two)")
+		buckets = flag.Int("buckets", 8, "initial buckets per shard (shards grow on demand)")
+
+		loadgen  = flag.Bool("loadgen", false, "run the closed-loop load generator against -addr instead of serving")
+		smoke    = flag.Bool("smoke", false, "start an in-process server on an ephemeral port, run the load generator against it, verify invariants, shut down")
+		clients  = flag.Int("clients", 8, "load generator: concurrent connections")
+		ops      = flag.Int("ops", 2000, "load generator: operations per connection")
+		keyRange = flag.Int("keyrange", 512, "load generator: key universe size")
+		keyDist  = flag.String("keys", "zipf", "load generator: key distribution (uniform, zipf, zipf:<s>)")
+		accounts = flag.Int("accounts", 8, "load generator: transfer accounts (conservation-checked)")
+		transfer = flag.Float64("transfer", 0.2, "load generator: fraction of ops that are MULTI/EXEC transfers")
+		seed     = flag.Uint64("seed", 0x5eed, "load generator: workload seed")
+	)
+	flag.Parse()
+	if *loadgen && *smoke {
+		fmt.Fprintln(os.Stderr, "stmkv: -loadgen and -smoke are mutually exclusive")
+		os.Exit(2)
+	}
+	lcfg := loadConfig{
+		clients:  *clients,
+		ops:      *ops,
+		keyRange: *keyRange,
+		keyDist:  *keyDist,
+		accounts: *accounts,
+		transfer: *transfer,
+		seed:     *seed,
+	}
+	switch {
+	case *loadgen:
+		report, err := runLoadgen(*addr, lcfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report)
+	case *smoke:
+		if err := runSmoke(*manager, *shards, *buckets, lcfg); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := serve(*addr, *manager, *shards, *buckets); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// serve runs the server until SIGINT/SIGTERM, then shuts down cleanly.
+func serve(addr, manager string, shards, buckets int) error {
+	factory, err := core.Factory(manager)
+	if err != nil {
+		return err
+	}
+	s := stm.New(stm.WithManagerFactory(factory))
+	store := kv.New(s, kv.WithShards(shards), kv.WithBuckets(buckets))
+	srv := kv.NewServer(store)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stmkv: serving on %s (manager=%s shards=%d buckets=%d)\n",
+		ln.Addr(), manager, store.Shards(), buckets)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "stmkv: %v, shutting down\n", sig)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return <-done
+	case err := <-done:
+		return err
+	}
+}
+
+// runSmoke is the CI path: a real server on an ephemeral port, the
+// load generator driving it over real sockets, then invariant checks
+// and a clean shutdown. Any violation exits non-zero through main.
+func runSmoke(manager string, shards, buckets int, lcfg loadConfig) error {
+	factory, err := core.Factory(manager)
+	if err != nil {
+		return err
+	}
+	s := stm.New(stm.WithManagerFactory(factory))
+	store := kv.New(s, kv.WithShards(shards), kv.WithBuckets(buckets))
+	srv := kv.NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	report, err := runLoadgen(ln.Addr().String(), lcfg)
+	if err != nil {
+		return fmt.Errorf("smoke: loadgen: %w", err)
+	}
+	fmt.Println(report)
+
+	// The store must be structurally sound after the storm, and the
+	// expiry backstop must run clean.
+	if err := store.CheckInvariants(); err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+	reaped, err := store.Sweep()
+	if err != nil {
+		return fmt.Errorf("smoke: sweep: %w", err)
+	}
+	n, err := store.Len()
+	if err != nil {
+		return fmt.Errorf("smoke: len: %w", err)
+	}
+	stats := s.TotalStats()
+	fmt.Printf("smoke: ok — %d live keys, %d reaped, shard buckets %v, %d commits (abort rate %.2f)\n",
+		n, reaped, store.BucketsPerShard(), stats.Commits, stats.AbortRate())
+
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("smoke: close: %w", err)
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("smoke: serve returned: %w", err)
+	}
+	// A second Close must be a no-op, and the port must be free again.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("smoke: double close: %w", err)
+	}
+	probe, err := net.Listen("tcp", ln.Addr().String())
+	if err != nil {
+		return fmt.Errorf("smoke: port not released: %w", err)
+	}
+	probe.Close()
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stmkv:", err)
+	os.Exit(1)
+}
+
+// fields joins a command's words for error reporting.
+func fields(args []string) string { return strings.Join(args, " ") }

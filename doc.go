@@ -7,19 +7,24 @@
 // STM's ManagerFactory) over a DSTM-style engine, pluggable contention
 // managers (internal/stm, internal/core), the paper's benchmark data
 // structures (internal/intset), a transactional container subsystem —
-// hash set, FIFO queue and ordered map on Var[T]
-// (internal/container) — the throughput harness with configurable
-// lookup/insert/delete/range op mixes (internal/harness,
-// internal/workload), and the scheduling-theory side — task systems,
-// list and optimal schedulers, the discrete transaction simulator, the
-// Section 4 adversary and the Lemma 7 graph machinery (internal/sched,
+// hash set, FIFO queue and ordered map on Var[T], with a shared
+// transactional-resize Table (internal/container) — a sharded
+// TTL-aware key-value store and its RESP-lite protocol
+// (internal/kv, internal/resp) served over TCP by cmd/stmkv, the
+// throughput harness with configurable lookup/insert/delete/range op
+// mixes and key distributions (internal/harness, internal/workload),
+// and the scheduling-theory side — task systems, list and optimal
+// schedulers, the discrete transaction simulator, the Section 4
+// adversary and the Lemma 7 graph machinery (internal/sched,
 // internal/graph).
 //
 // See DESIGN.md for the architecture (engine / sessions / typed
-// facade / managers / containers) and the hardware substitutions;
-// cmd/stmbench (figures 1-7, -structure hashset|queue|omap, -mix,
+// facade / managers / containers / kv server) and the hardware
+// substitutions; cmd/stmbench (figures 1-8, -structure, -mix, -keys,
 // tables, CSV and -json output), cmd/benchdiff (BENCH_*.json
-// trajectory diffs) and cmd/makespan for the experiment drivers; and
-// examples/ for runnable programs (each verifies its own invariant
-// and exits non-zero on violation, so CI smoke-runs them).
+// trajectory diffs and the cross-PR -trajectory table), cmd/stmkv
+// (the RESP-lite server, load generator and CI smoke harness — see
+// cmd/stmkv/README.md) and cmd/makespan for the experiment drivers;
+// and examples/ for runnable programs (each verifies its own
+// invariant and exits non-zero on violation, so CI smoke-runs them).
 package repro

@@ -53,6 +53,128 @@ func TestHashSetBasic(t *testing.T) {
 	}
 }
 
+// TestHashSetGrow loads a tiny table far past the load factor and
+// checks that MaybeGrow doubles the bucket array (repeatedly if
+// needed), preserves every element, and is a no-op when nothing is
+// pending.
+func TestHashSetGrow(t *testing.T) {
+	s := stm.New()
+	h := NewHashSet[int](2)
+	if grown, err := h.MaybeGrow(s); err != nil || grown {
+		t.Fatalf("MaybeGrow with no signal = %v, %v; want false, nil", grown, err)
+	}
+	const n = 128
+	for i := 0; i < n; i++ {
+		if _, err := stm.Atomic(s, func(tx *stm.Tx) (bool, error) { return h.Add(tx, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown, err := h.MaybeGrow(s)
+	if err != nil || !grown {
+		t.Fatalf("MaybeGrow after overload = %v, %v; want true, nil", grown, err)
+	}
+	if got := h.Buckets(); got < n/4 {
+		t.Fatalf("buckets after grow = %d; want >= %d (load factor honoured)", got, n/4)
+	}
+	elems, err := stm.Atomic(s, func(tx *stm.Tx) ([]int, error) { return h.Elems(tx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(elems)
+	if len(elems) != n {
+		t.Fatalf("grow lost elements: %d, want %d", len(elems), n)
+	}
+	for i, v := range elems {
+		if v != i {
+			t.Fatalf("element set damaged at %d: got %d", i, v)
+		}
+	}
+	if err := s.Atomically(h.CheckInvariants); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashSetGrowUnderWriters races transactional resizes against 32
+// writer goroutines: each goroutine inserts a disjoint key range while
+// one maintenance goroutine drains the growth signal, so grows commit
+// mid-storm. Afterwards every inserted key must be present, the array
+// must have grown, and the bucket invariants must hold — the
+// resize-vs-writers contract of the Table mechanism.
+func TestHashSetGrowUnderWriters(t *testing.T) {
+	const writers = 32
+	perWriter := hammerOps(t)
+	s := stm.New(stm.WithManagerFactory(core.MustFactory("greedy")), stm.WithInterleavePeriod(4))
+	h := NewHashSet[int](2) // tiny: every writer drives chains past the signal
+	errs := make([]error, writers+1)
+	stop := make(chan struct{})
+	var maint sync.WaitGroup
+	maint.Add(1)
+	go func() { // maintenance: drain grow signals while writers run
+		defer maint.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := h.MaybeGrow(s); err != nil {
+				errs[writers] = err
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := g*perWriter + i
+				changed, err := stm.Atomic(s, func(tx *stm.Tx) (bool, error) { return h.Add(tx, key) })
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !changed {
+					errs[g] = fmt.Errorf("disjoint key %d already present", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	maint.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One final drain so a signal raised by the last inserts is acted on.
+	if _, err := h.MaybeGrow(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Buckets(); got <= 2 {
+		t.Fatalf("bucket array never grew (still %d)", got)
+	}
+	elems, err := stm.Atomic(s, func(tx *stm.Tx) ([]int, error) { return h.Elems(tx) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != writers*perWriter {
+		t.Fatalf("lost keys across resizes: %d, want %d", len(elems), writers*perWriter)
+	}
+	sort.Ints(elems)
+	for i, v := range elems {
+		if v != i {
+			t.Fatalf("key set damaged at %d: got %d", i, v)
+		}
+	}
+	if err := s.Atomically(h.CheckInvariants); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQueueBasic exercises FIFO order, empty dequeues, Peek and the
 // structural invariants.
 func TestQueueBasic(t *testing.T) {

@@ -3,10 +3,13 @@
 // beyond the paper's four integer-set applications with the container
 // shapes real key-value systems are built from:
 //
-//   - HashSet[T]: a fixed bucket array of variables, each holding an
-//     immutable chain — operations on different buckets are disjoint,
-//     so contention scales with bucket occupancy rather than structure
-//     size (the friendliest profile for every manager);
+//   - HashSet[T]: a growable bucket array of variables, each holding
+//     an immutable chain — operations on different buckets are
+//     disjoint, so contention scales with bucket occupancy rather than
+//     structure size (the friendliest profile for every manager); the
+//     array itself lives in a Var (Table, the resize mechanism shared
+//     with internal/kv), so growing it is an ordinary transaction
+//     racing the writers;
 //   - Queue[T]: a Michael–Scott-style two-variable FIFO whose head and
 //     tail are permanent hot spots — every producer conflicts with
 //     every producer and every consumer with every consumer, the

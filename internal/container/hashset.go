@@ -17,47 +17,44 @@ type hsNode[T comparable] struct {
 	next *hsNode[T]
 }
 
-// HashSet is a transactional hash set: a fixed array of buckets, each
-// a single stm.Var holding the bucket's chain head. Conflict
+// HashSet is a transactional hash set: a growable array of buckets,
+// each a single stm.Var holding the bucket's chain head. Conflict
 // granularity is the bucket — transactions touching different buckets
 // are disjoint and never consult the contention manager, while
-// collisions within a bucket conflict whole-chain. The bucket count is
-// fixed at construction (no transactional resize), which keeps the
-// disjointness profile stable across a benchmark run.
+// collisions within a bucket conflict whole-chain. The bucket array
+// itself lives in a Var (see Table), so resizing is a transaction
+// racing ordinary operations: inserts that walk an over-long chain
+// raise an advisory signal, and the owner drains it with MaybeGrow
+// between transactions.
 type HashSet[T comparable] struct {
-	seed    maphash.Seed
-	buckets []*stm.Var[*hsNode[T]]
+	table *Table[*hsNode[T]]
 }
 
-// NewHashSet returns an empty set with the given number of buckets
-// (minimum 1). More buckets mean more disjoint parallelism; fewer mean
-// hotter chains.
+// NewHashSet returns an empty set with the given initial number of
+// buckets (minimum 1). More buckets mean more disjoint parallelism;
+// fewer mean hotter chains — until MaybeGrow doubles the array.
 func NewHashSet[T comparable](buckets int) *HashSet[T] {
-	if buckets < 1 {
-		buckets = 1
-	}
-	h := &HashSet[T]{
-		seed:    maphash.MakeSeed(),
-		buckets: make([]*stm.Var[*hsNode[T]], buckets),
-	}
-	for i := range h.buckets {
-		h.buckets[i] = stm.NewVar[*hsNode[T]](nil)
-	}
-	return h
+	return &HashSet[T]{table: NewTable[*hsNode[T]](buckets)}
 }
 
-// Buckets returns the fixed bucket count.
-func (h *HashSet[T]) Buckets() int { return len(h.buckets) }
+// Buckets returns the committed bucket count (a non-transactional
+// snapshot; it changes only when MaybeGrow commits a resize).
+func (h *HashSet[T]) Buckets() int { return h.table.PeekLen() }
 
-// bucket hashes x to its bucket variable. The seed is fixed at
-// construction, so the mapping is stable across transaction retries.
-func (h *HashSet[T]) bucket(x T) *stm.Var[*hsNode[T]] {
-	return h.buckets[maphash.Comparable(h.seed, x)%uint64(len(h.buckets))]
+// bucket hashes x to its bucket variable within the array version b.
+// The seed is fixed at construction, so the mapping is stable across
+// transaction retries; only the modulus changes when the table grows.
+func (h *HashSet[T]) bucket(b Buckets[*hsNode[T]], x T) *stm.Var[*hsNode[T]] {
+	return b.At(int(maphash.Comparable(h.table.Seed(), x) % uint64(b.Len())))
 }
 
 // Contains reports whether x is in the set.
 func (h *HashSet[T]) Contains(tx *stm.Tx, x T) (bool, error) {
-	head, err := stm.Read(tx, h.bucket(x))
+	b, err := h.table.Buckets(tx)
+	if err != nil {
+		return false, err
+	}
+	head, err := stm.Read(tx, h.bucket(b, x))
 	if err != nil {
 		return false, err
 	}
@@ -69,26 +66,42 @@ func (h *HashSet[T]) Contains(tx *stm.Tx, x T) (bool, error) {
 	return false, nil
 }
 
-// Add inserts x and reports whether the set changed.
+// Add inserts x and reports whether the set changed. Walking a chain
+// already growChain long raises the table's resize signal — an atomic
+// flag, not a transactional effect, so retries stay safe — for the
+// owner to act on with MaybeGrow.
 func (h *HashSet[T]) Add(tx *stm.Tx, x T) (bool, error) {
-	b := h.bucket(x)
-	head, err := stm.Read(tx, b)
+	b, err := h.table.Buckets(tx)
 	if err != nil {
 		return false, err
 	}
+	bv := h.bucket(b, x)
+	head, err := stm.Read(tx, bv)
+	if err != nil {
+		return false, err
+	}
+	chain := 0
 	for n := head; n != nil; n = n.next {
 		if n.elem == x {
 			return false, nil
 		}
+		chain++
 	}
-	return true, stm.Write(tx, b, &hsNode[T]{elem: x, next: head})
+	if chain >= GrowChain {
+		h.table.SignalGrowth()
+	}
+	return true, stm.Write(tx, bv, &hsNode[T]{elem: x, next: head})
 }
 
 // Remove deletes x and reports whether the set changed. The nodes
 // before x are rebuilt (chains are immutable); the suffix is shared.
 func (h *HashSet[T]) Remove(tx *stm.Tx, x T) (bool, error) {
-	b := h.bucket(x)
-	head, err := stm.Read(tx, b)
+	b, err := h.table.Buckets(tx)
+	if err != nil {
+		return false, err
+	}
+	bv := h.bucket(b, x)
+	head, err := stm.Read(tx, bv)
 	if err != nil {
 		return false, err
 	}
@@ -102,18 +115,68 @@ func (h *HashSet[T]) Remove(tx *stm.Tx, x T) (bool, error) {
 		for i := len(prefix) - 1; i >= 0; i-- {
 			rebuilt = &hsNode[T]{elem: prefix[i], next: rebuilt}
 		}
-		return true, stm.Write(tx, b, rebuilt)
+		return true, stm.Write(tx, bv, rebuilt)
 	}
 	return false, nil
+}
+
+// MaybeGrow drains the advisory resize signal: if a pending signal's
+// exact recount confirms the load factor, the bucket array is doubled
+// in one transaction that rehashes every chain (see Table.MaybeGrow).
+// Call it between transactions — after an Add that might have
+// signalled, or periodically from a maintenance loop; with no signal
+// pending it is one atomic load. It reports whether a resize
+// committed.
+func (h *HashSet[T]) MaybeGrow(s *stm.STM) (bool, error) {
+	return h.table.MaybeGrow(s,
+		func(tx *stm.Tx, b Buckets[*hsNode[T]]) (int, error) {
+			total := 0
+			for i := 0; i < b.Len(); i++ {
+				head, err := stm.Read(tx, b.At(i))
+				if err != nil {
+					return 0, err
+				}
+				for n := head; n != nil; n = n.next {
+					total++
+				}
+			}
+			return total, nil
+		},
+		func(tx *stm.Tx, old, neu Buckets[*hsNode[T]]) error {
+			heads := make([]*hsNode[T], neu.Len())
+			for i := 0; i < old.Len(); i++ {
+				head, err := stm.Read(tx, old.At(i))
+				if err != nil {
+					return err
+				}
+				for n := head; n != nil; n = n.next {
+					j := int(maphash.Comparable(h.table.Seed(), n.elem) % uint64(neu.Len()))
+					heads[j] = &hsNode[T]{elem: n.elem, next: heads[j]}
+				}
+			}
+			for j, head := range heads {
+				if head == nil {
+					continue // fresh buckets already hold nil
+				}
+				if err := stm.Write(tx, neu.At(j), head); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 }
 
 // Len counts the elements — a consistent multi-variable read over
 // every bucket, so it conflicts with all concurrent writers (the long
 // read-only scan the paper's bank-auditor scenario stresses).
 func (h *HashSet[T]) Len(tx *stm.Tx) (int, error) {
+	b, err := h.table.Buckets(tx)
+	if err != nil {
+		return 0, err
+	}
 	total := 0
-	for _, b := range h.buckets {
-		head, err := stm.Read(tx, b)
+	for i := 0; i < b.Len(); i++ {
+		head, err := stm.Read(tx, b.At(i))
 		if err != nil {
 			return 0, err
 		}
@@ -127,9 +190,13 @@ func (h *HashSet[T]) Len(tx *stm.Tx) (int, error) {
 // Elems returns every element, grouped by bucket in chain order — a
 // consistent snapshot of the whole set.
 func (h *HashSet[T]) Elems(tx *stm.Tx) ([]T, error) {
+	b, err := h.table.Buckets(tx)
+	if err != nil {
+		return nil, err
+	}
 	var out []T
-	for _, b := range h.buckets {
-		head, err := stm.Read(tx, b)
+	for i := 0; i < b.Len(); i++ {
+		head, err := stm.Read(tx, b.At(i))
 		if err != nil {
 			return nil, err
 		}
@@ -141,18 +208,22 @@ func (h *HashSet[T]) Elems(tx *stm.Tx) ([]T, error) {
 }
 
 // CheckInvariants verifies the set's structural invariants inside tx:
-// every element hashes to the bucket that holds it, and no element
-// appears twice. It is the audit hook the harness runs after a
-// benchmark point.
+// every element hashes to the bucket that holds it (under the current
+// array version), and no element appears twice. It is the audit hook
+// the harness runs after a benchmark point.
 func (h *HashSet[T]) CheckInvariants(tx *stm.Tx) error {
+	b, err := h.table.Buckets(tx)
+	if err != nil {
+		return err
+	}
 	seen := make(map[T]bool)
-	for i, b := range h.buckets {
-		head, err := stm.Read(tx, b)
+	for i := 0; i < b.Len(); i++ {
+		head, err := stm.Read(tx, b.At(i))
 		if err != nil {
 			return err
 		}
 		for n := head; n != nil; n = n.next {
-			if want := h.bucket(n.elem); want != b {
+			if want := h.bucket(b, n.elem); want != b.At(i) {
 				return fmt.Errorf("container: hashset element %v in bucket %d, hashes elsewhere", n.elem, i)
 			}
 			if seen[n.elem] {

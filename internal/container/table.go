@@ -1,0 +1,171 @@
+package container
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// Table is the shared growable-bucket mechanism behind HashSet and the
+// kv store's shards: an array of bucket variables whose array *itself*
+// lives in a Var, so a resize is just another transaction racing
+// ordinary operations. Every operation reads the array variable first
+// (one read-set entry) and then its bucket; a grow builds a fresh
+// array of fresh bucket variables, rehashes the chains into it, and
+// writes the array variable — serializability of the whole store then
+// falls out of the STM: a grow that commits invalidates every
+// concurrent operation still reading the old array, and an operation
+// that commits first forces the grow to retry against the new chains.
+//
+// The element type E is one bucket's whole content (an immutable chain
+// head, in both current callers); the Table never inspects it, so
+// walking chains for counting and rehashing is the caller's job via
+// the callbacks on MaybeGrow.
+type Table[E any] struct {
+	seed  maphash.Seed
+	state *stm.Var[tableState[E]]
+
+	// growth is the advisory resize signal. Operations that walk an
+	// over-long chain set it from inside their transaction — a plain
+	// atomic store is retry-safe where a transactional counter would
+	// not be (and would serialize every writer on one hot variable) —
+	// and the structure's owner drains it between transactions with
+	// MaybeGrow, which recounts exactly before committing to a resize,
+	// so a signal raised by an attempt that later aborted costs one
+	// cheap no-op transaction, never a wrong-sized table.
+	growth atomic.Bool
+}
+
+// tableState is one committed version of the bucket array. The slice
+// is immutable after construction (a grow installs a brand-new slice),
+// so the Var's default shallow clone is a correct private copy.
+type tableState[E any] struct {
+	buckets []*stm.Var[E]
+}
+
+// Buckets is a transaction's view of a table's bucket array: a
+// consistent snapshot of the array variable (not of the buckets'
+// contents — reading those adds them to the read set one by one).
+type Buckets[E any] struct {
+	vars []*stm.Var[E]
+}
+
+// Len is the bucket count of this version of the array.
+func (b Buckets[E]) Len() int { return len(b.vars) }
+
+// At returns bucket i's variable.
+func (b Buckets[E]) At(i int) *stm.Var[E] { return b.vars[i] }
+
+// NewTable returns a table with n buckets (minimum 1), each holding
+// E's zero value.
+func NewTable[E any](n int) *Table[E] {
+	if n < 1 {
+		n = 1
+	}
+	t := &Table[E]{seed: maphash.MakeSeed()}
+	vars := make([]*stm.Var[E], n)
+	for i := range vars {
+		var zero E
+		vars[i] = stm.NewVar(zero)
+	}
+	t.state = stm.NewVar(tableState[E]{buckets: vars})
+	return t
+}
+
+// Seed is the table's hash seed, fixed at construction so the
+// key-to-bucket mapping is stable across transaction retries and
+// resizes (a grow re-buckets with the same seed, modulo the new
+// length).
+func (t *Table[E]) Seed() maphash.Seed { return t.seed }
+
+// Buckets reads the current bucket array inside tx. The array variable
+// joins the read set, so a concurrent grow that commits aborts this
+// transaction — the mechanism that makes resize serializable against
+// every ordinary operation.
+func (t *Table[E]) Buckets(tx *stm.Tx) (Buckets[E], error) {
+	st, err := stm.Read(tx, t.state)
+	if err != nil {
+		return Buckets[E]{}, err
+	}
+	return Buckets[E]{vars: st.buckets}, nil
+}
+
+// PeekLen returns the committed bucket count outside any transaction —
+// a single-variable snapshot for reports and tests.
+func (t *Table[E]) PeekLen() int { return len(t.state.Peek().buckets) }
+
+// SignalGrowth raises the advisory resize flag. Safe to call from
+// inside a transaction (it is not a transactional effect and is
+// harmless on attempts that abort); the owner drains it with
+// MaybeGrow.
+func (t *Table[E]) SignalGrowth() { t.growth.Store(true) }
+
+// GrowthSignalled reports (without consuming) the advisory flag.
+func (t *Table[E]) GrowthSignalled() bool { return t.growth.Load() }
+
+// maxLoad is the shared grow policy: a table is resized when its
+// element count exceeds maxLoad per bucket, doubling until it does
+// not. Chains stay short without resizing on every excursion.
+const maxLoad = 2
+
+// GrowChain is the companion signalling policy: callers raise the
+// advisory resize signal when a write walks a chain at least this
+// long. One constant for every Table client (HashSet, the kv store's
+// shards), so the two halves of the grow policy cannot drift apart.
+const GrowChain = 6
+
+// MaybeGrow consumes the advisory growth signal and, if an exact count
+// confirms the table is over maxLoad elements per bucket, doubles the
+// bucket array (repeatedly, if needed) inside one transaction:
+// count(tx, old) tallies the elements, rehash(tx, old, neu) moves
+// every chain into the fresh array. It reports whether a resize
+// committed. With no signal pending it is one atomic load — cheap
+// enough to call after every operation.
+func (t *Table[E]) MaybeGrow(
+	s *stm.STM,
+	count func(tx *stm.Tx, b Buckets[E]) (int, error),
+	rehash func(tx *stm.Tx, old, neu Buckets[E]) error,
+) (bool, error) {
+	if !t.growth.CompareAndSwap(true, false) {
+		return false, nil
+	}
+	grown := false
+	err := s.Atomically(func(tx *stm.Tx) error {
+		grown = false
+		old, err := t.Buckets(tx)
+		if err != nil {
+			return err
+		}
+		n, err := count(tx, old)
+		if err != nil {
+			return err
+		}
+		target := old.Len()
+		for n > target*maxLoad {
+			target *= 2
+		}
+		if target == old.Len() {
+			return nil
+		}
+		neu := Buckets[E]{vars: make([]*stm.Var[E], target)}
+		for i := range neu.vars {
+			var zero E
+			neu.vars[i] = stm.NewVar(zero)
+		}
+		if err := rehash(tx, old, neu); err != nil {
+			return err
+		}
+		grown = true
+		return stm.Write(tx, t.state, tableState[E]{buckets: neu.vars})
+	})
+	if err != nil {
+		// The signal was consumed but the resize never committed; re-arm
+		// it so the growth is retried rather than lost, and let the
+		// caller decide how loudly to fail.
+		t.growth.Store(true)
+		return false, fmt.Errorf("container: table grow: %w", err)
+	}
+	return grown, nil
+}

@@ -3,9 +3,11 @@ package harness
 import (
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 
 	"repro/internal/container"
 	"repro/internal/intset"
+	"repro/internal/kv"
 	"repro/internal/stm"
 	"repro/internal/workload"
 )
@@ -28,12 +30,23 @@ type app interface {
 	draw(rng *rand.Rand) opDesc
 	// step runs the drawn operation inside tx; it must be retry-safe.
 	step(tx *stm.Tx, d opDesc) error
+	// after runs between transactions, after a committed operation —
+	// the post-commit maintenance slot (the kv store drains its shard
+	// resize signals here). Implementations must be cheap when there
+	// is nothing to do; most apps are no-ops via noMaintenance.
+	after(s *stm.STM) error
 	// mixName reports the op-mix label for measured points: the mix's
 	// name for apps that honour it, empty for fixed-workload apps.
 	mixName() string
 	// audit verifies structural integrity after the run.
 	audit(s *stm.STM) error
 }
+
+// noMaintenance is the after hook of apps with no between-transaction
+// upkeep.
+type noMaintenance struct{}
+
+func (noMaintenance) after(*stm.STM) error { return nil }
 
 // seedHalf pre-populates a structure to half the key range, one
 // insert transaction per sampled key — the shared seeding policy of
@@ -53,20 +66,27 @@ func seedHalf(s *stm.STM, cfg Config, keys workload.KeyDist, rng *rand.Rand, ins
 type opDesc struct {
 	op     workload.Op
 	key    int
-	insert bool // intset: insert vs remove
-	all    bool // forest: update all trees
-	tree   int  // forest: target tree
+	insert bool  // intset: insert vs remove
+	all    bool  // forest: update all trees
+	tree   int   // forest: target tree
+	now    int64 // kv: clock instant, sampled outside the transaction
 }
 
 // ContainerStructures are the structure names served by
 // internal/container, in the order they were added.
 var ContainerStructures = []string{"hashset", "queue", "omap"}
 
+// KVStructures are the structure names served by internal/kv: the
+// sharded string-keyed store behind cmd/stmkv.
+var KVStructures = []string{"kv"}
+
 // Structures returns every structure name the harness can run: the
-// paper's four intset applications followed by the container
-// subsystem's three.
+// paper's four intset applications, the container subsystem's three,
+// and the kv store.
 func Structures() []string {
-	return append(append([]string{}, intset.Structures...), ContainerStructures...)
+	out := append([]string{}, intset.Structures...)
+	out = append(out, ContainerStructures...)
+	return append(out, KVStructures...)
 }
 
 // newApp builds the application for cfg.Structure.
@@ -78,6 +98,8 @@ func newApp(cfg Config, keys workload.KeyDist, mix workload.OpMix) (app, error) 
 		return &queueApp{q: container.NewQueue[int](), keys: keys, mix: mix, cfg: cfg}, nil
 	case "omap":
 		return &omapApp{m: container.NewOMap[int, int](), keys: keys, mix: mix, cfg: cfg}, nil
+	case "kv":
+		return newKVApp(cfg, keys, mix), nil
 	default:
 		set, err := intset.NewByName(cfg.Structure)
 		if err != nil {
@@ -93,6 +115,7 @@ func newApp(cfg Config, keys workload.KeyDist, mix workload.OpMix) (app, error) 
 // forest's one-or-all variant. The op mix is fixed by the paper, so
 // cfg.Mix does not apply here.
 type intsetApp struct {
+	noMaintenance
 	set intset.Set
 	// forest is non-nil when set is the red-black forest, hoisting the
 	// type assertion out of the per-operation path.
@@ -175,6 +198,7 @@ func (a *intsetApp) audit(s *stm.STM) error {
 // op is a consistent whole-set Len — the long read-only scan that
 // conflicts with every concurrent writer.
 type hashsetApp struct {
+	noMaintenance
 	set  *container.HashSet[int]
 	keys workload.KeyDist
 	mix  workload.OpMix
@@ -228,6 +252,7 @@ func (a *hashsetApp) audit(s *stm.STM) error {
 // every consumer at the head, whatever the key distribution — the
 // keys only supply the enqueued values.
 type queueApp struct {
+	noMaintenance
 	q    *container.Queue[int]
 	keys workload.KeyDist
 	mix  workload.OpMix
@@ -276,6 +301,7 @@ func (a *queueApp) audit(s *stm.STM) error {
 // ops walk the tower path, and the mix's range op scans
 // [key, key+RangeSpan) as one consistent read set.
 type omapApp struct {
+	noMaintenance
 	m    *container.OMap[int, int]
 	keys workload.KeyDist
 	mix  workload.OpMix
@@ -313,6 +339,96 @@ func (a *omapApp) step(tx *stm.Tx, d opDesc) error {
 func (a *omapApp) audit(s *stm.STM) error {
 	if err := s.Atomically(a.m.CheckInvariants); err != nil {
 		return fmt.Errorf("harness: audit omap: %w", err)
+	}
+	return nil
+}
+
+// kvApp drives the internal/kv store — the first string-keyed
+// application in the harness: the integer keys drawn from the
+// distribution index a precomputed name table ("key:000042"), so the
+// measured loop samples skew without formatting costs. Point ops map
+// to Get/Set/Del; the mix's range op is a consistent MGet over
+// RangeSpan consecutive names. The store's shard tables grow under
+// load: writes that walk an over-long chain raise the resize signal,
+// and the worker drains it in the after hook — a resize is one more
+// transaction racing the measured traffic, exactly as in cmd/stmkv.
+type kvApp struct {
+	store *kv.Store
+	names []string
+	keys  workload.KeyDist
+	mix   workload.OpMix
+	cfg   Config
+}
+
+// kvShards is the shard count of the harness's kv store: small enough
+// that whole-shard scans (resize, audit) stay cheap, large enough that
+// point traffic spreads.
+const kvShards = 8
+
+func newKVApp(cfg Config, keys workload.KeyDist, mix workload.OpMix) *kvApp {
+	names := make([]string, cfg.KeyRange)
+	for i := range names {
+		names[i] = fmt.Sprintf("key:%06d", i)
+	}
+	return &kvApp{names: names, keys: keys, mix: mix, cfg: cfg}
+}
+
+func (a *kvApp) seed(s *stm.STM, rng *rand.Rand) error {
+	// The store binds to the run's STM, so it is built at seed time
+	// (newApp runs before the STM exists). Initial buckets are kept
+	// small relative to the key range: the seeding pass itself drives
+	// the first resizes, and the measured window inherits a table at
+	// its natural load factor.
+	buckets := a.cfg.Buckets / kvShards
+	if buckets < 2 {
+		buckets = 2
+	}
+	a.store = kv.New(s, kv.WithShards(kvShards), kv.WithBuckets(buckets))
+	for i := 0; i < a.cfg.KeyRange/2; i++ {
+		key := a.keys.Sample(rng)
+		if err := a.store.Set(a.names[key], strconv.Itoa(key)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *kvApp) mixName() string { return a.mix.Name() }
+
+func (a *kvApp) draw(rng *rand.Rand) opDesc {
+	return opDesc{op: a.mix.Sample(rng), key: a.keys.Sample(rng), now: a.store.Now()}
+}
+
+func (a *kvApp) step(tx *stm.Tx, d opDesc) error {
+	switch d.op {
+	case workload.OpInsert:
+		return a.store.SetTx(tx, d.now, a.names[d.key], a.names[d.key], 0)
+	case workload.OpDelete:
+		_, err := a.store.DelTx(tx, d.now, a.names[d.key])
+		return err
+	case workload.OpRange:
+		// Consistent multi-key read over RangeSpan consecutive names —
+		// the MGET shape, crossing shard boundaries on purpose.
+		for j := d.key; j < d.key+a.cfg.RangeSpan; j++ {
+			if _, _, err := a.store.GetTx(tx, d.now, a.names[j%len(a.names)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		_, _, err := a.store.GetTx(tx, d.now, a.names[d.key])
+		return err
+	}
+}
+
+// after drains pending shard-resize signals — the serving layer's
+// between-transaction grooming, here so a measured run exercises
+// transactional resize under whatever manager the figure sweeps.
+func (a *kvApp) after(s *stm.STM) error { return a.store.Groom() }
+
+func (a *kvApp) audit(s *stm.STM) error {
+	if err := a.store.CheckInvariants(); err != nil {
+		return fmt.Errorf("harness: audit kv: %w", err)
 	}
 	return nil
 }

@@ -64,6 +64,76 @@ func TestRunContainerZipf(t *testing.T) {
 	}
 }
 
+// TestRunKVStructure runs the kv application — the harness's first
+// string-keyed workload — under both key distributions, with the
+// audit on so the store's shard/bucket invariants are verified after
+// the run, and checks the point records its distribution (empty for
+// uniform, named for skew).
+func TestRunKVStructure(t *testing.T) {
+	cfg := quickCfg("kv", "greedy", 4)
+	cfg.Mix = "mixed"
+	cfg.Audit = true
+	point, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Commits <= 0 {
+		t.Fatalf("no commits measured: %+v", point)
+	}
+	if point.KeyDist != "" {
+		t.Fatalf("uniform point carries key_dist %q, want empty", point.KeyDist)
+	}
+	cfg.KeyDist = "zipf"
+	point, err = harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Commits <= 0 {
+		t.Fatalf("no commits under zipf: %+v", point)
+	}
+	if point.KeyDist != "zipf(1.1)" {
+		t.Fatalf("zipf point carries key_dist %q, want %q", point.KeyDist, "zipf(1.1)")
+	}
+}
+
+// TestKVFigureDefaultsToSkew: figure 8 runs zipf unless the caller
+// overrides, and an explicit override wins.
+func TestKVFigureDefaultsToSkew(t *testing.T) {
+	fig, err := harness.FigureByID(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Structure != "kv" || fig.KeyDist != "zipf" {
+		t.Fatalf("figure 8 = %+v, want kv/zipf", fig)
+	}
+	points, err := harness.RunFigure(fig, harness.FigureOptions{
+		Duration: 25 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Threads:  []int{2},
+		Managers: []string{"greedy"},
+		Audit:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].KeyDist != "zipf(1.1)" {
+		t.Fatalf("figure 8 points = %+v, want one zipf(1.1) point", points)
+	}
+	points, err = harness.RunFigure(fig, harness.FigureOptions{
+		Duration: 25 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Threads:  []int{2},
+		Managers: []string{"greedy"},
+		KeyDist:  "uniform",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].KeyDist != "" {
+		t.Fatalf("override points = %+v, want one uniform point", points)
+	}
+}
+
 func TestRunRejectsBadMix(t *testing.T) {
 	cfg := quickCfg("hashset", "greedy", 1)
 	cfg.Mix = "writeonly"
@@ -86,7 +156,7 @@ func TestIntsetIgnoresMixLabel(t *testing.T) {
 
 func TestStructuresListsEverything(t *testing.T) {
 	got := harness.Structures()
-	want := []string{"list", "skiplist", "rbtree", "rbforest", "hashset", "queue", "omap"}
+	want := []string{"list", "skiplist", "rbtree", "rbforest", "hashset", "queue", "omap", "kv"}
 	if len(got) != len(want) {
 		t.Fatalf("Structures() = %v, want %v", got, want)
 	}

@@ -21,6 +21,11 @@ type Figure struct {
 	// Mix is the container op mix (see Config.Mix); empty selects the
 	// default update mix, and the intset structures ignore it.
 	Mix string
+	// KeyDist is the figure's key distribution (see Config.KeyDist);
+	// empty selects uniform, the paper's workload. The kv figure runs
+	// skewed traffic by default — real key-value traffic concentrates
+	// on hot keys.
+	KeyDist string
 	// TailWork is the uncontended in-transaction tail (Figure 3's low
 	// contention scenario); zero elsewhere.
 	TailWork int
@@ -98,6 +103,15 @@ var Figures = []Figure{
 		Managers:  core.FigureManagers,
 		Threads:   DefaultThreads,
 	},
+	{
+		ID:        8,
+		Name:      "KV store application (string keys, skewed traffic)",
+		Structure: "kv",
+		Mix:       "mixed",
+		KeyDist:   "zipf",
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
 }
 
 // StructureFigure returns a synthetic one-structure figure (ID 0) for
@@ -156,7 +170,8 @@ type FigureOptions struct {
 	Seed uint64
 	// Audit structural integrity after every point.
 	Audit bool
-	// KeyDist overrides the key distribution (see Config.KeyDist).
+	// KeyDist overrides the figure's key distribution when non-empty
+	// (see Config.KeyDist).
 	KeyDist string
 	// Mix overrides the figure's container op mix when non-empty (see
 	// Config.Mix).
@@ -180,6 +195,10 @@ func RunFigure(fig Figure, opts FigureOptions) ([]Point, error) {
 	if opts.Mix != "" {
 		mix = opts.Mix
 	}
+	keyDist := fig.KeyDist
+	if opts.KeyDist != "" {
+		keyDist = opts.KeyDist
+	}
 	var points []Point
 	for _, mgr := range managers {
 		for _, th := range threads {
@@ -193,7 +212,7 @@ func RunFigure(fig Figure, opts FigureOptions) ([]Point, error) {
 				ForestAllProb: fig.ForestAllProb,
 				Seed:          opts.Seed,
 				Audit:         opts.Audit,
-				KeyDist:       opts.KeyDist,
+				KeyDist:       keyDist,
 				Mix:           mix,
 			}
 			point, err := Run(cfg)

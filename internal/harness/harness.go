@@ -118,6 +118,9 @@ type Point struct {
 	// Mix is the op mix the point ran (empty for the intset
 	// structures, which always run the paper's fixed update workload).
 	Mix string
+	// KeyDist is the key distribution the point ran, empty for
+	// uniform (the paper's default) so historical records compare.
+	KeyDist string
 	// Figure is the paper figure the point belongs to; zero when the
 	// point was run outside a figure sweep (RunFigure stamps it).
 	Figure int
@@ -206,11 +209,16 @@ func Run(cfg Config) (Point, error) {
 	}
 
 	total := s.TotalStats()
+	distName := keys.Name()
+	if distName == "uniform" {
+		distName = "" // the default; keep point records comparable
+	}
 	point := Point{
 		Structure:     cfg.Structure,
 		Manager:       cfg.Manager,
 		Threads:       cfg.Threads,
 		Mix:           application.mixName(),
+		KeyDist:       distName,
 		Commits:       after - before,
 		CommitsPerSec: float64(after-before) / elapsed.Seconds(),
 		Aborts:        total.Aborts,
@@ -261,6 +269,9 @@ func work(stop *atomic.Bool, s *stm.STM, application app, rng *rand.Rand, cfg Co
 		err := s.Atomically(fn)
 		if errors.Is(err, errStopped) {
 			return nil
+		}
+		if err == nil {
+			err = application.after(s)
 		}
 		if err != nil {
 			return fmt.Errorf("harness: worker: %w", err)

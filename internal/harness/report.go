@@ -19,6 +19,7 @@ type pointJSON struct {
 	Manager       string  `json:"manager"`
 	Threads       int     `json:"threads"`
 	Mix           string  `json:"mix,omitempty"`
+	KeyDist       string  `json:"key_dist,omitempty"`
 	CommitsPerSec float64 `json:"commits_per_sec"`
 	Commits       int64   `json:"commits"`
 	Aborts        int64   `json:"aborts"`
@@ -42,6 +43,7 @@ func WriteJSON(w io.Writer, points []Point) error {
 			Manager:       p.Manager,
 			Threads:       p.Threads,
 			Mix:           p.Mix,
+			KeyDist:       p.KeyDist,
 			CommitsPerSec: p.CommitsPerSec,
 			Commits:       p.Commits,
 			Aborts:        p.Aborts,

@@ -1,0 +1,27 @@
+// Package kv is a sharded transactional key-value store built on the
+// typed STM facade — the serving-layer workload the ROADMAP's
+// production north star points at, and the structure the stmkv server
+// exposes over its RESP-lite protocol.
+//
+// Layout: keys are hashed to one of a fixed number of shards, and each
+// shard is a growable bucket table (container.Table) whose bucket
+// array itself lives in a Var — so resizing a shard is an ordinary
+// transaction racing concurrent operations, serialized by the STM like
+// any other conflict. Buckets hold immutable chains of entries
+// (key, value, expiry), so the Var's shallow clone is a correct
+// private copy.
+//
+// Every top-level operation (Get, Set, Del, Incr, MGet, MSet, Expire,
+// TTL) runs as one atomic transaction on a pooled session; the *Tx
+// forms compose into larger transactions — the server's MULTI/EXEC
+// replays a queued command block inside a single Atomically, making
+// cross-key transfers serializable against concurrent singleton
+// operations and shard resizes.
+//
+// Expiry is lazy: a read treats a dead entry as absent without
+// writing; writes that rebuild a chain drop dead entries in passing,
+// and Sweep reaps shard by shard, one transaction each. Time comes
+// from the store's clock (monotonic nanoseconds; injectable for
+// tests), sampled once per logical transaction so retries replay
+// identical decisions.
+package kv

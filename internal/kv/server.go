@@ -1,0 +1,459 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/resp"
+	"repro/internal/stm"
+)
+
+// Server speaks the RESP-lite protocol over TCP, one goroutine per
+// connection — and therefore one pooled STM session per in-flight
+// command, the execution model PR 2's goroutine-agnostic API was built
+// for. Singleton commands run as single atomic transactions;
+// MULTI/EXEC queues commands client-side and replays the block inside
+// one transaction, so a cross-key transfer serializes against every
+// concurrent singleton operation and shard resize.
+//
+// Deviation from Redis worth knowing: EXEC is all-or-nothing. A
+// command that fails inside the block (INCR on a non-integer value)
+// aborts the whole transaction and EXEC reports EXECABORT, where Redis
+// would run the remaining commands and inline the error — atomicity is
+// the point of running on an STM, so the stricter semantics is kept.
+type Server struct {
+	store *Store
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server for the store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean shutdown, or the first accept error otherwise.
+func (srv *Server) Serve(ln net.Listener) error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		ln.Close()
+		return errors.New("kv: server already closed")
+	}
+	srv.ln = ln
+	srv.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			srv.mu.Lock()
+			closed := srv.closed
+			srv.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		srv.mu.Lock()
+		if srv.closed {
+			srv.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		srv.conns[conn] = struct{}{}
+		srv.wg.Add(1)
+		srv.mu.Unlock()
+		go srv.handle(conn)
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// their handlers to drain — the clean-shutdown contract the smoke mode
+// asserts.
+func (srv *Server) Close() error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		return nil
+	}
+	srv.closed = true
+	ln := srv.ln
+	for conn := range srv.conns {
+		conn.Close()
+	}
+	srv.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	srv.wg.Wait()
+	return err
+}
+
+// drop unregisters and closes a finished connection.
+func (srv *Server) drop(conn net.Conn) {
+	srv.mu.Lock()
+	delete(srv.conns, conn)
+	srv.mu.Unlock()
+	conn.Close()
+	srv.wg.Done()
+}
+
+// handle runs one connection's command loop, including its MULTI
+// state: queued commands are validated at queue time (a bad command
+// poisons the block, Redis-style), and EXEC replays the queue inside
+// one atomic transaction.
+func (srv *Server) handle(conn net.Conn) {
+	defer srv.drop(conn)
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+	var (
+		multi bool
+		queue [][]string
+		dirty bool
+	)
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			if resp.IsProtoError(err) {
+				// Tell the peer why before hanging up.
+				w.Error("ERR protocol error: " + err.Error())
+				w.Flush()
+			}
+			return
+		}
+		if len(args) == 0 {
+			// An empty array frame (*0) is a syntactically valid
+			// non-command; answering beats crashing the handler.
+			w.Value(resp.ErrVal("ERR empty command"))
+			if err := w.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		name := strings.ToUpper(args[0])
+		args = args[1:]
+		var reply resp.Value
+		switch name {
+		case "QUIT":
+			w.Value(resp.SimpleVal("OK"))
+			w.Flush()
+			return
+		case "MULTI":
+			if multi {
+				reply = resp.ErrVal("ERR MULTI calls can not be nested")
+			} else {
+				multi, queue, dirty = true, nil, false
+				reply = resp.SimpleVal("OK")
+			}
+		case "DISCARD":
+			if !multi {
+				reply = resp.ErrVal("ERR DISCARD without MULTI")
+			} else {
+				multi, queue, dirty = false, nil, false
+				reply = resp.SimpleVal("OK")
+			}
+		case "EXEC":
+			switch {
+			case !multi:
+				reply = resp.ErrVal("ERR EXEC without MULTI")
+			case dirty:
+				multi, queue, dirty = false, nil, false
+				reply = resp.ErrVal("EXECABORT Transaction discarded because of previous errors")
+			default:
+				q := queue
+				multi, queue = false, nil
+				reply = srv.execBlock(q)
+			}
+		default:
+			if err := checkCommand(name, args); err != nil {
+				if multi {
+					dirty = true
+				}
+				reply = resp.ErrVal(err.Error())
+			} else if multi {
+				queue = append(queue, append([]string{name}, args...))
+				reply = resp.SimpleVal("QUEUED")
+			} else {
+				reply = srv.runSingle(name, args)
+			}
+		}
+		w.Value(reply)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// runSingle executes one command as one atomic transaction.
+func (srv *Server) runSingle(name string, args []string) resp.Value {
+	var reply resp.Value
+	err := srv.store.Atomically(func(tx *stm.Tx, now int64) error {
+		var err error
+		reply, err = runCommand(srv.store, tx, now, name, args)
+		return err
+	})
+	if err != nil {
+		return commandError(err)
+	}
+	return reply
+}
+
+// execBlock replays a MULTI queue inside one atomic transaction and
+// returns the array of replies — or an EXECABORT error when any
+// command's execution failed, in which case nothing committed.
+func (srv *Server) execBlock(queue [][]string) resp.Value {
+	replies := make([]resp.Value, len(queue))
+	err := srv.store.Atomically(func(tx *stm.Tx, now int64) error {
+		for i, c := range queue {
+			v, err := runCommand(srv.store, tx, now, c[0], c[1:])
+			if err != nil {
+				return err
+			}
+			replies[i] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return resp.ErrVal("EXECABORT Transaction aborted: " + commandError(err).Str)
+	}
+	return resp.ArrayVal(replies...)
+}
+
+// commandError maps an in-transaction command failure to its error
+// reply. Only expected command-level failures reach clients; anything
+// else marks an engine bug loudly.
+func commandError(err error) resp.Value {
+	if errors.Is(err, ErrNotInteger) {
+		return resp.ErrVal("ERR value is not an integer or out of range")
+	}
+	return resp.ErrVal("ERR internal: " + err.Error())
+}
+
+// checkCommand validates name and arity before execution or queueing,
+// so EXEC replays only well-formed commands.
+func checkCommand(name string, args []string) error {
+	n := len(args)
+	ok := true
+	switch name {
+	case "PING":
+		ok = n <= 1
+	case "GET", "INCR", "TTL", "PTTL":
+		ok = n == 1
+	case "SET":
+		ok = n == 2 || n == 4
+		if n == 4 {
+			opt := strings.ToUpper(args[2])
+			if opt != "EX" && opt != "PX" {
+				return fmt.Errorf("ERR syntax error")
+			}
+			// SET's expiry must be a positive, non-overflowing TTL
+			// (Redis rejects EX 0 too).
+			if err := checkTTL(name, args[3], ttlUnit(name, opt), false); err != nil {
+				return err
+			}
+		}
+	case "INCRBY":
+		ok = n == 2
+		if ok {
+			if _, err := strconv.ParseInt(args[1], 10, 64); err != nil {
+				return fmt.Errorf("ERR value is not an integer or out of range")
+			}
+		}
+	case "EXPIRE", "PEXPIRE":
+		// Non-positive TTLs are allowed (they delete, as in Redis), but
+		// a magnitude whose duration overflows int64 nanoseconds would
+		// silently flip sign — deleting a key meant to live ~300 years —
+		// so it is rejected here.
+		ok = n == 2
+		if ok {
+			if err := checkTTL(name, args[1], ttlUnit(name, ""), true); err != nil {
+				return err
+			}
+		}
+	case "DEL", "MGET":
+		ok = n >= 1
+	case "MSET":
+		ok = n >= 2 && n%2 == 0
+	case "DBSIZE":
+		ok = n == 0
+	default:
+		return fmt.Errorf("ERR unknown command '%s'", name)
+	}
+	if !ok {
+		return fmt.Errorf("ERR wrong number of arguments for '%s' command", name)
+	}
+	return nil
+}
+
+// ttlUnit resolves the time unit of a TTL argument: milliseconds for
+// the P-prefixed commands and SET's PX option, seconds otherwise.
+func ttlUnit(name, opt string) time.Duration {
+	if strings.HasPrefix(name, "P") || opt == "PX" {
+		return time.Millisecond
+	}
+	return time.Second
+}
+
+// checkTTL validates a TTL argument: an integer whose duration in unit
+// does not overflow time.Duration (int64 nanoseconds) in either
+// direction, and positive unless nonPositiveOK (EXPIRE's delete
+// semantics) allows otherwise.
+func checkTTL(name, arg string, unit time.Duration, nonPositiveOK bool) error {
+	n, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil {
+		return fmt.Errorf("ERR value is not an integer or out of range")
+	}
+	if !nonPositiveOK && n <= 0 {
+		return fmt.Errorf("ERR invalid expire time in '%s' command", strings.ToLower(name))
+	}
+	limit := int64(math.MaxInt64) / int64(unit)
+	if n > limit || n < -limit {
+		return fmt.Errorf("ERR invalid expire time in '%s' command", strings.ToLower(name))
+	}
+	return nil
+}
+
+// runCommand executes one validated command inside tx at instant now.
+// A returned error aborts the enclosing transaction (and, through it,
+// a whole EXEC block).
+func runCommand(st *Store, tx *stm.Tx, now int64, name string, args []string) (resp.Value, error) {
+	switch name {
+	case "PING":
+		if len(args) == 1 {
+			return resp.BulkVal(args[0]), nil
+		}
+		return resp.SimpleVal("PONG"), nil
+	case "GET":
+		v, ok, err := st.GetTx(tx, now, args[0])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if !ok {
+			return resp.NullVal(), nil
+		}
+		return resp.BulkVal(v), nil
+	case "SET":
+		var ttl time.Duration
+		if len(args) == 4 {
+			n, _ := strconv.ParseInt(args[3], 10, 64) // validated at check time
+			if strings.ToUpper(args[2]) == "EX" {
+				ttl = time.Duration(n) * time.Second
+			} else {
+				ttl = time.Duration(n) * time.Millisecond
+			}
+		}
+		if err := st.SetTx(tx, now, args[0], args[1], ttl); err != nil {
+			return resp.Value{}, err
+		}
+		return resp.SimpleVal("OK"), nil
+	case "DEL":
+		removed := int64(0)
+		for _, key := range args {
+			ok, err := st.DelTx(tx, now, key)
+			if err != nil {
+				return resp.Value{}, err
+			}
+			if ok {
+				removed++
+			}
+		}
+		return resp.IntVal(removed), nil
+	case "INCR", "INCRBY":
+		delta := int64(1)
+		if name == "INCRBY" {
+			delta, _ = strconv.ParseInt(args[1], 10, 64) // validated at check time
+		}
+		n, err := st.IncrTx(tx, now, args[0], delta)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		return resp.IntVal(n), nil
+	case "MGET":
+		elems := make([]resp.Value, len(args))
+		for i, key := range args {
+			v, ok, err := st.GetTx(tx, now, key)
+			if err != nil {
+				return resp.Value{}, err
+			}
+			if ok {
+				elems[i] = resp.BulkVal(v)
+			} else {
+				elems[i] = resp.NullVal()
+			}
+		}
+		return resp.ArrayVal(elems...), nil
+	case "MSET":
+		for i := 0; i+1 < len(args); i += 2 {
+			if err := st.SetTx(tx, now, args[i], args[i+1], 0); err != nil {
+				return resp.Value{}, err
+			}
+		}
+		return resp.SimpleVal("OK"), nil
+	case "EXPIRE", "PEXPIRE":
+		n, _ := strconv.ParseInt(args[1], 10, 64) // validated at check time
+		unit := time.Second
+		if name == "PEXPIRE" {
+			unit = time.Millisecond
+		}
+		ok, err := st.ExpireTx(tx, now, args[0], time.Duration(n)*unit)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if ok {
+			return resp.IntVal(1), nil
+		}
+		return resp.IntVal(0), nil
+	case "TTL", "PTTL":
+		d, ok, err := st.TTLTx(tx, now, args[0])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		switch {
+		case !ok:
+			return resp.IntVal(-2), nil
+		case d == NoTTL:
+			return resp.IntVal(-1), nil
+		case name == "PTTL":
+			return resp.IntVal(int64((d + time.Millisecond - 1) / time.Millisecond)), nil
+		default:
+			return resp.IntVal(int64((d + time.Second - 1) / time.Second)), nil
+		}
+	case "DBSIZE":
+		// Whole-store consistent count: every shard's every bucket joins
+		// the read set (the long scan the paper's auditor scenario
+		// stresses — expensive and proud of it).
+		total := int64(0)
+		for _, sh := range st.shards {
+			b, err := sh.Buckets(tx)
+			if err != nil {
+				return resp.Value{}, err
+			}
+			for i := 0; i < b.Len(); i++ {
+				head, err := stm.Read(tx, b.At(i))
+				if err != nil {
+					return resp.Value{}, err
+				}
+				for e := head; e != nil; e = e.next {
+					if !e.dead(now) {
+						total++
+					}
+				}
+			}
+		}
+		return resp.IntVal(total), nil
+	default:
+		// checkCommand gates every path here; reaching this is a bug.
+		return resp.Value{}, fmt.Errorf("kv: unvalidated command %q", name)
+	}
+}

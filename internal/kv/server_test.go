@@ -1,0 +1,421 @@
+package kv
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resp"
+	"repro/internal/stm"
+)
+
+// startServer brings up a server on an ephemeral port and returns its
+// address and a shutdown func.
+func startServer(t *testing.T, st *Store) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve returned: %v", err)
+		}
+	}
+	return ln.Addr().String(), stop
+}
+
+// client is a minimal test client over the resp package.
+type client struct {
+	conn net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+}
+
+func dialClient(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &client{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}
+}
+
+func (c *client) close() { c.conn.Close() }
+
+// do sends one command as an array frame and reads one reply.
+func (c *client) do(args ...string) (resp.Value, error) {
+	c.w.Array(len(args))
+	for _, a := range args {
+		c.w.Bulk(a)
+	}
+	if err := c.w.Flush(); err != nil {
+		return resp.Value{}, err
+	}
+	return c.r.ReadReply()
+}
+
+// mustDo fails the test on transport errors or unexpected error
+// replies.
+func (c *client) mustDo(t *testing.T, args ...string) resp.Value {
+	t.Helper()
+	v, err := c.do(args...)
+	if err != nil {
+		t.Fatalf("%v: %v", args, err)
+	}
+	if v.IsError() {
+		t.Fatalf("%v: error reply %q", args, v.Str)
+	}
+	return v
+}
+
+// TestServerProtocol drives the full command surface over real TCP:
+// every verb, null replies, error replies, inline commands, and the
+// MULTI/EXEC/DISCARD state machine including the poisoned-queue path.
+func TestServerProtocol(t *testing.T) {
+	var clk fakeClock
+	st := New(stm.New(), WithClock(clk.now))
+	addr, stop := startServer(t, st)
+	defer stop()
+	c := dialClient(t, addr)
+	defer c.close()
+
+	if v := c.mustDo(t, "PING"); v.Kind != '+' || v.Str != "PONG" {
+		t.Fatalf("PING = %+v", v)
+	}
+	if v := c.mustDo(t, "PING", "hello"); v.Kind != '$' || v.Str != "hello" {
+		t.Fatalf("PING hello = %+v", v)
+	}
+	if v := c.mustDo(t, "SET", "k", "v"); v.Str != "OK" {
+		t.Fatalf("SET = %+v", v)
+	}
+	if v := c.mustDo(t, "GET", "k"); v.Str != "v" {
+		t.Fatalf("GET = %+v", v)
+	}
+	if v := c.mustDo(t, "GET", "missing"); !v.Null {
+		t.Fatalf("GET missing = %+v, want null", v)
+	}
+	if v := c.mustDo(t, "INCR", "n"); v.Int != 1 {
+		t.Fatalf("INCR = %+v", v)
+	}
+	if v := c.mustDo(t, "INCRBY", "n", "41"); v.Int != 42 {
+		t.Fatalf("INCRBY = %+v", v)
+	}
+	if v, err := c.do("INCR", "k"); err != nil || !v.IsError() || !strings.Contains(v.Str, "not an integer") {
+		t.Fatalf("INCR on text = %+v, %v", v, err)
+	}
+	if v := c.mustDo(t, "MSET", "a", "1", "b", "2"); v.Str != "OK" {
+		t.Fatalf("MSET = %+v", v)
+	}
+	v := c.mustDo(t, "MGET", "a", "nope", "b")
+	if len(v.Elems) != 3 || v.Elems[0].Str != "1" || !v.Elems[1].Null || v.Elems[2].Str != "2" {
+		t.Fatalf("MGET = %+v", v)
+	}
+	if v := c.mustDo(t, "DEL", "a", "nope"); v.Int != 1 {
+		t.Fatalf("DEL = %+v", v)
+	}
+	if v := c.mustDo(t, "DBSIZE"); v.Int != 3 { // k, n, b
+		t.Fatalf("DBSIZE = %+v", v)
+	}
+
+	// Expiry over the wire, against the injected clock.
+	if v := c.mustDo(t, "SET", "tmp", "x", "PX", "500"); v.Str != "OK" {
+		t.Fatalf("SET PX = %+v", v)
+	}
+	if v := c.mustDo(t, "PTTL", "tmp"); v.Int != 500 {
+		t.Fatalf("PTTL = %+v", v)
+	}
+	if v := c.mustDo(t, "TTL", "tmp"); v.Int != 1 { // 500ms rounds up
+		t.Fatalf("TTL = %+v", v)
+	}
+	if v := c.mustDo(t, "TTL", "k"); v.Int != -1 {
+		t.Fatalf("TTL no-expiry = %+v", v)
+	}
+	if v := c.mustDo(t, "TTL", "ghost"); v.Int != -2 {
+		t.Fatalf("TTL missing = %+v", v)
+	}
+	clk.advance(600 * time.Millisecond)
+	if v := c.mustDo(t, "GET", "tmp"); !v.Null {
+		t.Fatalf("GET after expiry = %+v", v)
+	}
+	if v := c.mustDo(t, "EXPIRE", "k", "100"); v.Int != 1 {
+		t.Fatalf("EXPIRE = %+v", v)
+	}
+	if v := c.mustDo(t, "EXPIRE", "ghost", "100"); v.Int != 0 {
+		t.Fatalf("EXPIRE ghost = %+v", v)
+	}
+
+	// TTL arguments that would overflow time.Duration are rejected, not
+	// silently turned into deletes; SET requires a positive expiry.
+	c.mustDo(t, "SET", "longlived", "v")
+	if v, _ := c.do("EXPIRE", "longlived", "10000000000"); !v.IsError() || !strings.Contains(v.Str, "invalid expire") {
+		t.Fatalf("overflowing EXPIRE = %+v, want invalid-expire error", v)
+	}
+	if v := c.mustDo(t, "GET", "longlived"); v.Str != "v" {
+		t.Fatalf("key lost to overflowing EXPIRE: %+v", v)
+	}
+	if v, _ := c.do("SET", "x", "y", "EX", "0"); !v.IsError() {
+		t.Fatalf("SET EX 0 = %+v, want error", v)
+	}
+	if v, _ := c.do("SET", "x", "y", "PX", "-40"); !v.IsError() {
+		t.Fatalf("SET PX -40 = %+v, want error", v)
+	}
+	// EXPIRE with an in-range negative TTL still deletes (Redis
+	// semantics).
+	if v := c.mustDo(t, "EXPIRE", "longlived", "-1"); v.Int != 1 {
+		t.Fatalf("EXPIRE -1 = %+v", v)
+	}
+	if v := c.mustDo(t, "GET", "longlived"); !v.Null {
+		t.Fatalf("EXPIRE -1 did not delete: %+v", v)
+	}
+
+	// MULTI/EXEC: queued replies, then the block's replies as one array.
+	if v := c.mustDo(t, "MULTI"); v.Str != "OK" {
+		t.Fatalf("MULTI = %+v", v)
+	}
+	if v := c.mustDo(t, "INCRBY", "x1", "5"); v.Str != "QUEUED" {
+		t.Fatalf("queue INCRBY = %+v", v)
+	}
+	if v := c.mustDo(t, "INCRBY", "x2", "-5"); v.Str != "QUEUED" {
+		t.Fatalf("queue INCRBY = %+v", v)
+	}
+	if v := c.mustDo(t, "MGET", "x1", "x2"); v.Str != "QUEUED" {
+		t.Fatalf("queue MGET = %+v", v)
+	}
+	v = c.mustDo(t, "EXEC")
+	if len(v.Elems) != 3 || v.Elems[0].Int != 5 || v.Elems[1].Int != -5 {
+		t.Fatalf("EXEC = %+v", v)
+	}
+	if got := v.Elems[2]; got.Elems[0].Str != "5" || got.Elems[1].Str != "-5" {
+		t.Fatalf("EXEC inner MGET = %+v", got)
+	}
+
+	// DISCARD drops the queue.
+	c.mustDo(t, "MULTI")
+	c.mustDo(t, "SET", "discarded", "1")
+	if v := c.mustDo(t, "DISCARD"); v.Str != "OK" {
+		t.Fatalf("DISCARD = %+v", v)
+	}
+	if v := c.mustDo(t, "GET", "discarded"); !v.Null {
+		t.Fatalf("GET after DISCARD = %+v", v)
+	}
+
+	// A bad command poisons the queue: EXEC aborts.
+	c.mustDo(t, "MULTI")
+	if v, _ := c.do("NOSUCH", "x"); !v.IsError() {
+		t.Fatalf("queueing unknown command = %+v", v)
+	}
+	if v, _ := c.do("SET", "y", "1"); v.Str != "QUEUED" {
+		t.Fatalf("queue after poison = %+v", v)
+	}
+	if v, _ := c.do("EXEC"); !v.IsError() || !strings.Contains(v.Str, "EXECABORT") {
+		t.Fatalf("EXEC on poisoned queue = %+v", v)
+	}
+	if v := c.mustDo(t, "GET", "y"); !v.Null {
+		t.Fatalf("poisoned EXEC committed: %+v", v)
+	}
+
+	// EXEC is all-or-nothing: a failing INCR aborts the whole block.
+	c.mustDo(t, "SET", "text", "abc")
+	c.mustDo(t, "MULTI")
+	c.mustDo(t, "SET", "z", "1")
+	c.mustDo(t, "INCR", "text")
+	if v, _ := c.do("EXEC"); !v.IsError() || !strings.Contains(v.Str, "EXECABORT") {
+		t.Fatalf("EXEC with failing INCR = %+v", v)
+	}
+	if v := c.mustDo(t, "GET", "z"); !v.Null {
+		t.Fatalf("aborted EXEC leaked a write: %+v", v)
+	}
+
+	// State-machine errors outside MULTI.
+	if v, _ := c.do("EXEC"); !v.IsError() {
+		t.Fatalf("EXEC without MULTI = %+v", v)
+	}
+	if v, _ := c.do("DISCARD"); !v.IsError() {
+		t.Fatalf("DISCARD without MULTI = %+v", v)
+	}
+	if v, _ := c.do("GET"); !v.IsError() {
+		t.Fatalf("GET with no key = %+v", v)
+	}
+
+	// Inline form over the same connection.
+	if _, err := c.conn.Write([]byte("PING\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.r.ReadReply(); err != nil || v.Str != "PONG" {
+		t.Fatalf("inline PING = %+v, %v", v, err)
+	}
+
+	// QUIT closes cleanly.
+	if v, err := c.do("QUIT"); err != nil || v.Str != "OK" {
+		t.Fatalf("QUIT = %+v, %v", v, err)
+	}
+}
+
+// TestServerGarbageDoesNotKill sends protocol garbage and asserts the
+// server survives it: the offending connection gets an error reply (or
+// a close), and a fresh connection still works.
+func TestServerGarbageDoesNotKill(t *testing.T) {
+	st := New(stm.New())
+	addr, stop := startServer(t, st)
+	defer stop()
+	for _, garbage := range []string{
+		"*2\r\n$3\r\nGET\r\njunkjunk",
+		"*-5\r\n",
+		"*1\r\n$99999999\r\n",
+		"\x00\x01\x02\xff\r\n",
+		"*0\r\n", // empty command frame: answered, never a panic
+	} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte(garbage))
+		// Expect a response promptly — an error reply (malformed frames
+		// also close the connection; unknown inline commands keep it
+		// open). Either way the server must answer, not hang.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 4096)
+		if n, err := conn.Read(buf); err != nil || n == 0 || buf[0] != '-' {
+			t.Fatalf("garbage %q: reply %q, err %v; want an error reply", garbage, buf[:n], err)
+		}
+		conn.Close()
+	}
+	c := dialClient(t, addr)
+	defer c.close()
+	if v := c.mustDo(t, "PING"); v.Str != "PONG" {
+		t.Fatalf("server unhealthy after garbage: %+v", v)
+	}
+}
+
+// TestServerTransferHammer is the issue's acceptance hammer at the
+// protocol level: N connections move value between keys with
+// MULTI/INCRBY/INCRBY/EXEC while auditor connections MGET the accounts
+// and assert conservation at every snapshot. Runs under -race in CI.
+func TestServerTransferHammer(t *testing.T) {
+	const (
+		accounts = 6
+		movers   = 6
+		auditors = 2
+		initial  = 500
+	)
+	ops := hammerOps(t) / 2
+	s := stm.New(stm.WithManagerFactory(core.MustFactory("karma")), stm.WithInterleavePeriod(4))
+	st := New(s, WithShards(4), WithBuckets(2))
+	addr, stop := startServer(t, st)
+	defer stop()
+
+	keys := make([]string, accounts)
+	seed := dialClient(t, addr)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("acct:%d", i)
+		seed.mustDo(t, "SET", keys[i], strconv.Itoa(initial))
+	}
+	seed.close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, movers+auditors)
+	for g := 0; g < movers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := dialClient(t, addr)
+			defer c.close()
+			for i := 0; i < ops; i++ {
+				from := keys[(g+i)%accounts]
+				to := keys[(g*7+i*3+1)%accounts]
+				amount := strconv.Itoa(1 + (i % 9))
+				for _, cmd := range [][]string{
+					{"MULTI"},
+					{"INCRBY", from, "-" + amount},
+					{"INCRBY", to, amount},
+					{"EXEC"},
+				} {
+					v, err := c.do(cmd...)
+					if err != nil {
+						errs[g] = fmt.Errorf("%v: %w", cmd, err)
+						return
+					}
+					if v.IsError() {
+						errs[g] = fmt.Errorf("%v: %s", cmd, v.Str)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for a := 0; a < auditors; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			c := dialClient(t, addr)
+			defer c.close()
+			for i := 0; i < ops; i++ {
+				v, err := c.do(append([]string{"MGET"}, keys...)...)
+				if err != nil {
+					errs[movers+a] = err
+					return
+				}
+				sum := 0
+				for j, e := range v.Elems {
+					if e.Null {
+						errs[movers+a] = fmt.Errorf("account %s vanished", keys[j])
+						return
+					}
+					n, err := strconv.Atoi(e.Str)
+					if err != nil {
+						errs[movers+a] = err
+						return
+					}
+					sum += n
+				}
+				if sum != accounts*initial {
+					errs[movers+a] = fmt.Errorf("conservation broken: sum %d, want %d", sum, accounts*initial)
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerCloseUnblocksClients: Close with live idle connections
+// must not deadlock, and in-flight handlers must drain.
+func TestServerCloseUnblocksClients(t *testing.T) {
+	st := New(stm.New())
+	addr, stop := startServer(t, st)
+	c := dialClient(t, addr)
+	defer c.close()
+	if v := c.mustDo(t, "PING"); v.Str != "PONG" {
+		t.Fatalf("PING = %+v", v)
+	}
+	done := make(chan struct{})
+	go func() { stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain with a live connection")
+	}
+	if _, err := c.do("PING"); err == nil {
+		t.Fatal("connection survived server Close")
+	}
+}

@@ -1,0 +1,327 @@
+package kv
+
+import (
+	"fmt"
+	"hash/maphash"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/stm"
+)
+
+// entry is one key's record in a bucket chain. Chains are immutable by
+// construction — writers rebuild the changed chain and share nothing
+// mutable — so the bucket Var's default shallow clone (of the head
+// pointer) is a correct private copy.
+type entry struct {
+	key string
+	val string
+	// expireAt is the store-clock instant the entry dies, in
+	// nanoseconds; zero means no expiry.
+	expireAt int64
+	next     *entry
+}
+
+// dead reports whether the entry has expired at instant now.
+func (e *entry) dead(now int64) bool {
+	return e.expireAt != 0 && e.expireAt <= now
+}
+
+// NoTTL is the TTL reported for a live key with no expiry set.
+const NoTTL time.Duration = -1
+
+// KV is one key-value pair, the unit of MSet.
+type KV struct {
+	K, V string
+}
+
+// Store is the sharded transactional key-value store. Handles are safe
+// for concurrent use from any goroutine: every operation runs on a
+// pooled STM session, and multi-key operations are single atomic
+// transactions.
+type Store struct {
+	s      *stm.STM
+	seed   maphash.Seed
+	shards []*container.Table[*entry]
+	now    func() int64
+}
+
+// Option configures a Store.
+type Option func(*config)
+
+type config struct {
+	shards  int
+	buckets int
+	clock   func() int64
+}
+
+// WithShards sets the shard count (rounded up to a power of two,
+// minimum 1; default 16). Shards bound the blast radius of a resize:
+// growing one shard's bucket array conflicts only with operations on
+// that shard's keys.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithBuckets sets each shard's initial bucket count (default 8).
+// Shards grow past it on demand; a small value exercises the resize
+// path, a large one avoids it for stable benchmark profiles.
+func WithBuckets(n int) Option {
+	return func(c *config) { c.buckets = n }
+}
+
+// WithClock replaces the store's time source — monotonic nanoseconds,
+// used only to order expiries. Tests inject a hand-advanced clock to
+// make expiry deterministic.
+func WithClock(clock func() int64) Option {
+	return func(c *config) { c.clock = clock }
+}
+
+// New creates an empty store executing its transactions on s.
+func New(s *stm.STM, opts ...Option) *Store {
+	cfg := config{shards: 16, buckets: 8}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	n := 1
+	for n < cfg.shards {
+		n *= 2
+	}
+	if cfg.clock == nil {
+		start := time.Now()
+		cfg.clock = func() int64 { return int64(time.Since(start)) }
+	}
+	st := &Store{
+		s:      s,
+		seed:   maphash.MakeSeed(),
+		shards: make([]*container.Table[*entry], n),
+		now:    cfg.clock,
+	}
+	for i := range st.shards {
+		st.shards[i] = container.NewTable[*entry](cfg.buckets)
+	}
+	return st
+}
+
+// Now samples the store's clock. Callers composing *Tx operations draw
+// now once, outside the transaction, so retries replay identical
+// expiry decisions.
+func (st *Store) Now() int64 { return st.now() }
+
+// Shards returns the shard count.
+func (st *Store) Shards() int { return len(st.shards) }
+
+// BucketsPerShard snapshots each shard's committed bucket count — a
+// growth observability hook for tests and stats, not a consistent
+// read.
+func (st *Store) BucketsPerShard() []int {
+	out := make([]int, len(st.shards))
+	for i, sh := range st.shards {
+		out[i] = sh.PeekLen()
+	}
+	return out
+}
+
+// shard maps a key to its shard table.
+func (st *Store) shard(key string) *container.Table[*entry] {
+	return st.shards[maphash.String(st.seed, key)&uint64(len(st.shards)-1)]
+}
+
+// bucket resolves a key's bucket variable within shard sh under the
+// array version b.
+func bucket(sh *container.Table[*entry], b container.Buckets[*entry], key string) *stm.Var[*entry] {
+	return b.At(int(maphash.String(sh.Seed(), key) % uint64(b.Len())))
+}
+
+// chain reads the bucket chain holding key inside tx, returning the
+// chain head and the bucket variable (for writers to rebuild into).
+func (st *Store) chain(tx *stm.Tx, key string) (*entry, *stm.Var[*entry], error) {
+	sh := st.shard(key)
+	b, err := sh.Buckets(tx)
+	if err != nil {
+		return nil, nil, err
+	}
+	bv := bucket(sh, b, key)
+	head, err := stm.Read(tx, bv)
+	if err != nil {
+		return nil, nil, err
+	}
+	return head, bv, nil
+}
+
+// Atomically runs fn as one atomic transaction against the store,
+// sampling the clock once so retries replay identical expiry
+// decisions, then performs post-commit grooming (resize signals raised
+// by fn's writes). It is the composition surface: the server's EXEC
+// replays a whole queued command block through one call, so the block
+// is serializable against every concurrent singleton operation.
+func (st *Store) Atomically(fn func(tx *stm.Tx, now int64) error) error {
+	now := st.now()
+	if err := st.s.Atomically(func(tx *stm.Tx) error { return fn(tx, now) }); err != nil {
+		return err
+	}
+	// Grooming is decoupled from the operation's outcome: by this point
+	// fn has durably committed, and reporting a resize failure as the
+	// operation's error would make a caller retry (and double-apply) a
+	// non-idempotent op like Incr. A failed grow re-arms the shard's
+	// signal (see Table.MaybeGrow), so nothing is lost: maintenance
+	// loops calling Groom directly still see the error, and an engine
+	// genuinely broken enough to fail the resize transaction will fail
+	// the very next operation too.
+	_ = st.Groom()
+	return nil
+}
+
+// Groom drains pending resize signals: every shard whose writers
+// observed an over-long chain is recounted and, if over the load
+// factor, grown in its own transaction (see container.Table.MaybeGrow).
+// Top-level write operations call it automatically; loops driving the
+// *Tx forms directly should call it between transactions.
+func (st *Store) Groom() error {
+	for _, sh := range st.shards {
+		if !sh.GrowthSignalled() {
+			continue
+		}
+		if _, err := sh.MaybeGrow(st.s, countEntries, rehashFor(sh)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countEntries tallies a shard's entries (dead ones included — expiry
+// is resolved by Sweep and passing writers, not the resize policy).
+func countEntries(tx *stm.Tx, b container.Buckets[*entry]) (int, error) {
+	total := 0
+	for i := 0; i < b.Len(); i++ {
+		head, err := stm.Read(tx, b.At(i))
+		if err != nil {
+			return 0, err
+		}
+		for e := head; e != nil; e = e.next {
+			total++
+		}
+	}
+	return total, nil
+}
+
+// rehashFor builds the resize callback for one shard: every chain of
+// the old array is re-bucketed into the new one. The shard's seed is
+// unchanged; only the modulus moves.
+func rehashFor(sh *container.Table[*entry]) func(tx *stm.Tx, old, neu container.Buckets[*entry]) error {
+	return func(tx *stm.Tx, old, neu container.Buckets[*entry]) error {
+		heads := make([]*entry, neu.Len())
+		for i := 0; i < old.Len(); i++ {
+			head, err := stm.Read(tx, old.At(i))
+			if err != nil {
+				return err
+			}
+			for e := head; e != nil; e = e.next {
+				j := int(maphash.String(sh.Seed(), e.key) % uint64(neu.Len()))
+				heads[j] = &entry{key: e.key, val: e.val, expireAt: e.expireAt, next: heads[j]}
+			}
+		}
+		for j, head := range heads {
+			if head == nil {
+				continue // fresh buckets already hold nil
+			}
+			if err := stm.Write(tx, neu.At(j), head); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Sweep reaps expired entries, one transaction per shard so the write
+// set stays bounded, and returns how many entries were removed. It is
+// the lazy-expiry backstop: reads never write, so without passing
+// writers a dead entry would otherwise linger forever.
+func (st *Store) Sweep() (int, error) {
+	now := st.now()
+	removed := 0
+	for _, sh := range st.shards {
+		err := st.s.Atomically(func(tx *stm.Tx) error {
+			b, err := sh.Buckets(tx)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < b.Len(); i++ {
+				head, err := stm.Read(tx, b.At(i))
+				if err != nil {
+					return err
+				}
+				live, dropped := pruneChain(head, now)
+				if dropped == 0 {
+					continue
+				}
+				if err := stm.Write(tx, b.At(i), live); err != nil {
+					return err
+				}
+				removed += dropped
+			}
+			return nil
+		})
+		if err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// pruneChain rebuilds head without entries dead at now, reporting how
+// many were dropped. When nothing is dead the original chain is
+// returned unchanged (dropped == 0), so callers can skip the write.
+func pruneChain(head *entry, now int64) (*entry, int) {
+	dropped := 0
+	for e := head; e != nil; e = e.next {
+		if e.dead(now) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return head, 0
+	}
+	var live *entry
+	for e := head; e != nil; e = e.next {
+		if !e.dead(now) {
+			live = &entry{key: e.key, val: e.val, expireAt: e.expireAt, next: live}
+		}
+	}
+	return live, dropped
+}
+
+// CheckInvariants verifies the store's structural invariants in one
+// consistent transaction: every entry sits in the shard and bucket its
+// key hashes to, and no key appears twice. The harness audit hook and
+// the server's smoke mode run it after their hammers.
+func (st *Store) CheckInvariants() error {
+	return st.s.Atomically(func(tx *stm.Tx) error {
+		seen := make(map[string]bool)
+		for si, sh := range st.shards {
+			b, err := sh.Buckets(tx)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < b.Len(); i++ {
+				head, err := stm.Read(tx, b.At(i))
+				if err != nil {
+					return err
+				}
+				for e := head; e != nil; e = e.next {
+					if st.shard(e.key) != sh {
+						return fmt.Errorf("kv: key %q in shard %d, hashes elsewhere", e.key, si)
+					}
+					if bucket(sh, b, e.key) != b.At(i) {
+						return fmt.Errorf("kv: key %q in bucket %d of shard %d, hashes elsewhere", e.key, i, si)
+					}
+					if seen[e.key] {
+						return fmt.Errorf("kv: key %q duplicated", e.key)
+					}
+					seen[e.key] = true
+				}
+			}
+		}
+		return nil
+	})
+}
