@@ -79,20 +79,24 @@ func main() {
 	md := flag.Bool("md", false, "emit a GitHub-flavored markdown table with a summary line")
 	trajectory := flag.String("trajectory", "", "trajectory file: print the cross-PR per-figure table (one optional RUN.json arg adds a column)")
 	record := flag.String("record", "", "with -trajectory: append RUN.json's aggregates under this label and rewrite the trajectory file")
+	slice := flag.Bool("slice", false, "with -trajectory: slice each figure's medians by contention manager")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-md] OLD.json NEW.json")
-		fmt.Fprintln(os.Stderr, "       benchdiff [-md] -trajectory TRAJ.json [-record LABEL] [RUN.json]")
+		fmt.Fprintln(os.Stderr, "       benchdiff [-md] -trajectory TRAJ.json [-record LABEL] [-slice] [RUN.json]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *trajectory != "" {
-		if err := runTrajectory(os.Stdout, *trajectory, *record, flag.Args(), *md); err != nil {
+		if err := runTrajectory(os.Stdout, *trajectory, *record, flag.Args(), *md, *slice); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *record != "" {
 		fatal(fmt.Errorf("-record requires -trajectory"))
+	}
+	if *slice {
+		fatal(fmt.Errorf("-slice requires -trajectory"))
 	}
 	if flag.NArg() != 2 {
 		flag.Usage()

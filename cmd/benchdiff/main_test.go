@@ -147,7 +147,7 @@ func TestTrajectoryRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := runTrajectory(&buf, traj, "pr5", []string{run}, false); err != nil {
+	if err := runTrajectory(&buf, traj, "pr5", []string{run}, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -165,13 +165,16 @@ func TestTrajectoryRoundTrip(t *testing.T) {
 	if len(entries) != 2 || entries[1].Label != "pr5" || entries[1].Figures["8"] != 50 {
 		t.Fatalf("rewritten trajectory = %+v", entries)
 	}
-	if err := runTrajectory(io.Discard, traj, "pr5", []string{run}, false); err == nil {
+	if entries[1].Managers["8"]["greedy"] != 50 {
+		t.Fatalf("recorded entry lacks manager slice: %+v", entries[1].Managers)
+	}
+	if err := runTrajectory(io.Discard, traj, "pr5", []string{run}, false, false); err == nil {
 		t.Fatal("duplicate label accepted")
 	}
 	// Read-only mode: an unsaved run appears as a column without
 	// touching the file.
 	buf.Reset()
-	if err := runTrajectory(&buf, traj, "", []string{run}, true); err != nil {
+	if err := runTrajectory(&buf, traj, "", []string{run}, true, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "this run") {
@@ -179,5 +182,43 @@ func TestTrajectoryRoundTrip(t *testing.T) {
 	}
 	if entries, _ = loadTrajectory(traj); len(entries) != 2 {
 		t.Fatalf("read-only mode rewrote the file: %+v", entries)
+	}
+}
+
+// TestTrajectoryManagerSlice pins the -slice view: per-figure,
+// per-manager medians across the thread sweep, with pre-slice entries
+// (no managers map) rendered as dashes.
+func TestTrajectoryManagerSlice(t *testing.T) {
+	pts := []point{
+		{Figure: 1, Manager: "greedy", Threads: 1, CommitsPerSec: 10},
+		{Figure: 1, Manager: "greedy", Threads: 4, CommitsPerSec: 30},
+		{Figure: 1, Manager: "karma", Threads: 1, CommitsPerSec: 100},
+		{Figure: 0, Manager: "greedy", CommitsPerSec: 999}, // skipped
+	}
+	got := aggregateManagers(pts)
+	if got["1"]["greedy"] != 20 || got["1"]["karma"] != 100 {
+		t.Fatalf("aggregateManagers = %v", got)
+	}
+	if _, ok := got["0"]; ok {
+		t.Fatal("figure 0 aggregated")
+	}
+
+	dir := t.TempDir()
+	traj := dir + "/traj.json"
+	if err := writeTrajectory(traj, []trajEntry{
+		{Label: "pr4", Figures: map[string]float64{"1": 100}}, // pre-slice entry
+		{Label: "pr5", Figures: map[string]float64{"1": 20}, Managers: got},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runTrajectory(&buf, traj, "", nil, false, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"greedy", "karma", "20", "100", "-", "per figure and manager"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slice table missing %q:\n%s", want, out)
+		}
 	}
 }

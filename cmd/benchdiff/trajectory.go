@@ -16,12 +16,19 @@ import (
 type trajEntry struct {
 	Label   string             `json:"label"`
 	Figures map[string]float64 `json:"figures"`
+	// Managers slices each figure's points by contention manager
+	// (figure → manager → median commits/s), so a manager-specific
+	// regression is visible even when the figure's overall median
+	// holds. Optional: entries recorded before the slice existed lack
+	// it and render as dashes in -slice mode.
+	Managers map[string]map[string]float64 `json:"managers,omitempty"`
 }
 
 // runTrajectory implements -trajectory: load the recorded entries,
 // optionally aggregate a fresh run (appending it when -record LABEL is
-// set), and print the figures × PRs table.
-func runTrajectory(w io.Writer, path, record string, args []string, md bool) error {
+// set), and print the figures × PRs table — or, with slice, the
+// (figure, manager) × PRs table.
+func runTrajectory(w io.Writer, path, record string, args []string, md, slice bool) error {
 	if len(args) > 1 {
 		return fmt.Errorf("-trajectory takes at most one RUN.json argument, got %d", len(args))
 	}
@@ -44,7 +51,7 @@ func runTrajectory(w io.Writer, path, record string, args []string, md bool) err
 		if record != "" {
 			label = record
 		}
-		entry := trajEntry{Label: label, Figures: aggregate(pts)}
+		entry := trajEntry{Label: label, Figures: aggregate(pts), Managers: aggregateManagers(pts)}
 		if len(entry.Figures) == 0 {
 			// A -structure sweep tags every point figure 0; recording it
 			// would permanently reserve the label for an all-dash column.
@@ -65,7 +72,11 @@ func runTrajectory(w io.Writer, path, record string, args []string, md bool) err
 	if len(entries) == 0 {
 		return fmt.Errorf("%s holds no entries", path)
 	}
-	printTrajectory(w, entries, md)
+	if slice {
+		printTrajectorySlice(w, entries, md)
+	} else {
+		printTrajectory(w, entries, md)
+	}
 	return nil
 }
 
@@ -108,14 +119,43 @@ func aggregate(pts []point) map[string]float64 {
 	}
 	out := make(map[string]float64, len(byFig))
 	for fig, vals := range byFig {
-		sort.Float64s(vals)
-		m := vals[len(vals)/2]
-		if len(vals)%2 == 0 {
-			m = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
-		}
-		out[fig] = m
+		out[fig] = median(vals)
 	}
 	return out
+}
+
+// aggregateManagers reduces a run's points to per-figure, per-manager
+// medians (across the thread sweep) — the -slice table's cells.
+func aggregateManagers(pts []point) map[string]map[string]float64 {
+	byFig := map[string]map[string][]float64{}
+	for _, p := range pts {
+		if p.Figure == 0 || p.Manager == "" {
+			continue
+		}
+		key := strconv.Itoa(p.Figure)
+		if byFig[key] == nil {
+			byFig[key] = map[string][]float64{}
+		}
+		byFig[key][p.Manager] = append(byFig[key][p.Manager], p.CommitsPerSec)
+	}
+	out := make(map[string]map[string]float64, len(byFig))
+	for fig, byMgr := range byFig {
+		out[fig] = make(map[string]float64, len(byMgr))
+		for mgr, vals := range byMgr {
+			out[fig][mgr] = median(vals)
+		}
+	}
+	return out
+}
+
+// median sorts vals in place and returns their median.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	m := vals[len(vals)/2]
+	if len(vals)%2 == 0 {
+		m = (vals[len(vals)/2-1] + vals[len(vals)/2]) / 2
+	}
+	return m
 }
 
 // printTrajectory renders rows = figures, columns = recorded PRs, in
@@ -178,5 +218,83 @@ func printTrajectory(w io.Writer, entries []trajEntry, md bool) {
 		fmt.Fprintf(w, "\n**median commits/s per figure across %d recorded run(s)**\n", len(entries))
 	} else {
 		fmt.Fprintf(w, "median commits/s per figure across %d recorded run(s)\n", len(entries))
+	}
+}
+
+// printTrajectorySlice renders the -slice view: rows = (figure,
+// manager) pairs, columns = recorded PRs. Entries recorded before the
+// per-manager slice existed (or runs that never measured a pair) show
+// a dash.
+func printTrajectorySlice(w io.Writer, entries []trajEntry, md bool) {
+	type figMgr struct {
+		fig int
+		mgr string
+	}
+	rowSet := map[figMgr]bool{}
+	for _, e := range entries {
+		for k, byMgr := range e.Managers {
+			n, err := strconv.Atoi(k)
+			if err != nil {
+				continue
+			}
+			for mgr := range byMgr {
+				rowSet[figMgr{n, mgr}] = true
+			}
+		}
+	}
+	rows := make([]figMgr, 0, len(rowSet))
+	for r := range rowSet {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].fig != rows[b].fig {
+			return rows[a].fig < rows[b].fig
+		}
+		return rows[a].mgr < rows[b].mgr
+	})
+
+	if md {
+		fmt.Fprint(w, "| figure | manager |")
+		for _, e := range entries {
+			fmt.Fprintf(w, " %s |", e.Label)
+		}
+		fmt.Fprint(w, "\n|---|---|")
+		for range entries {
+			fmt.Fprint(w, "---:|")
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintf(w, "%-8s%-12s", "figure", "manager")
+		for _, e := range entries {
+			fmt.Fprintf(w, "%14s", e.Label)
+		}
+		fmt.Fprintln(w)
+	}
+	cell := func(e trajEntry, r figMgr) string {
+		v, ok := e.Managers[strconv.Itoa(r.fig)][r.mgr]
+		if !ok {
+			return "-"
+		}
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	for _, r := range rows {
+		if md {
+			fmt.Fprintf(w, "| %d | %s |", r.fig, r.mgr)
+			for _, e := range entries {
+				fmt.Fprintf(w, " %s |", cell(e, r))
+			}
+			fmt.Fprintln(w)
+		} else {
+			fmt.Fprintf(w, "%-8d%-12s", r.fig, r.mgr)
+			for _, e := range entries {
+				fmt.Fprintf(w, "%14s", cell(e, r))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if md {
+		fmt.Fprintf(w, "\n**median commits/s per figure and manager across %d recorded run(s)**\n", len(entries))
+	} else {
+		fmt.Fprintf(w, "median commits/s per figure and manager across %d recorded run(s)\n", len(entries))
 	}
 }

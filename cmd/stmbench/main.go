@@ -44,6 +44,7 @@ func main() {
 		audit     = flag.Bool("audit", false, "verify structural integrity after every point")
 		keyDist   = flag.String("keys", "", "key distribution: uniform, zipf, zipf:<s> (default: the figure's own, uniform unless stated)")
 		mix       = flag.String("mix", "", "container op mix: update, readheavy, mixed, rangeheavy, w:l,i,d,r (containers only)")
+		binKeys   = flag.Bool("binkeys", false, "kv structures: use a binary-hostile key table (NULs, CRLFs, high bytes)")
 		seed      = flag.Uint64("seed", 0x5eed, "workload seed")
 		list      = flag.Bool("list", false, "list figures, structures and managers, then exit")
 	)
@@ -70,12 +71,13 @@ func main() {
 	}
 
 	opts := harness.FigureOptions{
-		Duration: *duration,
-		Warmup:   *warmup,
-		Seed:     *seed,
-		Audit:    *audit,
-		KeyDist:  *keyDist,
-		Mix:      *mix,
+		Duration:   *duration,
+		Warmup:     *warmup,
+		Seed:       *seed,
+		Audit:      *audit,
+		KeyDist:    *keyDist,
+		Mix:        *mix,
+		BinaryKeys: *binKeys,
 	}
 	if *threads != "" {
 		ts, err := parseInts(*threads)

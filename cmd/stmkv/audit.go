@@ -1,0 +1,117 @@
+package main
+
+// The audit mode is the crash-restart smoke's measuring instrument
+// (scripts/crash_smoke.sh): a one-shot client that checks the
+// invariants a durable restart must preserve — account conservation
+// across kill -9, and TTL semantics anchored to absolute deadlines —
+// from outside the process, over the real wire.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+)
+
+// dialRetry dials addr until it accepts or the deadline passes — a
+// just-restarted server may still be replaying its log.
+func dialRetry(addr string, wait time.Duration) (*client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return newClient(conn), nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("audit: %s not reachable after %v: %w", addr, wait, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// runAudit connects to addr and verifies the durable invariants.
+// Modes: "sum" checks account conservation; "set" additionally plants
+// two TTL probes (one long-lived, one already doomed); "check"
+// additionally verifies a previous "set"'s probes — the long one must
+// survive with its deadline intact, the doomed one must be gone even
+// though no sweep may have run before the crash. With save, a SAVE is
+// issued at the end so the next restart boots from a snapshot.
+func runAudit(addr, mode string, accounts int, save bool) error {
+	if mode != "sum" && mode != "set" && mode != "check" {
+		return fmt.Errorf("audit: unknown mode %q (want sum, set or check)", mode)
+	}
+	c, err := dialRetry(addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.conn.Close()
+
+	switch mode {
+	case "set":
+		if _, err := c.must("SET", "probe:keep", "kept", "EX", "1000"); err != nil {
+			return err
+		}
+		if _, err := c.must("SET", "probe:gone", "soon", "PX", "80"); err != nil {
+			return err
+		}
+	case "check":
+		v, err := c.must("GET", "probe:keep")
+		if err != nil {
+			return err
+		}
+		if v.Null || v.Str != "kept" {
+			return fmt.Errorf("audit: probe:keep = %q (null=%v), want \"kept\" (TTL key lost across restart)", v.Str, v.Null)
+		}
+		ttl, err := c.must("TTL", "probe:keep")
+		if err != nil {
+			return err
+		}
+		if ttl.Int <= 0 || ttl.Int > 1000 {
+			return fmt.Errorf("audit: probe:keep TTL %d, want (0, 1000] (deadline not preserved)", ttl.Int)
+		}
+		gone, err := c.must("GET", "probe:gone")
+		if err != nil {
+			return err
+		}
+		if !gone.Null {
+			return fmt.Errorf("audit: probe:gone resurrected as %q (expiry not honoured across restart)", gone.Str)
+		}
+	}
+
+	// Conservation: one consistent MGET across the transfer accounts.
+	args := []string{"MGET"}
+	for i := 0; i < accounts; i++ {
+		args = append(args, fmt.Sprintf("acct:%d", i))
+	}
+	v, err := c.must(args...)
+	if err != nil {
+		return err
+	}
+	sum := 0
+	for i, e := range v.Elems {
+		if e.Null {
+			return fmt.Errorf("audit: account acct:%d vanished", i)
+		}
+		n, err := strconv.Atoi(e.Str)
+		if err != nil {
+			return fmt.Errorf("audit: account acct:%d holds %q", i, e.Str)
+		}
+		sum += n
+	}
+	if want := accounts * 1000; sum != want {
+		return fmt.Errorf("audit: conservation broken: accounts sum to %d, want %d", sum, want)
+	}
+	size, err := c.must("DBSIZE")
+	if err != nil {
+		return err
+	}
+	if save {
+		if _, err := c.must("SAVE"); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "audit(%s): ok — %d accounts conserved (%d), dbsize %d, save=%v\n",
+		mode, accounts, sum, size.Int, save)
+	return nil
+}

@@ -22,6 +22,7 @@ type loadConfig struct {
 	accounts int
 	transfer float64
 	seed     uint64
+	binKeys  bool
 }
 
 // client is one load-generator connection.
@@ -36,7 +37,11 @@ func dial(addr string) (*client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &client{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}, nil
+	return newClient(conn), nil
+}
+
+func newClient(conn net.Conn) *client {
+	return &client{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}
 }
 
 // do sends one command as an array frame and reads one reply.
@@ -82,10 +87,17 @@ func runLoadgen(addr string, cfg loadConfig) (string, error) {
 		return "", err
 	}
 	// Precompute the string key universe once: the generator should
-	// measure the server, not fmt.Sprintf.
+	// measure the server, not fmt.Sprintf. The binary table drives the
+	// same mix through keys full of NULs, CRLFs and high bytes —
+	// protocol framing, store hashing and WAL encoding must all be
+	// length-prefixed, never delimiter-based, for this to survive.
 	keys := make([]string, cfg.keyRange)
 	for i := range keys {
-		keys[i] = fmt.Sprintf("key:%06d", i)
+		if cfg.binKeys {
+			keys[i] = binKey(i)
+		} else {
+			keys[i] = fmt.Sprintf("key:%06d", i)
+		}
 	}
 	const initial = 1000
 	accounts := make([]string, cfg.accounts)
@@ -156,6 +168,15 @@ func runLoadgen(addr string, cfg loadConfig) (string, error) {
 		float64(total)/elapsed.Seconds(), dist.Name(),
 		cnt.gets.Load(), cnt.sets.Load(), cnt.incrs.Load(), cnt.dels.Load(),
 		cnt.mgets.Load(), cnt.expires.Load(), cnt.transfers.Load()), nil
+}
+
+// binKey builds a binary-hostile key: every byte class a text-based
+// framing would choke on, plus the index so keys stay distinct.
+func binKey(i int) string {
+	return string([]byte{
+		0x00, 0xff, '\r', '\n', 0x80, 'k',
+		byte(i >> 16), byte(i >> 8), byte(i),
+	})
 }
 
 // driveClient is one connection's closed loop: a transfer with

@@ -6,35 +6,49 @@
 // Modes:
 //
 //	stmkv                          # serve on -addr (default :6399)
+//	stmkv -data DIR                # serve durably: recover, then log + snapshot
 //	stmkv -loadgen -addr HOST:PORT # drive an already-running server
+//	stmkv -audit check ...         # one-shot invariant probe of a live server
 //	stmkv -smoke                   # in-process server + loadgen + invariants
 //
 // The server runs one goroutine per connection; every command borrows
 // a pooled STM session (PR 2's goroutine-agnostic surface), so
 // concurrent clients commit in parallel under the striped commit
 // protocol, arbitrated by the contention manager named with -manager.
+// With -data, committed write sets are group-committed to a write-ahead
+// log and SAVE/BGSAVE cut snapshots that truncate it (DESIGN.md
+// §Durability).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kv"
 	"repro/internal/stm"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":6399", "listen address (serve) or target address (-loadgen)")
+		addr    = flag.String("addr", ":6399", "listen address (serve) or target address (-loadgen/-audit)")
 		manager = flag.String("manager", "greedy", "contention manager registry name (see stmbench -list)")
 		shards  = flag.Int("shards", 16, "store shard count (rounded up to a power of two)")
 		buckets = flag.Int("buckets", 8, "initial buckets per shard (shards grow on demand)")
+
+		data      = flag.String("data", "", "durability directory: recover on boot, then write-ahead log every commit (empty = memory only)")
+		walWindow = flag.Duration("walwindow", 500*time.Microsecond, "group-commit linger window (negative disables lingering)")
+		sweep     = flag.Duration("sweep", 500*time.Millisecond, "background TTL sweep cadence for a full pass over all shards (0 disables)")
 
 		loadgen  = flag.Bool("loadgen", false, "run the closed-loop load generator against -addr instead of serving")
 		smoke    = flag.Bool("smoke", false, "start an in-process server on an ephemeral port, run the load generator against it, verify invariants, shut down")
@@ -45,10 +59,20 @@ func main() {
 		accounts = flag.Int("accounts", 8, "load generator: transfer accounts (conservation-checked)")
 		transfer = flag.Float64("transfer", 0.2, "load generator: fraction of ops that are MULTI/EXEC transfers")
 		seed     = flag.Uint64("seed", 0x5eed, "load generator: workload seed")
+		binKeys  = flag.Bool("binkeys", false, "load generator: use a binary-hostile key table (NULs, CRLFs, high bytes)")
+
+		audit = flag.String("audit", "", "audit a live server at -addr: sum (conservation), set (plant TTL probes too), check (verify probes too)")
+		save  = flag.Bool("save", false, "audit: issue SAVE before exiting")
 	)
 	flag.Parse()
-	if *loadgen && *smoke {
-		fmt.Fprintln(os.Stderr, "stmkv: -loadgen and -smoke are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*loadgen, *smoke, *audit != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "stmkv: -loadgen, -smoke and -audit are mutually exclusive")
 		os.Exit(2)
 	}
 	lcfg := loadConfig{
@@ -59,6 +83,7 @@ func main() {
 		accounts: *accounts,
 		transfer: *transfer,
 		seed:     *seed,
+		binKeys:  *binKeys,
 	}
 	switch {
 	case *loadgen:
@@ -67,63 +92,153 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(report)
+	case *audit != "":
+		if err := runAudit(*addr, *audit, *accounts, *save); err != nil {
+			fatal(err)
+		}
 	case *smoke:
-		if err := runSmoke(*manager, *shards, *buckets, lcfg); err != nil {
+		if err := runSmoke(*manager, *shards, *buckets, *data, *walWindow, *sweep, lcfg); err != nil {
 			fatal(err)
 		}
 	default:
-		if err := serve(*addr, *manager, *shards, *buckets); err != nil {
+		if err := serve(*addr, *manager, *shards, *buckets, *data, *walWindow, *sweep); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-// serve runs the server until SIGINT/SIGTERM, then shuts down cleanly.
-func serve(addr, manager string, shards, buckets int) error {
+// openStore builds the store, and in durable mode replays the data
+// directory into it before attaching a fresh log segment. The returned
+// log is nil in memory-only mode; the caller owns closing it after the
+// server quiesces.
+func openStore(manager string, shards, buckets int, data string, window time.Duration) (*kv.Store, *wal.Log, error) {
 	factory, err := core.Factory(manager)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := stm.New(stm.WithManagerFactory(factory))
+	opts := []kv.Option{kv.WithShards(shards), kv.WithBuckets(buckets)}
+	if data != "" {
+		// Anchor the store clock to the unix epoch so the absolute TTL
+		// deadlines in the log mean the same thing after a restart.
+		opts = append(opts, kv.WithClock(func() int64 { return time.Now().UnixNano() }))
+	}
+	store := kv.New(s, opts...)
+	if data == "" {
+		return store, nil, nil
+	}
+	rst, err := wal.Recover(data, store.Apply)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recover %s: %w", data, err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"stmkv: recovered %s — snapshot %d ops (base %d), %d segments, %d records (%d ops), torn tail %d bytes\n",
+		data, rst.SnapshotOps, rst.Base, rst.Segments, rst.Records, rst.Ops, rst.TruncatedBytes)
+	l, err := wal.Open(data, wal.Options{GroupWindow: window})
+	if err != nil {
+		return nil, nil, err
+	}
+	store.AttachWAL(l)
+	return store, l, nil
+}
+
+// startSweeper launches the background TTL sweeper: one shard per
+// tick, with the tick jittered around cadence/shards so a full pass
+// takes roughly cadence without phase-locking against client traffic.
+// Sweeps run through Store.SweepShard, so reaped keys are tombstoned
+// in the WAL and replay agrees with the reap.
+func startSweeper(store *kv.Store, cadence time.Duration, seed uint64) (stop func()) {
+	if cadence <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(seed, 0x5ee9))
+		per := cadence / time.Duration(store.Shards())
+		if per < time.Millisecond {
+			per = time.Millisecond
+		}
+		timer := time.NewTimer(per)
+		defer timer.Stop()
+		shard := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-timer.C:
+			}
+			if _, err := store.SweepShard(shard); err != nil {
+				fmt.Fprintf(os.Stderr, "stmkv: sweep shard %d: %v\n", shard, err)
+			}
+			shard = (shard + 1) % store.Shards()
+			timer.Reset(time.Duration(float64(per) * (0.75 + 0.5*rng.Float64())))
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// serve runs the server until SIGINT/SIGTERM, then shuts down cleanly:
+// listener and connections first, then the sweeper, then the log.
+func serve(addr, manager string, shards, buckets int, data string, window, sweep time.Duration) error {
+	store, l, err := openStore(manager, shards, buckets, data, window)
 	if err != nil {
 		return err
 	}
-	s := stm.New(stm.WithManagerFactory(factory))
-	store := kv.New(s, kv.WithShards(shards), kv.WithBuckets(buckets))
 	srv := kv.NewServer(store)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "stmkv: serving on %s (manager=%s shards=%d buckets=%d)\n",
-		ln.Addr(), manager, store.Shards(), buckets)
+	fmt.Fprintf(os.Stderr, "stmkv: serving on %s (manager=%s shards=%d buckets=%d durable=%v)\n",
+		ln.Addr(), manager, store.Shards(), buckets, store.Durable())
+	stopSweep := startSweeper(store, sweep, 0x51eeb)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+	shutdown := func(serveErr error) error {
+		stopSweep()
+		if l != nil {
+			if err := l.Close(); err != nil && serveErr == nil {
+				serveErr = fmt.Errorf("wal close: %w", err)
+			}
+		}
+		return serveErr
+	}
 	select {
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "stmkv: %v, shutting down\n", sig)
 		if err := srv.Close(); err != nil {
-			return err
+			return shutdown(err)
 		}
-		return <-done
+		return shutdown(<-done)
 	case err := <-done:
-		return err
+		return shutdown(err)
 	}
 }
 
 // runSmoke is the CI path: a real server on an ephemeral port, the
 // load generator driving it over real sockets, then invariant checks
-// and a clean shutdown. Any violation exits non-zero through main.
-func runSmoke(manager string, shards, buckets int, lcfg loadConfig) error {
-	factory, err := core.Factory(manager)
+// and a clean shutdown. With -data it additionally gates the group
+// commit's fsync amortization (fsyncs per committed record < 0.1) and
+// proves the restore path: the directory is recovered — without
+// closing the log, as a crash would leave it — into a fresh store
+// that must match the pre-shutdown state exactly. Any violation exits
+// non-zero through main.
+func runSmoke(manager string, shards, buckets int, data string, window, sweep time.Duration, lcfg loadConfig) error {
+	store, l, err := openStore(manager, shards, buckets, data, window)
 	if err != nil {
 		return err
 	}
-	s := stm.New(stm.WithManagerFactory(factory))
-	store := kv.New(s, kv.WithShards(shards), kv.WithBuckets(buckets))
 	srv := kv.NewServer(store)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
+	stopSweep := startSweeper(store, sweep, lcfg.seed)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -146,9 +261,15 @@ func runSmoke(manager string, shards, buckets int, lcfg loadConfig) error {
 	if err != nil {
 		return fmt.Errorf("smoke: len: %w", err)
 	}
-	stats := s.TotalStats()
+	stats := store.STM().TotalStats()
 	fmt.Printf("smoke: ok — %d live keys, %d reaped, shard buckets %v, %d commits (abort rate %.2f)\n",
 		n, reaped, store.BucketsPerShard(), stats.Commits, stats.AbortRate())
+
+	if l != nil {
+		if err := smokeDurability(store, l, lcfg); err != nil {
+			return err
+		}
+	}
 
 	if err := srv.Close(); err != nil {
 		return fmt.Errorf("smoke: close: %w", err)
@@ -156,6 +277,7 @@ func runSmoke(manager string, shards, buckets int, lcfg loadConfig) error {
 	if err := <-done; err != nil {
 		return fmt.Errorf("smoke: serve returned: %w", err)
 	}
+	stopSweep()
 	// A second Close must be a no-op, and the port must be free again.
 	if err := srv.Close(); err != nil {
 		return fmt.Errorf("smoke: double close: %w", err)
@@ -165,7 +287,75 @@ func runSmoke(manager string, shards, buckets int, lcfg loadConfig) error {
 		return fmt.Errorf("smoke: port not released: %w", err)
 	}
 	probe.Close()
+	if l != nil {
+		if err := l.Close(); err != nil {
+			return fmt.Errorf("smoke: wal close: %w", err)
+		}
+	}
 	return nil
+}
+
+// smokeDurability checks the two durable-mode acceptance gates after
+// the loadgen storm: group commit must amortize fsyncs across
+// committed records, and recovering the directory as-is (no clean
+// shutdown of the log) must reproduce the live state.
+func smokeDurability(store *kv.Store, l *wal.Log, lcfg loadConfig) error {
+	st := l.Stats()
+	if st.Records == 0 {
+		return fmt.Errorf("smoke: wal: no records logged under load")
+	}
+	ratio := float64(st.Fsyncs) / float64(st.Records)
+	fmt.Printf("smoke: wal — %d records in %d batches, %d fsyncs (%.4f fsyncs/record, gate <0.1), %d dropped\n",
+		st.Records, st.Batches, st.Fsyncs, ratio, st.Dropped)
+	if ratio >= 0.1 {
+		return fmt.Errorf("smoke: wal: fsyncs per record %.4f, want < 0.1 (group commit not amortizing)", ratio)
+	}
+
+	// Let every short-TTL loadgen key cross its deadline so the
+	// pre/post state comparison is not racing expiry.
+	time.Sleep(20 * time.Millisecond)
+	pre, err := store.SnapshotOps()
+	if err != nil {
+		return fmt.Errorf("smoke: snapshot ops: %w", err)
+	}
+	fresh := kv.New(stm.New(), kv.WithShards(store.Shards()),
+		kv.WithClock(func() int64 { return time.Now().UnixNano() }))
+	if _, err := wal.Recover(l.Dir(), fresh.Apply); err != nil {
+		return fmt.Errorf("smoke: recover: %w", err)
+	}
+	post, err := fresh.SnapshotOps()
+	if err != nil {
+		return fmt.Errorf("smoke: restored snapshot ops: %w", err)
+	}
+	sortOps(pre)
+	sortOps(post)
+	if len(pre) != len(post) {
+		return fmt.Errorf("smoke: restore mismatch: %d live entries, want %d", len(post), len(pre))
+	}
+	for i := range pre {
+		if pre[i] != post[i] {
+			return fmt.Errorf("smoke: restore mismatch at %q", pre[i].Key)
+		}
+	}
+	sum := 0
+	for i := 0; i < lcfg.accounts; i++ {
+		v, ok, err := fresh.Get(fmt.Sprintf("acct:%d", i))
+		if err != nil || !ok {
+			return fmt.Errorf("smoke: restored account %d missing (%v)", i, err)
+		}
+		var n int
+		fmt.Sscan(v, &n)
+		sum += n
+	}
+	if want := lcfg.accounts * 1000; sum != want {
+		return fmt.Errorf("smoke: restored conservation broken: %d, want %d", sum, want)
+	}
+	fmt.Printf("smoke: restore ok — %d live entries reproduced, accounts conserved\n", len(post))
+	return nil
+}
+
+func sortOps(ops []wal.Op) {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
 }
 
 func fatal(err error) {

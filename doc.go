@@ -10,7 +10,11 @@
 // hash set, FIFO queue and ordered map on Var[T], with a shared
 // transactional-resize Table (internal/container) — a sharded
 // TTL-aware key-value store and its RESP-lite protocol
-// (internal/kv, internal/resp) served over TCP by cmd/stmkv, the
+// (internal/kv, internal/resp) served over TCP by cmd/stmkv, a
+// durability subsystem — group-committed write-ahead log with CRC32C
+// framing, point-in-time snapshots and torn-tail-tolerant recovery
+// (internal/wal), hooked into the store through the engine's
+// post-commit hook and replayed on boot by stmkv -data — the
 // throughput harness with configurable lookup/insert/delete/range op
 // mixes and key distributions (internal/harness, internal/workload),
 // and the scheduling-theory side — task systems, list and optimal
@@ -19,11 +23,12 @@
 // internal/graph).
 //
 // See DESIGN.md for the architecture (engine / sessions / typed
-// facade / managers / containers / kv server) and the hardware
-// substitutions; cmd/stmbench (figures 1-8, -structure, -mix, -keys,
-// tables, CSV and -json output), cmd/benchdiff (BENCH_*.json
-// trajectory diffs and the cross-PR -trajectory table), cmd/stmkv
-// (the RESP-lite server, load generator and CI smoke harness — see
+// facade / managers / containers / kv server / durability) and the
+// hardware substitutions; cmd/stmbench (figures 1-9, -structure,
+// -mix, -keys, -binkeys, tables, CSV and -json output), cmd/benchdiff
+// (BENCH_*.json trajectory diffs, the cross-PR -trajectory table and
+// its per-manager -slice), cmd/stmkv (the RESP-lite server — durable
+// with -data — load generator, audit mode and CI smoke harness; see
 // cmd/stmkv/README.md) and cmd/makespan for the experiment drivers;
 // and examples/ for runnable programs (each verifies its own
 // invariant and exits non-zero on violation, so CI smoke-runs them).

@@ -3,12 +3,14 @@ package harness
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
 	"strconv"
 
 	"repro/internal/container"
 	"repro/internal/intset"
 	"repro/internal/kv"
 	"repro/internal/stm"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -48,6 +50,11 @@ type noMaintenance struct{}
 
 func (noMaintenance) after(*stm.STM) error { return nil }
 
+// closer is the optional cleanup hook an app may implement when a run
+// leaves external state behind (files, goroutines); Run invokes it
+// after the measurement completes.
+type closer interface{ close() error }
+
 // seedHalf pre-populates a structure to half the key range, one
 // insert transaction per sampled key — the shared seeding policy of
 // every app.
@@ -77,8 +84,9 @@ type opDesc struct {
 var ContainerStructures = []string{"hashset", "queue", "omap"}
 
 // KVStructures are the structure names served by internal/kv: the
-// sharded string-keyed store behind cmd/stmkv.
-var KVStructures = []string{"kv"}
+// sharded string-keyed store behind cmd/stmkv, in-memory ("kv") and
+// with write-ahead logging attached ("kvwal").
+var KVStructures = []string{"kv", "kvwal"}
 
 // Structures returns every structure name the harness can run: the
 // paper's four intset applications, the container subsystem's three,
@@ -100,6 +108,8 @@ func newApp(cfg Config, keys workload.KeyDist, mix workload.OpMix) (app, error) 
 		return &omapApp{m: container.NewOMap[int, int](), keys: keys, mix: mix, cfg: cfg}, nil
 	case "kv":
 		return newKVApp(cfg, keys, mix), nil
+	case "kvwal":
+		return &kvwalApp{kvApp: newKVApp(cfg, keys, mix)}, nil
 	default:
 		set, err := intset.NewByName(cfg.Structure)
 		if err != nil {
@@ -368,9 +378,24 @@ const kvShards = 8
 func newKVApp(cfg Config, keys workload.KeyDist, mix workload.OpMix) *kvApp {
 	names := make([]string, cfg.KeyRange)
 	for i := range names {
-		names[i] = fmt.Sprintf("key:%06d", i)
+		if cfg.BinaryKeys {
+			names[i] = binName(i)
+		} else {
+			names[i] = fmt.Sprintf("key:%06d", i)
+		}
 	}
 	return &kvApp{names: names, keys: keys, mix: mix, cfg: cfg}
+}
+
+// binName builds a binary-hostile key name — NULs, CRLFs, high bytes
+// plus the index — so a -binkeys sweep proves the whole measured path
+// (hashing, chains, WAL encoding) is length-prefixed, not
+// delimiter-based.
+func binName(i int) string {
+	return string([]byte{
+		0x00, 0xff, '\r', '\n', 0x80, 'k',
+		byte(i >> 16), byte(i >> 8), byte(i),
+	})
 }
 
 func (a *kvApp) seed(s *stm.STM, rng *rand.Rand) error {
@@ -431,4 +456,62 @@ func (a *kvApp) audit(s *stm.STM) error {
 		return fmt.Errorf("harness: audit kv: %w", err)
 	}
 	return nil
+}
+
+// kvwalApp is the kv application with a write-ahead log attached
+// (Figure 9): every measured write transaction additionally captures
+// its write set and enqueues it from the commit hook, so the figure
+// prices the logging path — capture, stripe-held enqueue, group-commit
+// handoff — against Figure 8's in-memory baseline. Records are logged
+// without a durability ack (kv.Store.SealLogAsync): workers measure
+// logging overhead, not the disk's fsync latency, which the group
+// commit amortizes off the commit path anyway.
+type kvwalApp struct {
+	*kvApp
+	walDir string
+	log    *wal.Log
+}
+
+func (a *kvwalApp) seed(s *stm.STM, rng *rand.Rand) error {
+	dir, err := os.MkdirTemp("", "stmbench-wal-")
+	if err != nil {
+		return fmt.Errorf("harness: wal dir: %w", err)
+	}
+	a.walDir = dir
+	// Seeding runs without the log attached: the figure measures
+	// steady-state logging, not the seeding burst.
+	if err := a.kvApp.seed(s, rng); err != nil {
+		return err
+	}
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return fmt.Errorf("harness: wal open: %w", err)
+	}
+	a.log = l
+	a.store.AttachWAL(l)
+	return nil
+}
+
+func (a *kvwalApp) step(tx *stm.Tx, d opDesc) error {
+	a.store.ArmLog(tx)
+	if err := a.kvApp.step(tx, d); err != nil {
+		return err
+	}
+	a.store.SealLogAsync(tx)
+	return nil
+}
+
+// close releases the run's log and scratch directory; the harness
+// calls it through the optional closer interface after the run.
+func (a *kvwalApp) close() error {
+	var err error
+	if a.log != nil {
+		err = a.log.Close()
+	}
+	if a.walDir != "" {
+		if rerr := os.RemoveAll(a.walDir); err == nil {
+			err = rerr
+		}
+	}
+	return err
 }

@@ -96,6 +96,30 @@ func TestRunKVStructure(t *testing.T) {
 	}
 }
 
+// TestRunKVWALStructure runs the durable kv application (Figure 9's
+// workload): every measured write is captured and logged to a real
+// write-ahead log in a scratch directory, with binary-hostile keys so
+// the whole measured path — hashing, chains, WAL framing — handles
+// arbitrary bytes, and the audit on. The closer hook removes the
+// scratch directory after the run.
+func TestRunKVWALStructure(t *testing.T) {
+	cfg := quickCfg("kvwal", "greedy", 4)
+	cfg.Mix = "mixed"
+	cfg.KeyDist = "zipf"
+	cfg.BinaryKeys = true
+	cfg.Audit = true
+	point, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Commits <= 0 {
+		t.Fatalf("no commits measured: %+v", point)
+	}
+	if point.Structure != "kvwal" {
+		t.Fatalf("point structure %q, want kvwal", point.Structure)
+	}
+}
+
 // TestKVFigureDefaultsToSkew: figure 8 runs zipf unless the caller
 // overrides, and an explicit override wins.
 func TestKVFigureDefaultsToSkew(t *testing.T) {
@@ -156,7 +180,7 @@ func TestIntsetIgnoresMixLabel(t *testing.T) {
 
 func TestStructuresListsEverything(t *testing.T) {
 	got := harness.Structures()
-	want := []string{"list", "skiplist", "rbtree", "rbforest", "hashset", "queue", "omap", "kv"}
+	want := []string{"list", "skiplist", "rbtree", "rbforest", "hashset", "queue", "omap", "kv", "kvwal"}
 	if len(got) != len(want) {
 		t.Fatalf("Structures() = %v, want %v", got, want)
 	}

@@ -112,6 +112,15 @@ var Figures = []Figure{
 		Managers:  core.FigureManagers,
 		Threads:   DefaultThreads,
 	},
+	{
+		ID:        9,
+		Name:      "KV store with write-ahead logging (group commit, async ack)",
+		Structure: "kvwal",
+		Mix:       "mixed",
+		KeyDist:   "zipf",
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
 }
 
 // StructureFigure returns a synthetic one-structure figure (ID 0) for
@@ -176,6 +185,9 @@ type FigureOptions struct {
 	// Mix overrides the figure's container op mix when non-empty (see
 	// Config.Mix).
 	Mix string
+	// BinaryKeys switches the kv applications to a binary-hostile key
+	// table (see Config.BinaryKeys).
+	BinaryKeys bool
 	// Progress, when non-nil, receives each point as it completes.
 	Progress func(Point)
 }
@@ -214,6 +226,7 @@ func RunFigure(fig Figure, opts FigureOptions) ([]Point, error) {
 				Audit:         opts.Audit,
 				KeyDist:       keyDist,
 				Mix:           mix,
+				BinaryKeys:    opts.BinaryKeys,
 			}
 			point, err := Run(cfg)
 			if err != nil {

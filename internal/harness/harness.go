@@ -71,6 +71,11 @@ type Config struct {
 	// overlap (see stm.WithInterleavePeriod). Zero selects the default
 	// (4); negative disables yielding.
 	Interleave int
+	// BinaryKeys switches the kv applications' key table to
+	// binary-hostile names (NULs, CRLFs, high bytes) — an end-to-end
+	// check that nothing in the measured path is delimiter-based. The
+	// integer-keyed structures ignore it.
+	BinaryKeys bool
 	// Seed makes the workload reproducible.
 	Seed uint64
 	// Audit verifies structural integrity after the run.
@@ -160,6 +165,11 @@ func Run(cfg Config) (Point, error) {
 	application, err := newApp(cfg, keys, mix)
 	if err != nil {
 		return Point{}, err
+	}
+	// Apps holding external resources (the kvwal app's log and scratch
+	// directory) release them through the optional closer interface.
+	if c, ok := application.(closer); ok {
+		defer func() { _ = c.close() }()
 	}
 	interleave := cfg.Interleave
 	if interleave < 0 {

@@ -130,8 +130,8 @@ func TestFigureByID(t *testing.T) {
 			t.Fatalf("figure %d has %d managers, want the paper's 5", id, len(fig.Managers))
 		}
 	}
-	if _, err := harness.FigureByID(9); err == nil {
-		t.Fatal("FigureByID(9) should fail")
+	if _, err := harness.FigureByID(len(harness.Figures) + 1); err == nil {
+		t.Fatal("FigureByID past the last figure should fail")
 	}
 }
 

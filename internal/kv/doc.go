@@ -24,4 +24,12 @@
 // from the store's clock (monotonic nanoseconds; injectable for
 // tests), sampled once per logical transaction so retries replay
 // identical decisions.
+//
+// Durability is optional: AttachWAL hooks the store to an
+// internal/wal log, after which every committed top-level write set
+// (including swept tombstones) is captured through the engine's
+// post-commit hook and group-committed to disk; Save cuts a
+// consistent snapshot, and Apply replays a recovered op stream into
+// an empty store. See DESIGN.md §Durability for the ordering
+// argument and persist.go for the capture machinery.
 package kv

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/stm"
+	"repro/internal/wal"
 )
 
 // ErrNotInteger is returned by Incr when the key holds a value that
@@ -82,7 +83,11 @@ func (st *Store) putTx(tx *stm.Tx, now int64, key, val string, expireAt int64) e
 	if chain > container.GrowChain {
 		st.shard(key).SignalGrowth()
 	}
-	return stm.Write(tx, bv, rebuilt)
+	if err := stm.Write(tx, bv, rebuilt); err != nil {
+		return err
+	}
+	capture(tx, wal.Op{Key: key, Val: val, ExpireAt: expireAt})
+	return nil
 }
 
 // DelTx removes key inside tx at instant now, reporting whether a live
@@ -104,7 +109,15 @@ func (st *Store) DelTx(tx *stm.Tx, now int64, key string) (bool, error) {
 	if !found && dropped == 0 {
 		return false, nil // absent: stay read-only, no write conflict
 	}
-	return found, stm.Write(tx, bv, live)
+	if err := stm.Write(tx, bv, live); err != nil {
+		return false, err
+	}
+	if found {
+		// Only a live removal is logged; pruning already-dead entries
+		// is a physical cleanup replay reproduces by expiry alone.
+		capture(tx, wal.Op{Key: key, Del: true})
+	}
+	return found, nil
 }
 
 // pruneKey rebuilds head without key and without entries dead at now,

@@ -1,0 +1,178 @@
+package kv
+
+// Durability plumbing: the store's bridge to internal/wal.
+//
+// Capture. When a WAL is attached, Store.Atomically parks a
+// writeCapture in the transaction's local slot; putTx and DelTx
+// append each mutation to it as an absolute wal.Op (value or
+// tombstone, with the expiry deadline). If the transaction ends up
+// writing anything, a commit hook enqueues the capture while the
+// commit still holds its write set's commit stripes — so the WAL
+// queue order equals the per-key commit order (see Tx.OnCommit and
+// DESIGN.md §Durability) — and the durability wait happens after the
+// stripes are released, back in Store.Atomically.
+//
+// Restore. Recovery applies the snapshot and log through Apply,
+// which replays write sets without capture (the WAL is attached only
+// after recovery, and Apply goes through the raw STM surface), so
+// replayed history is not re-logged.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/stm"
+	"repro/internal/wal"
+)
+
+// ErrNoWAL is returned by durability operations on a store without
+// an attached log.
+var ErrNoWAL = errors.New("kv: no wal attached")
+
+// writeCapture accumulates one transaction's write set for logging.
+type writeCapture struct {
+	ops []wal.Op
+}
+
+// AttachWAL makes every subsequent write through the store durable:
+// committed write sets are group-committed to l, and Save snapshots
+// through it. Attach before serving traffic (after recovery); the
+// store does not synchronize attachment against in-flight
+// transactions. The caller keeps ownership of l's lifecycle and
+// closes it after the store quiesces.
+func (st *Store) AttachWAL(l *wal.Log) { st.log = l }
+
+// WAL returns the attached log, or nil.
+func (st *Store) WAL() *wal.Log { return st.log }
+
+// Durable reports whether a WAL is attached.
+func (st *Store) Durable() bool { return st.log != nil }
+
+// capture appends op to the transaction's write capture, if one is
+// armed. Mutating operations call it after their bucket write
+// succeeds; transactions without a capture (recovery replay, stores
+// without a WAL, read paths) log nothing.
+func capture(tx *stm.Tx, op wal.Op) {
+	if c, ok := tx.Local().(*writeCapture); ok {
+		c.ops = append(c.ops, op)
+	}
+}
+
+// ArmLog arms write-set capture on a transaction driven by an
+// external Atomically loop (the benchmark harness drives the *Tx
+// forms directly). Call it at the top of the transactional function —
+// attempts do not inherit the previous attempt's capture — and pair
+// it with SealLogAsync after the last mutation. No-op without a WAL.
+func (st *Store) ArmLog(tx *stm.Tx) {
+	if st.log == nil {
+		return
+	}
+	if c, ok := tx.Local().(*writeCapture); ok {
+		c.ops = c.ops[:0]
+		return
+	}
+	tx.SetLocal(&writeCapture{})
+}
+
+// SealLogAsync registers a commit hook that logs the captured write
+// set without a durability ack: the record reaches disk with the
+// next group commit, but the caller does not wait for it. This is
+// the harness's mode — it measures logging overhead, not fsync
+// latency; the server path waits via Store.Atomically instead.
+func (st *Store) SealLogAsync(tx *stm.Tx) {
+	if st.log == nil {
+		return
+	}
+	c, ok := tx.Local().(*writeCapture)
+	if !ok || len(c.ops) == 0 {
+		return
+	}
+	ops := c.ops
+	tx.SetLocal(nil) // the ops slice is handed over; don't reuse it
+	tx.OnCommit(func() { st.log.AppendAsync(ops) })
+}
+
+// SnapshotOps dumps every live entry as an absolute set-op, cut in
+// one consistent transaction across all shards — the checkpoint
+// Save hands to wal.Log.Snapshot. Dead entries are excluded: a
+// snapshot is also a compaction.
+func (st *Store) SnapshotOps() ([]wal.Op, error) {
+	now := st.now()
+	var out []wal.Op
+	err := st.s.Atomically(func(tx *stm.Tx) error {
+		out = out[:0]
+		for _, sh := range st.shards {
+			b, err := sh.Buckets(tx)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < b.Len(); i++ {
+				head, err := stm.Read(tx, b.At(i))
+				if err != nil {
+					return err
+				}
+				for e := head; e != nil; e = e.next {
+					if e.dead(now) {
+						continue
+					}
+					out = append(out, wal.Op{Key: e.key, Val: e.val, ExpireAt: e.expireAt})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Save cuts a point-in-time snapshot and truncates the log: the
+// BGSAVE/SAVE implementation. Single-flight; see wal.Log.Snapshot
+// for the rotate → cut → rename → reap choreography. The cut is one
+// read-only transaction over the whole store, so under a sustained
+// write hammer it may retry for a while before finding a stable
+// serialization point — snapshots are for quiet(er) moments, as with
+// most single-node stores.
+func (st *Store) Save() error {
+	if st.log == nil {
+		return ErrNoWAL
+	}
+	return st.log.Snapshot(st.SnapshotOps)
+}
+
+// Apply replays one recovered write set (or snapshot batch) in a
+// single transaction, in record order. It bypasses capture — wire it
+// to wal.Recover before AttachWAL — and carries absolute values, so
+// replay over a snapshot is idempotent. Entries already past their
+// deadline load as dead and read as absent, preserving TTL semantics
+// across a restart as long as the store clock survives one (the
+// server anchors it to the unix epoch when running durable).
+func (st *Store) Apply(ops []wal.Op) error {
+	now := st.now()
+	err := st.s.Atomically(func(tx *stm.Tx) error {
+		for _, op := range ops {
+			if op.Del {
+				if _, err := st.DelTx(tx, now, op.Key); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := st.putTx(tx, now, op.Key, op.Val, op.ExpireAt); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("kv: apply: %w", err)
+	}
+	_ = st.Groom()
+	return nil
+}
+
+// capturePool recycles the server path's write captures; the ops
+// slice is safe to reuse once the ticket is acked (the logger has
+// encoded it by then).
+var capturePool = sync.Pool{New: func() any { return &writeCapture{} }}

@@ -3,6 +3,7 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/resp"
 	"repro/internal/stm"
+	"repro/internal/wal"
 )
 
 // Server speaks the RESP-lite protocol over TCP, one goroutine per
@@ -162,6 +164,35 @@ func (srv *Server) handle(conn net.Conn) {
 			} else {
 				multi, queue, dirty = false, nil, false
 				reply = resp.SimpleVal("OK")
+			}
+		case "SAVE", "BGSAVE":
+			// Snapshots bypass the transactional path: the cut is its
+			// own read-only transaction plus file choreography (see
+			// Store.Save), not something EXEC could replay.
+			switch {
+			case len(args) != 0:
+				reply = resp.ErrVal(fmt.Sprintf("ERR wrong number of arguments for '%s' command", strings.ToLower(name)))
+			case multi:
+				dirty = true
+				reply = resp.ErrVal("ERR " + name + " inside MULTI is not supported")
+			case !srv.store.Durable():
+				reply = resp.ErrVal("ERR persistence is disabled (start the server with -data)")
+			case name == "SAVE":
+				switch err := srv.store.Save(); {
+				case errors.Is(err, wal.ErrSnapshotInProgress):
+					reply = resp.ErrVal("ERR save already in progress")
+				case err != nil:
+					reply = resp.ErrVal("ERR save failed: " + err.Error())
+				default:
+					reply = resp.SimpleVal("OK")
+				}
+			default: // BGSAVE: fire and forget, Redis-style.
+				go func() {
+					if err := srv.store.Save(); err != nil && !errors.Is(err, wal.ErrSnapshotInProgress) {
+						log.Printf("kv: background save: %v", err)
+					}
+				}()
+				reply = resp.SimpleVal("Background saving started")
 			}
 		case "EXEC":
 			switch {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/container"
 	"repro/internal/stm"
+	"repro/internal/wal"
 )
 
 // entry is one key's record in a bucket chain. Chains are immutable by
@@ -44,6 +45,9 @@ type Store struct {
 	seed   maphash.Seed
 	shards []*container.Table[*entry]
 	now    func() int64
+	// log, when attached, receives every committed write set (see
+	// persist.go; nil for a purely in-memory store).
+	log *wal.Log
 }
 
 // Option configures a Store.
@@ -103,6 +107,11 @@ func New(s *stm.STM, opts ...Option) *Store {
 	return st
 }
 
+// STM returns the engine the store executes its transactions on —
+// the hook for callers that report engine statistics alongside store
+// state (the server's smoke mode).
+func (st *Store) STM() *stm.STM { return st.s }
+
 // Now samples the store's clock. Callers composing *Tx operations draw
 // now once, outside the transaction, so retries replay identical
 // expiry decisions.
@@ -155,10 +164,52 @@ func (st *Store) chain(tx *stm.Tx, key string) (*entry, *stm.Var[*entry], error)
 // by fn's writes). It is the composition surface: the server's EXEC
 // replays a whole queued command block through one call, so the block
 // is serializable against every concurrent singleton operation.
+// When a WAL is attached the transaction's write set is captured and
+// group-committed: Atomically returns only once the record is
+// durably on disk (or surfaces the log's error — the memory commit
+// stands either way; a log that cannot persist is poisoned and the
+// server should be restarted into recovery).
 func (st *Store) Atomically(fn func(tx *stm.Tx, now int64) error) error {
 	now := st.now()
-	if err := st.s.Atomically(func(tx *stm.Tx) error { return fn(tx, now) }); err != nil {
+	if st.log == nil {
+		if err := st.s.Atomically(func(tx *stm.Tx) error { return fn(tx, now) }); err != nil {
+			return err
+		}
+		_ = st.Groom()
+		return nil
+	}
+	c := capturePool.Get().(*writeCapture)
+	var ticket *wal.Ticket
+	err := st.s.Atomically(func(tx *stm.Tx) error {
+		// Re-arm per attempt: the local slot does not survive a retry.
+		c.ops = c.ops[:0]
+		tx.SetLocal(c)
+		if err := fn(tx, now); err != nil {
+			return err
+		}
+		if len(c.ops) > 0 {
+			tx.OnCommit(func() { ticket = st.log.Append(c.ops) })
+		}
+		return nil
+	})
+	if err != nil {
+		// Never committed, so the hook never fired and nothing holds
+		// the capture.
+		capturePool.Put(c)
 		return err
+	}
+	if ticket != nil {
+		// The durability wait happens here — after tryCommit released
+		// the commit stripes — so the fsync latency is off the
+		// engine's critical path.
+		werr := ticket.Wait()
+		capturePool.Put(c) // acked: the logger has encoded the ops
+		if werr != nil {
+			_ = st.Groom()
+			return fmt.Errorf("kv: wal: %w", werr)
+		}
+	} else {
+		capturePool.Put(c)
 	}
 	// Grooming is decoupled from the operation's outcome: by this point
 	// fn has durably committed, and reporting a resize failure as the
@@ -238,35 +289,55 @@ func rehashFor(sh *container.Table[*entry]) func(tx *stm.Tx, old, neu container.
 // the lazy-expiry backstop: reads never write, so without passing
 // writers a dead entry would otherwise linger forever.
 func (st *Store) Sweep() (int, error) {
-	now := st.now()
 	removed := 0
-	for _, sh := range st.shards {
-		err := st.s.Atomically(func(tx *stm.Tx) error {
-			b, err := sh.Buckets(tx)
-			if err != nil {
-				return err
-			}
-			for i := 0; i < b.Len(); i++ {
-				head, err := stm.Read(tx, b.At(i))
-				if err != nil {
-					return err
-				}
-				live, dropped := pruneChain(head, now)
-				if dropped == 0 {
-					continue
-				}
-				if err := stm.Write(tx, b.At(i), live); err != nil {
-					return err
-				}
-				removed += dropped
-			}
-			return nil
-		})
+	for i := range st.shards {
+		n, err := st.SweepShard(i)
+		removed += n
 		if err != nil {
 			return removed, err
 		}
 	}
 	return removed, nil
+}
+
+// SweepShard reaps shard i's expired entries in one transaction — the
+// unit the server's background sweeper schedules, so one sweep never
+// conflicts with more than one shard's traffic. With a WAL attached,
+// every reaped key is logged as a tombstone: logically redundant
+// (replayed entries past their deadline read as absent anyway), but
+// it keeps the replayed physical state in step with the swept one and
+// compacts the history a snapshot would otherwise carry forward.
+func (st *Store) SweepShard(i int) (int, error) {
+	sh := st.shards[i]
+	removed := 0
+	err := st.Atomically(func(tx *stm.Tx, now int64) error {
+		removed = 0
+		b, err := sh.Buckets(tx)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < b.Len(); j++ {
+			head, err := stm.Read(tx, b.At(j))
+			if err != nil {
+				return err
+			}
+			live, dropped := pruneChain(head, now)
+			if dropped == 0 {
+				continue
+			}
+			if err := stm.Write(tx, b.At(j), live); err != nil {
+				return err
+			}
+			for e := head; e != nil; e = e.next {
+				if e.dead(now) {
+					capture(tx, wal.Op{Key: e.key, Del: true})
+				}
+			}
+			removed += dropped
+		}
+		return nil
+	})
+	return removed, err
 }
 
 // pruneChain rebuilds head without entries dead at now, reporting how

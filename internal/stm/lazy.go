@@ -122,6 +122,10 @@ func (tx *Tx) tryCommitLazy() bool {
 	}
 	tx.stm.commitClock.Add(2)
 	tx.stm.installers.Add(-1)
+	// Stripes are still held (the deferred unlockStripes runs after we
+	// return), so lazy-mode commit hooks keep the same per-object
+	// ordering guarantee as the eager writer path.
+	tx.fireOnCommit()
 	return true
 }
 
@@ -144,7 +148,11 @@ func (tx *Tx) tryCommitReadOnly() bool {
 			return false
 		}
 		if tx.stm.installers.Load() == 0 && tx.stm.commitClock.Load() == c0 {
-			return tx.commit()
+			if !tx.commit() {
+				return false
+			}
+			tx.fireOnCommit()
+			return true
 		}
 	}
 }

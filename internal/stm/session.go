@@ -179,8 +179,11 @@ func (sess *session) atomically(fn func(tx *Tx) error) error {
 			tx.Abort()
 			sess.current.Store(nil)
 			// The orphan skipped recycle; its read set is owner-private
-			// and never consulted again, so don't let it pin Values.
+			// and never consulted again, so don't let it pin Values —
+			// nor the local slot and commit hook pin caller state.
 			tx.reads = nil
+			tx.local = nil
+			tx.onCommit = nil
 		}
 		// Halted and panicked attempts skip recycle, which is what
 		// normally empties the session's inline read set before it
@@ -240,6 +243,8 @@ func (sess *session) run(shared *txShared, fn func(tx *Tx) error) error {
 			sess.current.Store(nil)
 			sess.stats.halted.Add(1)
 			tx.reads = nil
+			tx.local = nil
+			tx.onCommit = nil
 			return ErrHalted
 		case errors.Is(err, ErrAborted):
 			// Enemy abort: fall through to retry.
@@ -303,8 +308,13 @@ func (sess *session) newAttempt(shared *txShared) *Tx {
 func (sess *session) recycle(tx *Tx) {
 	// Reset here, not at reuse: a session may idle in the pool
 	// indefinitely, and its inline read-set entries must not pin old
-	// committed Values while it does.
+	// committed Values while it does. The local slot and commit hook
+	// are attempt-scoped for the same reason (a fired hook already
+	// cleared itself; an aborted attempt's hook must not survive into
+	// a retry).
 	sess.inline.reset()
+	tx.local = nil
+	tx.onCommit = nil
 	if len(tx.writes) == 0 && !sess.pinned {
 		if sess.freeTx == nil && len(tx.reads) <= maxRecycledReads {
 			clear(tx.reads)

@@ -293,6 +293,11 @@ func (tx *Tx) tryCommit() bool {
 			return false
 		}
 		tx.stm.commitClock.Add(2)
+		// No stripes are held here, so the commit hook of a blind
+		// writer carries no cross-transaction ordering guarantee; the
+		// kv capture never reaches this path (its mutations read the
+		// chain they rewrite, so the read set is never empty).
+		tx.fireOnCommit()
 		return true
 	}
 	buf := tx.sess.stripeScratch[:0]
@@ -313,6 +318,10 @@ func (tx *Tx) tryCommit() bool {
 		return false
 	}
 	tx.stm.commitClock.Add(2)
+	// The deferred unlockStripes has not run yet: the hook fires with
+	// the write set's stripes still held, so the hooks of two writers
+	// that touched the same object run in their commit order.
+	tx.fireOnCommit()
 	return true
 }
 

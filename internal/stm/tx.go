@@ -66,6 +66,13 @@ type Tx struct {
 	// lazyWrites buffers tentative versions in lazy-conflict mode
 	// (nil in eager mode and for read-only lazy transactions).
 	lazyWrites map[*TObj]Value
+
+	// local is the attempt-scoped scratch slot for layers composed
+	// above the engine (the kv store parks its write-set capture
+	// here); onCommit is the attempt's commit hook (see Tx.OnCommit).
+	// Both are owner-private and cleared at attempt boundaries.
+	local    any
+	onCommit func()
 }
 
 // ID returns the logical transaction id, stable across retries.
@@ -145,6 +152,41 @@ func (tx *Tx) Halt() { tx.halted.Store(true) }
 
 // Halted reports whether failure injection has halted the transaction.
 func (tx *Tx) Halted() bool { return tx.halted.Load() }
+
+// SetLocal attaches an attempt-scoped value to the transaction — the
+// composition point for layers above the engine that need to
+// accumulate state alongside the transactional function (the kv store
+// parks its write-set capture here). The slot is owner-private (only
+// the goroutine running the attempt may touch it), holds one value,
+// and is cleared when the attempt ends, so a retry starts empty and
+// the transactional function must re-arm it.
+func (tx *Tx) SetLocal(v any) { tx.local = v }
+
+// Local returns the value attached with SetLocal, or nil.
+func (tx *Tx) Local() any { return tx.local }
+
+// OnCommit registers fn to run if — and only if — this attempt
+// commits. For writer transactions fn runs inside the commit's
+// critical window: after the status CAS and commit-clock bump, while
+// the write set's commit stripes are still held. Two conflicting
+// writers serialize on a shared stripe, so their hooks run in commit
+// order — the property the WAL's group-commit ordering rests on (log
+// order = commit order per key; see DESIGN.md §Durability).
+//
+// Because the stripes are held, fn must be fast and must not block on
+// other transactions or run transactions itself. One hook per
+// attempt: a second call replaces the first. The hook is cleared at
+// attempt boundaries, so a retried transaction must re-register it.
+func (tx *Tx) OnCommit(fn func()) { tx.onCommit = fn }
+
+// fireOnCommit runs and clears the attempt's commit hook, if any.
+// Called only on the success paths of tryCommit and its variants.
+func (tx *Tx) fireOnCommit() {
+	if h := tx.onCommit; h != nil {
+		tx.onCommit = nil
+		h()
+	}
+}
 
 // String identifies the transaction for debugging.
 func (tx *Tx) String() string {

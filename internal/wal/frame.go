@@ -1,0 +1,230 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame format, shared by log segments and the snapshot body:
+//
+//	u32le payload length | u32le CRC32C(payload) | payload
+//
+// A record payload is a committed write set:
+//
+//	uvarint op count, then per op:
+//	  1 flag byte (bit0 = tombstone, bit1 = has TTL deadline)
+//	  uvarint key length, key bytes
+//	  uvarint value length, value bytes   (set ops only)
+//	  uvarint expireAt (unix/store ns)    (when bit1 is set)
+//
+// The decoder trusts nothing: lengths are bounded before allocation,
+// the CRC is checked before decoding, and any violation is a bad
+// frame — recovery truncates the log at the first one. Torn tails
+// (short frames, short payloads, all-zero preallocated regions) all
+// land in the bad-frame bucket by construction.
+
+// Op is one key mutation in a committed write set: an absolute value
+// (never a delta), or a tombstone.
+type Op struct {
+	// Key is the kv key (arbitrary bytes).
+	Key string
+	// Val is the value for set ops; ignored for tombstones.
+	Val string
+	// Del marks a tombstone.
+	Del bool
+	// ExpireAt is the absolute store-clock expiry deadline in
+	// nanoseconds; zero means no TTL.
+	ExpireAt int64
+}
+
+const (
+	frameHeader = 8 // u32 length + u32 crc
+	opDel       = 1 << 0
+	opTTL       = 1 << 1
+
+	// MaxRecord bounds a frame payload. It is far past anything the
+	// server can produce (resp bounds a command frame at 8 MiB) while
+	// keeping the allocation a hostile or corrupt length prefix can
+	// demand on recovery finite.
+	MaxRecord = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errBadFrame marks a frame recovery must treat as the end of the
+// good prefix: torn tail, garbage, CRC mismatch, oversize length.
+var errBadFrame = errors.New("wal: bad frame")
+
+// ErrRecordTooLarge reports a write set whose encoding exceeds
+// MaxRecord; the record is not logged.
+var ErrRecordTooLarge = errors.New("wal: record exceeds MaxRecord")
+
+// appendRecord appends ops encoded as one record payload to dst.
+func appendRecord(dst []byte, ops []Op) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for _, op := range ops {
+		var flags byte
+		if op.Del {
+			flags |= opDel
+		}
+		if op.ExpireAt != 0 {
+			flags |= opTTL
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendUvarint(dst, uint64(len(op.Key)))
+		dst = append(dst, op.Key...)
+		if !op.Del {
+			dst = binary.AppendUvarint(dst, uint64(len(op.Val)))
+			dst = append(dst, op.Val...)
+		}
+		if flags&opTTL != 0 {
+			dst = binary.AppendUvarint(dst, uint64(op.ExpireAt))
+		}
+	}
+	return dst
+}
+
+// appendFrame appends payload wrapped in a length+CRC frame to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// decodeRecord decodes one record payload. Every length is checked
+// against the remaining payload before use, so arbitrary input can
+// produce an error but never a panic or an oversized allocation.
+func decodeRecord(payload []byte) ([]Op, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad op count", errBadFrame)
+	}
+	payload = payload[n:]
+	// Each op is at least 2 bytes (flag + empty-key length), so a
+	// count beyond len(payload)/2 cannot be honest; checking before
+	// make() keeps a lying count from demanding a huge slice.
+	if count > uint64(len(payload)/2)+1 {
+		return nil, fmt.Errorf("%w: op count %d exceeds payload", errBadFrame, count)
+	}
+	ops := make([]Op, 0, count)
+	readBytes := func() (string, error) {
+		l, n := binary.Uvarint(payload)
+		if n <= 0 || l > uint64(len(payload)-n) {
+			return "", fmt.Errorf("%w: bad length", errBadFrame)
+		}
+		s := string(payload[n : n+int(l)])
+		payload = payload[n+int(l):]
+		return s, nil
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("%w: truncated op", errBadFrame)
+		}
+		flags := payload[0]
+		if flags&^(opDel|opTTL) != 0 {
+			return nil, fmt.Errorf("%w: unknown op flags %#x", errBadFrame, flags)
+		}
+		payload = payload[1:]
+		var op Op
+		op.Del = flags&opDel != 0
+		var err error
+		if op.Key, err = readBytes(); err != nil {
+			return nil, err
+		}
+		if !op.Del {
+			if op.Val, err = readBytes(); err != nil {
+				return nil, err
+			}
+		}
+		if flags&opTTL != 0 {
+			e, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: bad expiry", errBadFrame)
+			}
+			payload = payload[n:]
+			op.ExpireAt = int64(e)
+			if op.ExpireAt == 0 {
+				return nil, fmt.Errorf("%w: TTL flag with zero deadline", errBadFrame)
+			}
+		}
+		ops = append(ops, op)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errBadFrame, len(payload))
+	}
+	return ops, nil
+}
+
+// frameReader iterates frames of a segment or snapshot body,
+// tracking the byte offset of the good prefix consumed so far. The
+// good mark advances only when the caller says so (markGood), so a
+// well-framed but undecodable record still truncates before itself.
+type frameReader struct {
+	r    io.Reader
+	head [frameHeader]byte
+	buf  []byte
+	// good is the offset just past the last frame the caller accepted.
+	good int64
+}
+
+// next returns the next frame's payload. io.EOF marks a clean end
+// exactly at a frame boundary; any other error (wrapped errBadFrame,
+// or an unwrapped read error) means the log is good only up to
+// fr.good. The returned slice is valid until the next call.
+func (fr *frameReader) next() ([]byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.head[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: torn header: %v", errBadFrame, err)
+	}
+	length := binary.LittleEndian.Uint32(fr.head[0:4])
+	want := binary.LittleEndian.Uint32(fr.head[4:8])
+	if length == 0 || length > MaxRecord {
+		return nil, fmt.Errorf("%w: length %d", errBadFrame, length)
+	}
+	if cap(fr.buf) < int(length) {
+		fr.buf = make([]byte, length)
+	}
+	payload := fr.buf[:length]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, fmt.Errorf("%w: torn payload: %v", errBadFrame, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("%w: crc mismatch", errBadFrame)
+	}
+	return payload, nil
+}
+
+// markGood accepts the frame whose payload next just returned.
+func (fr *frameReader) markGood(payloadLen int) {
+	fr.good += frameHeader + int64(payloadLen)
+}
+
+// DecodeAll decodes a stream of record frames from data, returning
+// the decoded write sets and the length in bytes of the good prefix.
+// It never panics on arbitrary input, and err is nil only when data
+// ends cleanly at a frame boundary — the decoder contract the fuzz
+// target and the recovery tests pin.
+func DecodeAll(data []byte) (recs [][]Op, good int64, err error) {
+	fr := &frameReader{r: bytes.NewReader(data)}
+	for {
+		payload, err := fr.next()
+		if err == io.EOF {
+			return recs, fr.good, nil
+		}
+		if err != nil {
+			return recs, fr.good, err
+		}
+		ops, err := decodeRecord(payload)
+		if err != nil {
+			return recs, fr.good, err
+		}
+		fr.markGood(len(payload))
+		recs = append(recs, ops)
+	}
+}

@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment files are wal-%08d.log; the snapshot is snapshot.kvs,
+// written side-by-side as snapshot.kvs.tmp and renamed into place.
+
+const (
+	segmentPrefix = "wal-"
+	segmentSuffix = ".log"
+	snapshotName  = "snapshot.kvs"
+	snapshotTemp  = snapshotName + ".tmp"
+)
+
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix)
+}
+
+type segmentFile struct {
+	seq  uint64
+	path string
+}
+
+// listSegments returns the directory's segment files in ascending
+// sequence order. Files that merely look like segments (unparsable
+// numbers) are ignored rather than guessed at.
+func listSegments(dir string) ([]segmentFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var segs []segmentFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+		seq, err := strconv.ParseUint(num, 10, 64)
+		if err != nil || seq == 0 {
+			continue
+		}
+		segs = append(segs, segmentFile{seq: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// reapSegments removes every segment with seq <= upTo. Failures are
+// returned but non-fatal to the caller: a leftover segment below the
+// snapshot's base is skipped by recovery anyway.
+func reapSegments(dir string, upTo uint64) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, sf := range segs {
+		if sf.seq > upTo {
+			break
+		}
+		if err := os.Remove(sf.path); err != nil {
+			return fmt.Errorf("wal: reap segment %d: %w", sf.seq, err)
+		}
+	}
+	return syncDir(dir)
+}

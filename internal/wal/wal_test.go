@@ -1,0 +1,411 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect is a recovery sink that flattens records for comparison
+// while remembering record boundaries.
+type collect struct {
+	recs [][]Op
+}
+
+func (c *collect) apply(ops []Op) error {
+	cp := make([]Op, len(ops))
+	copy(cp, ops)
+	c.recs = append(c.recs, cp)
+	return nil
+}
+
+func (c *collect) flat() []Op {
+	var out []Op
+	for _, r := range c.recs {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// testOptions keeps group-commit tests fast and deterministic-ish.
+func testOptions() Options {
+	return Options{GroupWindow: 200 * time.Microsecond}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]Op{
+		{{Key: "a", Val: "1"}},
+		{{Key: "b", Val: "2", ExpireAt: 42}, {Key: "a", Del: true}},
+		{{Key: "\x00bin\xff\r\n", Val: string([]byte{0, 1, 2, 255})}},
+		{{Key: "", Val: ""}}, // empty key and value are legal
+	}
+	for _, ops := range want {
+		if err := l.Append(ops).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	st, err := Recover(dir, c.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.recs, want) {
+		t.Fatalf("recovered %+v, want %+v", c.recs, want)
+	}
+	if st.Records != len(want) || st.TruncatedBytes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAppendEmptyAndAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk := l.Append(nil); tk != nil {
+		t.Fatal("empty write set should not be logged")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Op{{Key: "x", Val: "1"}}).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := l.Rotate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("rotate after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestGroupCommitBatches drives concurrent appends and checks the
+// group commit actually grouped: far fewer fsyncs than records.
+func TestGroupCommitBatches(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{GroupWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 16
+	const perW = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("k%02d", w)
+				if err := l.Append([]Op{{Key: key, Val: fmt.Sprint(i)}}).Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Records != writers*perW {
+		t.Fatalf("records = %d, want %d", st.Records, writers*perW)
+	}
+	if st.Fsyncs >= st.Records/2 {
+		t.Fatalf("group commit did not batch: %d fsyncs for %d records", st.Fsyncs, st.Records)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	if _, err := Recover(dir, c.apply); err != nil {
+		t.Fatal(err)
+	}
+	// Per-key order must match append order (each writer owns a key).
+	last := map[string]int{}
+	for _, op := range c.flat() {
+		var i int
+		fmt.Sscan(op.Val, &i)
+		if prev, ok := last[op.Key]; ok && i != prev+1 {
+			t.Fatalf("per-key order broken for %s: %d then %d", op.Key, prev, i)
+		}
+		last[op.Key] = i
+	}
+	for k, v := range last {
+		if v != perW-1 {
+			t.Fatalf("key %s recovered through %d, want %d", k, v, perW-1)
+		}
+	}
+}
+
+func TestRotateStartsNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Op{{Key: "a", Val: "1"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("rotated to segment %d, want 2", seq)
+	}
+	if err := l.Append([]Op{{Key: "b", Val: "2"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("segments %v, err %v", segs, err)
+	}
+	var c collect
+	if _, err := Recover(dir, c.apply); err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{{Key: "a", Val: "1"}, {Key: "b", Val: "2"}}
+	if !reflect.DeepEqual(c.flat(), want) {
+		t.Fatalf("recovered %+v, want %+v", c.flat(), want)
+	}
+}
+
+func TestSnapshotTruncatesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State the snapshot will capture.
+	if err := l.Append([]Op{{Key: "a", Val: "1"}, {Key: "b", Val: "2"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	cut := func() ([]Op, error) {
+		return []Op{{Key: "a", Val: "1"}, {Key: "b", Val: "2"}}, nil
+	}
+	if err := l.Snapshot(cut); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-snapshot segments are reaped; the log continues.
+	segs, _ := listSegments(dir)
+	if len(segs) != 1 || segs[0].seq != 2 {
+		t.Fatalf("segments after snapshot: %+v", segs)
+	}
+	if err := l.Append([]Op{{Key: "b", Del: true}, {Key: "c", Val: "3"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	st, err := Recover(dir, c.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotOps != 2 || st.Base != 2 || st.Records != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	want := []Op{{Key: "a", Val: "1"}, {Key: "b", Val: "2"}, {Key: "b", Del: true}, {Key: "c", Val: "3"}}
+	if !reflect.DeepEqual(c.flat(), want) {
+		t.Fatalf("recovered %+v, want %+v", c.flat(), want)
+	}
+}
+
+func TestSnapshotCutErrorLeavesLogUsable(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Op{{Key: "a", Val: "1"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("cut failed")
+	if err := l.Snapshot(func() ([]Op, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// The rotation happened but nothing was reaped; everything still
+	// recovers.
+	if err := l.Append([]Op{{Key: "b", Val: "2"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	if _, err := Recover(dir, c.apply); err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{{Key: "a", Val: "1"}, {Key: "b", Val: "2"}}
+	if !reflect.DeepEqual(c.flat(), want) {
+		t.Fatalf("recovered %+v, want %+v", c.flat(), want)
+	}
+}
+
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	for _, tail := range [][]byte{
+		{0x7f},                                 // lone garbage byte
+		{1, 0, 0, 0},                           // half a header
+		{5, 0, 0, 0, 1, 2, 3, 4},               // header, no payload
+		make([]byte, 64),                       // preallocated zero region
+		{255, 255, 255, 255, 0, 0, 0, 0, 9, 9}, // oversize length
+	} {
+		t.Run(fmt.Sprintf("% x", tail), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, testOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Append([]Op{{Key: "a", Val: "1"}}).Wait(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			seg := filepath.Join(dir, segmentName(1))
+			f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			var c collect
+			st, err := Recover(dir, c.apply)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.TruncatedBytes != int64(len(tail)) {
+				t.Fatalf("truncated %d bytes, want %d", st.TruncatedBytes, len(tail))
+			}
+			want := []Op{{Key: "a", Val: "1"}}
+			if !reflect.DeepEqual(c.flat(), want) {
+				t.Fatalf("recovered %+v, want %+v", c.flat(), want)
+			}
+			// The truncation is physical: a second recovery is clean.
+			var c2 collect
+			st2, err := Recover(dir, c2.apply)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st2.TruncatedBytes != 0 || !reflect.DeepEqual(c2.flat(), want) {
+				t.Fatalf("second recovery: stats %+v ops %+v", st2, c2.flat())
+			}
+		})
+	}
+}
+
+func TestRecoverRejectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Op{{Key: "a", Val: "1"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Op{{Key: "b", Val: "2"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt segment 1 — not the final segment.
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	if _, err := Recover(dir, c.apply); err == nil {
+		t.Fatal("mid-log corruption must fail recovery, not truncate")
+	}
+}
+
+func TestOpenAfterRecoverStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Op{{Key: "a", Val: "1"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	if _, err := Recover(dir, c.apply); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Stats().Segment; got != 2 {
+		t.Fatalf("reopened on segment %d, want 2", got)
+	}
+	if err := l2.Append([]Op{{Key: "b", Val: "2"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c2 collect
+	if _, err := Recover(dir, c2.apply); err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{{Key: "a", Val: "1"}, {Key: "b", Val: "2"}}
+	if !reflect.DeepEqual(c2.flat(), want) {
+		t.Fatalf("recovered %+v, want %+v", c2.flat(), want)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	huge := []Op{{Key: "k", Val: string(make([]byte, MaxRecord+1))}}
+	if err := l.Append(huge).Wait(); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+	// The log is not poisoned by an oversize record.
+	if err := l.Append([]Op{{Key: "k", Val: "small"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestRecoverMissingDir(t *testing.T) {
+	var c collect
+	st, err := Recover(filepath.Join(t.TempDir(), "nope"), c.apply)
+	if err != nil || len(c.recs) != 0 || st.Base != 1 {
+		t.Fatalf("missing dir: stats %+v err %v", st, err)
+	}
+}

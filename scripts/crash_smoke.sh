@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Crash-restart smoke: kill -9 the durable server mid-loadgen, restart
+# on the same data directory, and verify from outside the process that
+# the restored state upholds the durable invariants — account
+# conservation (every MULTI/EXEC transfer is all-or-nothing across the
+# crash) and TTL semantics (a long-lived probe survives with its
+# deadline, an expired one stays dead). CI runs this after the
+# in-process smokes; see DESIGN.md §Durability for why the log's
+# per-key ordering makes the conservation check sound.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:6404
+DATA=$(mktemp -d)
+BIN=$(mktemp -d)/stmkv
+SERVER_PID=
+LOADGEN_PID=
+
+cleanup() {
+    [ -n "$LOADGEN_PID" ] && kill "$LOADGEN_PID" 2>/dev/null || true
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$DATA" "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+wait_ready() {
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/6404") 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "crash_smoke: server never came up" >&2
+    return 1
+}
+
+go build -o "$BIN" ./cmd/stmkv
+
+echo "== phase 1: seed a durable server, plant TTL probes, snapshot =="
+"$BIN" -addr "$ADDR" -data "$DATA" -walwindow 2ms &
+SERVER_PID=$!
+wait_ready
+"$BIN" -loadgen -addr "$ADDR" -clients 8 -ops 500
+# Plant probes and cut a snapshot so the restart exercises
+# snapshot-load + log-replay, not just replay.
+"$BIN" -audit set -save -addr "$ADDR"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+echo "== phase 2: restart, then kill -9 mid-loadgen =="
+"$BIN" -addr "$ADDR" -data "$DATA" -walwindow 2ms &
+SERVER_PID=$!
+wait_ready
+# A deliberately oversized run with binary-hostile keys: the server
+# dies long before it finishes, mid-traffic.
+"$BIN" -loadgen -addr "$ADDR" -clients 8 -ops 1000000 -binkeys &
+LOADGEN_PID=$!
+sleep 3
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+kill "$LOADGEN_PID" 2>/dev/null || true
+wait "$LOADGEN_PID" 2>/dev/null || true
+LOADGEN_PID=
+
+echo "== phase 3: restart and audit the restored state =="
+"$BIN" -addr "$ADDR" -data "$DATA" -walwindow 2ms &
+SERVER_PID=$!
+wait_ready
+"$BIN" -audit check -addr "$ADDR"
+kill "$SERVER_PID" 2>/dev/null
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+echo "crash_smoke: ok"
