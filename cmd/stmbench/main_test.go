@@ -18,12 +18,14 @@ func TestSelectFigures(t *testing.T) {
 		wantFirst string // Structure of the first figure, "" = don't check
 	}{
 		{name: "nothing selected", wantErr: true},
-		{name: "all", all: true, wantCount: 9},
+		{name: "all", all: true, wantCount: 10},
 		{name: "figure 1", figure: 1, wantCount: 1, wantFirst: "list"},
 		{name: "figure 5 is hashset", figure: 5, wantCount: 1, wantFirst: "hashset"},
 		{name: "figure 7 is omap", figure: 7, wantCount: 1, wantFirst: "omap"},
 		{name: "figure 8 is kv", figure: 8, wantCount: 1, wantFirst: "kv"},
 		{name: "figure 9 is kvwal", figure: 9, wantCount: 1, wantFirst: "kvwal"},
+		{name: "figure 10 is jobs", figure: 10, wantCount: 1, wantFirst: "jobs"},
+		{name: "structure jobs", structure: "jobs", wantCount: 1, wantFirst: "jobs"},
 		{name: "unknown figure", figure: 99, wantErr: true},
 		{name: "negative figure", figure: -3, wantErr: true},
 		{name: "structure hashset", structure: "hashset", wantCount: 1, wantFirst: "hashset"},

@@ -30,13 +30,66 @@ func dialRetry(addr string, wait time.Duration) (*client, error) {
 	}
 }
 
+// checkTypedProbes verifies a previous "set"'s container probes after
+// a restart: the list in push order, the hash field-for-field, the
+// zset in score order with exact scores, and TYPE naming each kind —
+// the wire-level version of the restore-equality gate, one key per
+// container kind.
+func checkTypedProbes(c *client) error {
+	for key, want := range map[string]string{
+		"probe:list": "list", "probe:hash": "hash", "probe:zset": "zset",
+	} {
+		v, err := c.must("TYPE", key)
+		if err != nil {
+			return err
+		}
+		if v.Str != want {
+			return fmt.Errorf("audit: TYPE %s = %q, want %q (container kind lost across restart)", key, v.Str, want)
+		}
+	}
+	v, err := c.must("LRANGE", "probe:list", "0", "-1")
+	if err != nil {
+		return err
+	}
+	if len(v.Elems) != 3 || v.Elems[0].Str != "a" || v.Elems[1].Str != "b" || v.Elems[2].Str != "c" {
+		return fmt.Errorf("audit: probe:list = %+v, want [a b c] (list order lost across restart)", v.Elems)
+	}
+	v, err = c.must("HGETALL", "probe:hash")
+	if err != nil {
+		return err
+	}
+	fields := map[string]string{}
+	for i := 0; i+1 < len(v.Elems); i += 2 {
+		fields[v.Elems[i].Str] = v.Elems[i+1].Str
+	}
+	if len(fields) != 2 || fields["f1"] != "v1" || fields["f2"] != "v2" {
+		return fmt.Errorf("audit: probe:hash = %v, want f1=v1 f2=v2 (hash fields lost across restart)", fields)
+	}
+	v, err = c.must("ZRANGE", "probe:zset", "0", "-1", "WITHSCORES")
+	if err != nil {
+		return err
+	}
+	if len(v.Elems) != 4 || v.Elems[0].Str != "alpha" || v.Elems[1].Str != "1.5" ||
+		v.Elems[2].Str != "beta" || v.Elems[3].Str != "2.5" {
+		return fmt.Errorf("audit: probe:zset = %+v, want alpha=1.5 beta=2.5 in score order", v.Elems)
+	}
+	if v, err = c.must("ZCARD", "probe:zset"); err != nil {
+		return err
+	} else if v.Int != 2 {
+		return fmt.Errorf("audit: ZCARD probe:zset = %d, want 2", v.Int)
+	}
+	return nil
+}
+
 // runAudit connects to addr and verifies the durable invariants.
 // Modes: "sum" checks account conservation; "set" additionally plants
-// two TTL probes (one long-lived, one already doomed); "check"
-// additionally verifies a previous "set"'s probes — the long one must
-// survive with its deadline intact, the doomed one must be gone even
-// though no sweep may have run before the crash. With save, a SAVE is
-// issued at the end so the next restart boots from a snapshot.
+// two TTL probes (one long-lived, one already doomed) and one key per
+// container kind (list, hash, zset); "check" additionally verifies a
+// previous "set"'s probes — the long TTL must survive with its
+// deadline intact, the doomed one must be gone even though no sweep
+// may have run before the crash, and every container probe must come
+// back element-for-element with its kind. With save, a SAVE is issued
+// at the end so the next restart boots from a snapshot.
 func runAudit(addr, mode string, accounts int, save bool) error {
 	if mode != "sum" && mode != "set" && mode != "check" {
 		return fmt.Errorf("audit: unknown mode %q (want sum, set or check)", mode)
@@ -53,6 +106,20 @@ func runAudit(addr, mode string, accounts int, save bool) error {
 			return err
 		}
 		if _, err := c.must("SET", "probe:gone", "soon", "PX", "80"); err != nil {
+			return err
+		}
+		// Typed probes: one key of every container kind, planted before
+		// the crash, verified element-for-element after the restart.
+		if _, err := c.must("DEL", "probe:list", "probe:hash", "probe:zset"); err != nil {
+			return err
+		}
+		if _, err := c.must("RPUSH", "probe:list", "a", "b", "c"); err != nil {
+			return err
+		}
+		if _, err := c.must("HSET", "probe:hash", "f1", "v1", "f2", "v2"); err != nil {
+			return err
+		}
+		if _, err := c.must("ZADD", "probe:zset", "1.5", "alpha", "2.5", "beta"); err != nil {
 			return err
 		}
 	case "check":
@@ -76,6 +143,9 @@ func runAudit(addr, mode string, accounts int, save bool) error {
 		}
 		if !gone.Null {
 			return fmt.Errorf("audit: probe:gone resurrected as %q (expiry not honoured across restart)", gone.Str)
+		}
+		if err := checkTypedProbes(c); err != nil {
+			return err
 		}
 	}
 
@@ -101,6 +171,25 @@ func runAudit(addr, mode string, accounts int, save bool) error {
 	}
 	if want := accounts * 1000; sum != want {
 		return fmt.Errorf("audit: conservation broken: accounts sum to %d, want %d", sum, want)
+	}
+	// Typed-ledger conservation, when a -typed loadgen ran against this
+	// store: HINCRBY transfer blocks are all-or-nothing too, so the
+	// shared hash must sum to its seeded total across any crash. An
+	// absent ledger (no typed run) is skipped, not an error.
+	if v, err := c.must("HGETALL", typedStatsKey); err != nil {
+		return err
+	} else if len(v.Elems) > 0 {
+		hsum := 0
+		for i := 0; i+1 < len(v.Elems); i += 2 {
+			n, err := strconv.Atoi(v.Elems[i+1].Str)
+			if err != nil {
+				return fmt.Errorf("audit: ledger field %s holds %q", v.Elems[i].Str, v.Elems[i+1].Str)
+			}
+			hsum += n
+		}
+		if want := accounts * 1000; hsum != want {
+			return fmt.Errorf("audit: typed ledger broken: %s sums to %d, want %d", typedStatsKey, hsum, want)
+		}
 	}
 	size, err := c.must("DBSIZE")
 	if err != nil {

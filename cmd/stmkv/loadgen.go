@@ -23,6 +23,7 @@ type loadConfig struct {
 	transfer float64
 	seed     uint64
 	binKeys  bool
+	typed    bool
 }
 
 // client is one load-generator connection.
@@ -71,6 +72,7 @@ func (c *client) must(args ...string) (resp.Value, error) {
 // counters aggregates what the generator actually did.
 type counters struct {
 	gets, sets, incrs, dels, mgets, transfers, expires atomic.Int64
+	hincrs, pushes, pops, zadds                        atomic.Int64
 }
 
 // runLoadgen drives addr with cfg.clients closed-loop connections and
@@ -113,6 +115,20 @@ func runLoadgen(addr string, cfg loadConfig) (string, error) {
 	if _, err := seedConn.must(msetArgs...); err != nil {
 		seedConn.conn.Close()
 		return "", err
+	}
+	if cfg.typed {
+		// Typed conservation ledger: one shared hash of counter fields,
+		// moved between by MULTI/HINCRBY/HINCRBY/EXEC blocks exactly like
+		// the string accounts — the same atomicity contract, one value
+		// kind deeper.
+		args := []string{"HSET", typedStatsKey}
+		for i := 0; i < cfg.accounts; i++ {
+			args = append(args, "h:"+strconv.Itoa(i), strconv.Itoa(initial))
+		}
+		if _, err := seedConn.must(args...); err != nil {
+			seedConn.conn.Close()
+			return "", err
+		}
 	}
 	seedConn.conn.Close()
 
@@ -159,15 +175,52 @@ func runLoadgen(addr string, cfg loadConfig) (string, error) {
 	if want := cfg.accounts * initial; sum != want {
 		return "", fmt.Errorf("loadgen: conservation broken: accounts sum to %d, want %d", sum, want)
 	}
+	typedNote := ""
+	if cfg.typed {
+		if err := auditTypedLedger(audit, cfg.accounts*initial); err != nil {
+			return "", err
+		}
+		typedNote = fmt.Sprintf("\n  typed: hincrs=%d pushes=%d pops=%d zadds=%d — hash ledger conserved",
+			cnt.hincrs.Load(), cnt.pushes.Load(), cnt.pops.Load(), cnt.zadds.Load())
+	}
 
 	total := int64(cfg.clients) * int64(cfg.ops)
 	return fmt.Sprintf(
 		"loadgen: %d ops over %d clients in %v (%.0f ops/sec; keys=%s)\n"+
-			"  gets=%d sets=%d incrs=%d dels=%d mgets=%d expires=%d transfers=%d — accounts conserved",
+			"  gets=%d sets=%d incrs=%d dels=%d mgets=%d expires=%d transfers=%d — accounts conserved%s",
 		total, cfg.clients, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds(), dist.Name(),
 		cnt.gets.Load(), cnt.sets.Load(), cnt.incrs.Load(), cnt.dels.Load(),
-		cnt.mgets.Load(), cnt.expires.Load(), cnt.transfers.Load()), nil
+		cnt.mgets.Load(), cnt.expires.Load(), cnt.transfers.Load(), typedNote), nil
+}
+
+// typedStatsKey is the shared hash the typed workload's HINCRBY
+// transfer blocks move value within.
+const typedStatsKey = "stats:hash"
+
+// auditTypedLedger checks the typed conservation invariant: the
+// shared hash's counter fields sum to their seeded total, whatever
+// interleaving the HINCRBY transfer blocks committed in.
+func auditTypedLedger(c *client, want int) error {
+	v, err := c.must("HGETALL", typedStatsKey)
+	if err != nil {
+		return err
+	}
+	if len(v.Elems)%2 != 0 {
+		return fmt.Errorf("loadgen: HGETALL %s returned %d elems", typedStatsKey, len(v.Elems))
+	}
+	sum := 0
+	for i := 0; i < len(v.Elems); i += 2 {
+		n, err := strconv.Atoi(v.Elems[i+1].Str)
+		if err != nil {
+			return fmt.Errorf("loadgen: field %s holds %q", v.Elems[i].Str, v.Elems[i+1].Str)
+		}
+		sum += n
+	}
+	if sum != want {
+		return fmt.Errorf("loadgen: typed conservation broken: %s sums to %d, want %d", typedStatsKey, sum, want)
+	}
+	return nil
 }
 
 // binKey builds a binary-hostile key: every byte class a text-based
@@ -189,12 +242,27 @@ func driveClient(addr string, g int, cfg loadConfig, dist workload.KeyDist, keys
 	}
 	defer c.conn.Close()
 	rng := rand.New(rand.NewPCG(cfg.seed+uint64(g)+1, uint64(g)*0x9e37+7))
+	typed := typedState{g: g}
+	if cfg.typed {
+		// Reset this client's private containers: a durable server may
+		// carry residue from an earlier run against the same directory,
+		// and the FIFO/score verifications assume a known start.
+		if _, err := c.must("DEL", "list:"+strconv.Itoa(g), "zset:"+strconv.Itoa(g)); err != nil {
+			return err
+		}
+	}
 	for i := 0; i < cfg.ops; i++ {
 		if rng.Float64() < cfg.transfer {
 			if err := doTransfer(c, rng, accounts); err != nil {
 				return err
 			}
 			cnt.transfers.Add(1)
+			continue
+		}
+		if cfg.typed && rng.Float64() < 0.4 {
+			if err := typed.step(c, rng, cfg, cnt); err != nil {
+				return err
+			}
 			continue
 		}
 		key := keys[dist.Sample(rng)]
@@ -232,6 +300,103 @@ func driveClient(addr string, g int, cfg loadConfig, dist workload.KeyDist, keys
 			}
 			cnt.gets.Add(1)
 		}
+	}
+	return nil
+}
+
+// typedState is one client's typed-workload bookkeeping: a private
+// FIFO list and a private sorted set it can verify exactly (no other
+// client touches them), plus its share of the contended ledger hash.
+// Both private structures deliberately leave residue behind — pushed
+// elements never popped, members never removed — so a durable smoke's
+// restore comparison covers every container kind, not just strings.
+type typedState struct {
+	g        int
+	nextPush int // next sequence number to RPUSH
+	nextPop  int // next sequence number LPOP must return
+	zseq     int // next zset member index
+}
+
+// element formats a list element or zset member: sequence number
+// prefixed, binary-hostile when the run is a -binkeys sweep (the
+// container chains and WAL field/value encoding must be
+// length-prefixed too, not just the key path).
+func (ts *typedState) element(seq int, binKeys bool) string {
+	if binKeys {
+		return string([]byte{0x00, '\r', 0xfe, 'e'}) + strconv.Itoa(seq)
+	}
+	return "e:" + strconv.Itoa(seq)
+}
+
+// step runs one typed operation: a hash-ledger transfer (contended,
+// conservation-audited at the end), a FIFO push/pop round on the
+// client's private list (order-verified inline), or a zset
+// add/score/range round (score round-trip verified inline).
+func (ts *typedState) step(c *client, rng *rand.Rand, cfg loadConfig, cnt *counters) error {
+	listKey := "list:" + strconv.Itoa(ts.g)
+	zsetKey := "zset:" + strconv.Itoa(ts.g)
+	switch rng.Int64N(4) {
+	case 0: // contended hash-ledger transfer
+		from := "h:" + strconv.Itoa(int(rng.Int64N(int64(cfg.accounts))))
+		to := "h:" + strconv.Itoa(int(rng.Int64N(int64(cfg.accounts))))
+		amount := strconv.FormatInt(rng.Int64N(20)+1, 10)
+		for _, cmd := range [][]string{
+			{"MULTI"},
+			{"HINCRBY", typedStatsKey, from, "-" + amount},
+			{"HINCRBY", typedStatsKey, to, amount},
+		} {
+			if _, err := c.must(cmd...); err != nil {
+				return err
+			}
+		}
+		v, err := c.must("EXEC")
+		if err != nil {
+			return err
+		}
+		if len(v.Elems) != 2 || v.Elems[0].Kind != ':' || v.Elems[1].Kind != ':' {
+			return fmt.Errorf("typed transfer: EXEC reply %+v, want two integers", v)
+		}
+		cnt.hincrs.Add(2)
+	case 1: // FIFO push
+		v, err := c.must("RPUSH", listKey, ts.element(ts.nextPush, cfg.binKeys))
+		if err != nil {
+			return err
+		}
+		if want := int64(ts.nextPush - ts.nextPop + 1); v.Int != want {
+			return fmt.Errorf("typed: RPUSH %s returned len %d, want %d", listKey, v.Int, want)
+		}
+		ts.nextPush++
+		cnt.pushes.Add(1)
+	case 2: // FIFO pop: strict order on the private list
+		if ts.nextPop == ts.nextPush {
+			return nil // nothing outstanding; keep the loop closed
+		}
+		v, err := c.must("LPOP", listKey)
+		if err != nil {
+			return err
+		}
+		if want := ts.element(ts.nextPop, cfg.binKeys); v.Null || v.Str != want {
+			return fmt.Errorf("typed: LPOP %s = %q (null=%v), want %q (FIFO order broken)",
+				listKey, v.Str, v.Null, want)
+		}
+		ts.nextPop++
+		cnt.pops.Add(1)
+	default: // zset add + score round-trip
+		member := ts.element(ts.zseq, cfg.binKeys)
+		ts.zseq++
+		score := strconv.FormatInt(rng.Int64N(1000), 10)
+		if _, err := c.must("ZADD", zsetKey, score, member); err != nil {
+			return err
+		}
+		v, err := c.must("ZSCORE", zsetKey, member)
+		if err != nil {
+			return err
+		}
+		if v.Null || v.Str != score {
+			return fmt.Errorf("typed: ZSCORE %s %s = %q (null=%v), want %q",
+				zsetKey, member, v.Str, v.Null, score)
+		}
+		cnt.zadds.Add(1)
 	}
 	return nil
 }

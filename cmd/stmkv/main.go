@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -49,6 +50,7 @@ func main() {
 		data      = flag.String("data", "", "durability directory: recover on boot, then write-ahead log every commit (empty = memory only)")
 		walWindow = flag.Duration("walwindow", 500*time.Microsecond, "group-commit linger window (negative disables lingering)")
 		sweep     = flag.Duration("sweep", 500*time.Millisecond, "background TTL sweep cadence for a full pass over all shards (0 disables)")
+		bgsave    = flag.String("bgsave-every", "", "scheduled BGSAVE cadence: a duration (\"30s\") or a logged-record count (\"500ops\"); empty disables (durable mode only)")
 
 		loadgen  = flag.Bool("loadgen", false, "run the closed-loop load generator against -addr instead of serving")
 		smoke    = flag.Bool("smoke", false, "start an in-process server on an ephemeral port, run the load generator against it, verify invariants, shut down")
@@ -60,6 +62,7 @@ func main() {
 		transfer = flag.Float64("transfer", 0.2, "load generator: fraction of ops that are MULTI/EXEC transfers")
 		seed     = flag.Uint64("seed", 0x5eed, "load generator: workload seed")
 		binKeys  = flag.Bool("binkeys", false, "load generator: use a binary-hostile key table (NULs, CRLFs, high bytes)")
+		typed    = flag.Bool("typed", false, "load generator: mix in typed-container traffic (hash-ledger transfers, FIFO lists, zset round-trips)")
 
 		audit = flag.String("audit", "", "audit a live server at -addr: sum (conservation), set (plant TTL probes too), check (verify probes too)")
 		save  = flag.Bool("save", false, "audit: issue SAVE before exiting")
@@ -84,6 +87,7 @@ func main() {
 		transfer: *transfer,
 		seed:     *seed,
 		binKeys:  *binKeys,
+		typed:    *typed,
 	}
 	switch {
 	case *loadgen:
@@ -97,11 +101,11 @@ func main() {
 			fatal(err)
 		}
 	case *smoke:
-		if err := runSmoke(*manager, *shards, *buckets, *data, *walWindow, *sweep, lcfg); err != nil {
+		if err := runSmoke(*manager, *shards, *buckets, *data, *walWindow, *sweep, *bgsave, lcfg); err != nil {
 			fatal(err)
 		}
 	default:
-		if err := serve(*addr, *manager, *shards, *buckets, *data, *walWindow, *sweep); err != nil {
+		if err := serve(*addr, *manager, *shards, *buckets, *data, *walWindow, *sweep, *bgsave); err != nil {
 			fatal(err)
 		}
 	}
@@ -180,20 +184,93 @@ func startSweeper(store *kv.Store, cadence time.Duration, seed uint64) (stop fun
 	return func() { close(done); wg.Wait() }
 }
 
+// startBgsave schedules background snapshots on a cadence given as
+// either a duration ("30s": wall-clock ticker) or a record count
+// ("500ops": a snapshot once at least that many new records reached
+// the log since the last cut, polled coarsely). Each trigger runs
+// Store.Save — the same rotate → cut → rename → reap path as an
+// explicit BGSAVE — so the log is continuously truncated and a
+// restart replays a bounded suffix. Failures are logged and the
+// schedule keeps running: a snapshot that loses a race with traffic
+// just tries again next period.
+func startBgsave(store *kv.Store, spec string) (stop func(), err error) {
+	if spec == "" {
+		return func() {}, nil
+	}
+	if !store.Durable() {
+		return nil, fmt.Errorf("-bgsave-every requires -data")
+	}
+	var (
+		every   time.Duration
+		everyN  int64
+		lastN   = store.WAL().Stats().Records
+		trigger func() bool
+	)
+	if n, ok := strings.CutSuffix(spec, "ops"); ok {
+		parsed, perr := strconv.ParseInt(strings.TrimSpace(n), 10, 64)
+		if perr != nil || parsed <= 0 {
+			return nil, fmt.Errorf("-bgsave-every %q: want a positive count before \"ops\"", spec)
+		}
+		everyN = parsed
+		every = 100 * time.Millisecond // poll cadence, not save cadence
+		trigger = func() bool {
+			records := store.WAL().Stats().Records
+			if records-lastN < everyN {
+				return false
+			}
+			lastN = records
+			return true
+		}
+	} else {
+		every, err = time.ParseDuration(spec)
+		if err != nil || every <= 0 {
+			return nil, fmt.Errorf("-bgsave-every %q: want a positive duration or \"<n>ops\"", spec)
+		}
+		trigger = func() bool { return true }
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			if !trigger() {
+				continue
+			}
+			if err := store.Save(); err != nil {
+				fmt.Fprintf(os.Stderr, "stmkv: bgsave: %v\n", err)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }, nil
+}
+
 // serve runs the server until SIGINT/SIGTERM, then shuts down cleanly:
-// listener and connections first, then the sweeper, then the log.
-func serve(addr, manager string, shards, buckets int, data string, window, sweep time.Duration) error {
+// listener and connections first, then the sweeper and the snapshot
+// schedule, then the log.
+func serve(addr, manager string, shards, buckets int, data string, window, sweep time.Duration, bgsave string) error {
 	store, l, err := openStore(manager, shards, buckets, data, window)
 	if err != nil {
 		return err
 	}
 	srv := kv.NewServer(store)
+	stopSave, err := startBgsave(store, bgsave)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "stmkv: serving on %s (manager=%s shards=%d buckets=%d durable=%v)\n",
-		ln.Addr(), manager, store.Shards(), buckets, store.Durable())
+	fmt.Fprintf(os.Stderr, "stmkv: serving on %s (manager=%s shards=%d buckets=%d durable=%v bgsave=%q)\n",
+		ln.Addr(), manager, store.Shards(), buckets, store.Durable(), bgsave)
 	stopSweep := startSweeper(store, sweep, 0x51eeb)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -201,6 +278,7 @@ func serve(addr, manager string, shards, buckets int, data string, window, sweep
 	go func() { done <- srv.Serve(ln) }()
 	shutdown := func(serveErr error) error {
 		stopSweep()
+		stopSave()
 		if l != nil {
 			if err := l.Close(); err != nil && serveErr == nil {
 				serveErr = fmt.Errorf("wal close: %w", err)
@@ -228,12 +306,17 @@ func serve(addr, manager string, shards, buckets int, data string, window, sweep
 // closing the log, as a crash would leave it — into a fresh store
 // that must match the pre-shutdown state exactly. Any violation exits
 // non-zero through main.
-func runSmoke(manager string, shards, buckets int, data string, window, sweep time.Duration, lcfg loadConfig) error {
+func runSmoke(manager string, shards, buckets int, data string, window, sweep time.Duration, bgsave string, lcfg loadConfig) error {
 	store, l, err := openStore(manager, shards, buckets, data, window)
 	if err != nil {
 		return err
 	}
 	srv := kv.NewServer(store)
+	stopSave, err := startBgsave(store, bgsave)
+	if err != nil {
+		return err
+	}
+	defer stopSave()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -350,12 +433,36 @@ func smokeDurability(store *kv.Store, l *wal.Log, lcfg loadConfig) error {
 	if want := lcfg.accounts * 1000; sum != want {
 		return fmt.Errorf("smoke: restored conservation broken: %d, want %d", sum, want)
 	}
-	fmt.Printf("smoke: restore ok — %d live entries reproduced, accounts conserved\n", len(post))
+	if lcfg.typed {
+		// The typed ledger must conserve through recovery too: the hash
+		// replays field by field, so a lost or doubled HINCRBY would
+		// break the sum even when the op-for-op comparison above passed
+		// (it compares against the live store, not the ground truth).
+		pairs, err := fresh.HGetAll(typedStatsKey)
+		if err != nil {
+			return fmt.Errorf("smoke: restored typed ledger: %w", err)
+		}
+		hsum := 0
+		for _, p := range pairs {
+			var n int
+			if _, err := fmt.Sscan(p.V, &n); err != nil {
+				return fmt.Errorf("smoke: restored ledger field %s holds %q", p.K, p.V)
+			}
+			hsum += n
+		}
+		if want := lcfg.accounts * 1000; hsum != want {
+			return fmt.Errorf("smoke: restored typed ledger broken: %d, want %d", hsum, want)
+		}
+	}
+	fmt.Printf("smoke: restore ok — %d live entries reproduced, accounts conserved (typed=%v)\n", len(post), lcfg.typed)
 	return nil
 }
 
+// sortOps orders ops by key, stably: SnapshotOps emits each key's op
+// sequence in a canonical order, so a stable by-key sort makes two
+// dumps of the same logical state comparable.
 func sortOps(ops []wal.Op) {
-	sort.Slice(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
 }
 
 func fatal(err error) {

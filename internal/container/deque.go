@@ -1,0 +1,254 @@
+package container
+
+import (
+	"fmt"
+
+	"repro/internal/stm"
+)
+
+// dNode is one deque link. Like qNode, the struct is immutable after
+// construction — both neighbour pointers live behind their own stm.Var
+// — so nodes are shared freely between transactions and the default
+// shallow clone of *dNode is correct.
+type dNode[T any] struct {
+	val  T
+	prev *stm.Var[*dNode[T]]
+	next *stm.Var[*dNode[T]]
+}
+
+// Deque is a transactional double-ended queue: Queue[T] generalized so
+// both ends push and pop. Two permanent sentinel nodes bracket the
+// elements (left.next is the front, right.prev is the back), so every
+// operation is the same two link writes whether the deque is empty or
+// not — no nil special cases, and the only transaction that touches
+// *both* sentinels is one against an empty or single-element deque.
+// Under load the two ends are therefore independent hot spots: front
+// pushers conflict with front pushers and poppers, back with back,
+// and a contention manager sees two queue-like convoys instead of one.
+//
+// Each end also keeps a net-push counter (pushes minus pops at that
+// end, so either may go negative). Their sum is the length, giving
+// Len a two-variable consistent read that does not walk the chain —
+// and, because front operations write only the front counter and back
+// operations only the back one, counting does not re-couple the ends.
+type Deque[T any] struct {
+	left  *dNode[T]
+	right *dNode[T]
+	fcnt  *stm.Var[int]
+	bcnt  *stm.Var[int]
+}
+
+// NewDeque returns an empty deque.
+func NewDeque[T any]() *Deque[T] {
+	l := &dNode[T]{}
+	r := &dNode[T]{}
+	l.next = stm.NewVar(r)
+	r.prev = stm.NewVar(l)
+	return &Deque[T]{left: l, right: r, fcnt: stm.NewVar(0), bcnt: stm.NewVar(0)}
+}
+
+// PushFront inserts v at the front.
+func (d *Deque[T]) PushFront(tx *stm.Tx, v T) error {
+	f, err := stm.Read(tx, d.left.next)
+	if err != nil {
+		return err
+	}
+	node := &dNode[T]{val: v, prev: stm.NewVar(d.left), next: stm.NewVar(f)}
+	if err := stm.Write(tx, d.left.next, node); err != nil {
+		return err
+	}
+	if err := stm.Write(tx, f.prev, node); err != nil {
+		return err
+	}
+	return stm.Update(tx, d.fcnt, func(c int) int { return c + 1 })
+}
+
+// PushBack inserts v at the back.
+func (d *Deque[T]) PushBack(tx *stm.Tx, v T) error {
+	b, err := stm.Read(tx, d.right.prev)
+	if err != nil {
+		return err
+	}
+	node := &dNode[T]{val: v, prev: stm.NewVar(b), next: stm.NewVar(d.right)}
+	if err := stm.Write(tx, d.right.prev, node); err != nil {
+		return err
+	}
+	if err := stm.Write(tx, b.next, node); err != nil {
+		return err
+	}
+	return stm.Update(tx, d.bcnt, func(c int) int { return c + 1 })
+}
+
+// PopFront removes and returns the front element; ok is false (and the
+// deque unchanged) when the deque is empty.
+func (d *Deque[T]) PopFront(tx *stm.Tx) (v T, ok bool, err error) {
+	f, err := stm.Read(tx, d.left.next)
+	if err != nil {
+		return v, false, err
+	}
+	if f == d.right {
+		return v, false, nil
+	}
+	succ, err := stm.Read(tx, f.next)
+	if err != nil {
+		return v, false, err
+	}
+	if err := stm.Write(tx, d.left.next, succ); err != nil {
+		return v, false, err
+	}
+	if err := stm.Write(tx, succ.prev, d.left); err != nil {
+		return v, false, err
+	}
+	if err := stm.Update(tx, d.fcnt, func(c int) int { return c - 1 }); err != nil {
+		return v, false, err
+	}
+	return f.val, true, nil
+}
+
+// PopBack removes and returns the back element; ok is false (and the
+// deque unchanged) when the deque is empty.
+func (d *Deque[T]) PopBack(tx *stm.Tx) (v T, ok bool, err error) {
+	b, err := stm.Read(tx, d.right.prev)
+	if err != nil {
+		return v, false, err
+	}
+	if b == d.left {
+		return v, false, nil
+	}
+	pred, err := stm.Read(tx, b.prev)
+	if err != nil {
+		return v, false, err
+	}
+	if err := stm.Write(tx, d.right.prev, pred); err != nil {
+		return v, false, err
+	}
+	if err := stm.Write(tx, pred.next, d.right); err != nil {
+		return v, false, err
+	}
+	if err := stm.Update(tx, d.bcnt, func(c int) int { return c - 1 }); err != nil {
+		return v, false, err
+	}
+	return b.val, true, nil
+}
+
+// PeekFront returns the front element without removing it; ok is false
+// when the deque is empty.
+func (d *Deque[T]) PeekFront(tx *stm.Tx) (v T, ok bool, err error) {
+	f, err := stm.Read(tx, d.left.next)
+	if err != nil {
+		return v, false, err
+	}
+	if f == d.right {
+		return v, false, nil
+	}
+	return f.val, true, nil
+}
+
+// PeekBack returns the back element without removing it; ok is false
+// when the deque is empty.
+func (d *Deque[T]) PeekBack(tx *stm.Tx) (v T, ok bool, err error) {
+	b, err := stm.Read(tx, d.right.prev)
+	if err != nil {
+		return v, false, err
+	}
+	if b == d.left {
+		return v, false, nil
+	}
+	return b.val, true, nil
+}
+
+// PeekFrontN returns up to n front elements without removing them — a
+// bounded consistent prefix whose read set covers only the links
+// walked.
+func (d *Deque[T]) PeekFrontN(tx *stm.Tx, n int) ([]T, error) {
+	var out []T
+	for cur := d.left; len(out) < n; {
+		next, err := stm.Read(tx, cur.next)
+		if err != nil {
+			return nil, err
+		}
+		if next == d.right {
+			break
+		}
+		out = append(out, next.val)
+		cur = next
+	}
+	return out, nil
+}
+
+// Len returns the element count from the two end counters — a
+// consistent two-variable read, independent of deque length.
+func (d *Deque[T]) Len(tx *stm.Tx) (int, error) {
+	f, err := stm.Read(tx, d.fcnt)
+	if err != nil {
+		return 0, err
+	}
+	b, err := stm.Read(tx, d.bcnt)
+	if err != nil {
+		return 0, err
+	}
+	return f + b, nil
+}
+
+// Items returns the elements front to back — a consistent snapshot of
+// the whole deque.
+func (d *Deque[T]) Items(tx *stm.Tx) ([]T, error) {
+	var out []T
+	for cur := d.left; ; {
+		next, err := stm.Read(tx, cur.next)
+		if err != nil {
+			return nil, err
+		}
+		if next == d.right {
+			return out, nil
+		}
+		out = append(out, next.val)
+		cur = next
+	}
+}
+
+// CheckInvariants verifies the deque's structural invariants inside
+// tx: the forward walk and the backward walk visit the same nodes in
+// mirror order (every prev pointer agrees with the next pointer that
+// reached the node), and the end counters sum to the walked length.
+// It is the audit hook the harness and the kv store run.
+func (d *Deque[T]) CheckInvariants(tx *stm.Tx) error {
+	var fwd []*dNode[T]
+	for cur := d.left; ; {
+		next, err := stm.Read(tx, cur.next)
+		if err != nil {
+			return err
+		}
+		if next == d.right {
+			break
+		}
+		fwd = append(fwd, next)
+		cur = next
+	}
+	i := len(fwd)
+	for cur := d.right; ; {
+		prev, err := stm.Read(tx, cur.prev)
+		if err != nil {
+			return err
+		}
+		if prev == d.left {
+			break
+		}
+		i--
+		if i < 0 || fwd[i] != prev {
+			return fmt.Errorf("container: deque prev chain disagrees with next chain")
+		}
+		cur = prev
+	}
+	if i != 0 {
+		return fmt.Errorf("container: deque backward walk saw %d fewer nodes", i)
+	}
+	n, err := d.Len(tx)
+	if err != nil {
+		return err
+	}
+	if n != len(fwd) {
+		return fmt.Errorf("container: deque counters say %d elements, walk found %d", n, len(fwd))
+	}
+	return nil
+}

@@ -14,6 +14,11 @@
 //     tail are permanent hot spots — every producer conflicts with
 //     every producer and every consumer with every consumer, the
 //     adversarial inverse of the hash set;
+//   - Deque[T]: the Queue generalized to push and pop at both ends
+//     (two sentinels, per-node prev/next Vars, per-end net-push
+//     counters giving an O(1) Len that does not re-couple the ends) —
+//     the kv store's list kind, so LPUSH and RPUSH on one hot key
+//     commit in parallel;
 //   - OMap[K, V]: an ordered map over a transactional skip list
 //     (generalizing intset.SkipList to arbitrary ordered keys and
 //     values), whose Range runs as a consistent multi-variable read —

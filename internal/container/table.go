@@ -133,32 +133,9 @@ func (t *Table[E]) MaybeGrow(
 	}
 	grown := false
 	err := s.Atomically(func(tx *stm.Tx) error {
-		grown = false
-		old, err := t.Buckets(tx)
-		if err != nil {
-			return err
-		}
-		n, err := count(tx, old)
-		if err != nil {
-			return err
-		}
-		target := old.Len()
-		for n > target*maxLoad {
-			target *= 2
-		}
-		if target == old.Len() {
-			return nil
-		}
-		neu := Buckets[E]{vars: make([]*stm.Var[E], target)}
-		for i := range neu.vars {
-			var zero E
-			neu.vars[i] = stm.NewVar(zero)
-		}
-		if err := rehash(tx, old, neu); err != nil {
-			return err
-		}
-		grown = true
-		return stm.Write(tx, t.state, tableState[E]{buckets: neu.vars})
+		var err error
+		grown, err = t.GrowTx(tx, count, rehash)
+		return err
 	})
 	if err != nil {
 		// The signal was consumed but the resize never committed; re-arm
@@ -168,4 +145,46 @@ func (t *Table[E]) MaybeGrow(
 		return false, fmt.Errorf("container: table grow: %w", err)
 	}
 	return grown, nil
+}
+
+// GrowTx is the resize body of MaybeGrow exposed for callers already
+// inside a transaction: count exactly, double the bucket array until
+// the load factor holds, rehash, install. Per-key container tables
+// (the kv store's hashes and zset member indexes) use it directly —
+// the transaction that walked an over-long chain grows the table it
+// is about to mutate, and the grow commits or aborts with the
+// mutation, so no advisory signal or out-of-band owner is needed.
+// Reports whether a resize was installed in tx.
+func (t *Table[E]) GrowTx(
+	tx *stm.Tx,
+	count func(tx *stm.Tx, b Buckets[E]) (int, error),
+	rehash func(tx *stm.Tx, old, neu Buckets[E]) error,
+) (bool, error) {
+	old, err := t.Buckets(tx)
+	if err != nil {
+		return false, err
+	}
+	n, err := count(tx, old)
+	if err != nil {
+		return false, err
+	}
+	target := old.Len()
+	for n > target*maxLoad {
+		target *= 2
+	}
+	if target == old.Len() {
+		return false, nil
+	}
+	neu := Buckets[E]{vars: make([]*stm.Var[E], target)}
+	for i := range neu.vars {
+		var zero E
+		neu.vars[i] = stm.NewVar(zero)
+	}
+	if err := rehash(tx, old, neu); err != nil {
+		return false, err
+	}
+	if err := stm.Write(tx, t.state, tableState[E]{buckets: neu.vars}); err != nil {
+		return false, err
+	}
+	return true, nil
 }

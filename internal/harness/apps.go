@@ -73,10 +73,13 @@ func seedHalf(s *stm.STM, cfg Config, keys workload.KeyDist, rng *rand.Rand, ins
 type opDesc struct {
 	op     workload.Op
 	key    int
-	insert bool  // intset: insert vs remove
-	all    bool  // forest: update all trees
-	tree   int   // forest: target tree
-	now    int64 // kv: clock instant, sampled outside the transaction
+	insert bool    // intset: insert vs remove
+	all    bool    // forest: update all trees
+	tree   int     // forest: target tree
+	now    int64   // kv: clock instant, sampled outside the transaction
+	verb   int     // jobs: pipeline stage (submit/promote/complete/query)
+	id     string  // jobs: job id, formatted outside the transaction
+	score  float64 // jobs: priority for the promotion ZADD
 }
 
 // ContainerStructures are the structure names served by
@@ -84,9 +87,10 @@ type opDesc struct {
 var ContainerStructures = []string{"hashset", "queue", "omap"}
 
 // KVStructures are the structure names served by internal/kv: the
-// sharded string-keyed store behind cmd/stmkv, in-memory ("kv") and
-// with write-ahead logging attached ("kvwal").
-var KVStructures = []string{"kv", "kvwal"}
+// sharded string-keyed store behind cmd/stmkv, in-memory ("kv"), with
+// write-ahead logging attached ("kvwal"), and the cross-type job
+// pipeline over the container kinds ("jobs").
+var KVStructures = []string{"kv", "kvwal", "jobs"}
 
 // Structures returns every structure name the harness can run: the
 // paper's four intset applications, the container subsystem's three,
@@ -110,6 +114,8 @@ func newApp(cfg Config, keys workload.KeyDist, mix workload.OpMix) (app, error) 
 		return newKVApp(cfg, keys, mix), nil
 	case "kvwal":
 		return &kvwalApp{kvApp: newKVApp(cfg, keys, mix)}, nil
+	case "jobs":
+		return &jobsApp{keys: keys, cfg: cfg}, nil
 	default:
 		set, err := intset.NewByName(cfg.Structure)
 		if err != nil {
@@ -454,6 +460,199 @@ func (a *kvApp) after(s *stm.STM) error { return a.store.Groom() }
 func (a *kvApp) audit(s *stm.STM) error {
 	if err := a.store.CheckInvariants(); err != nil {
 		return fmt.Errorf("harness: audit kv: %w", err)
+	}
+	return nil
+}
+
+// jobsApp drives the kv store's container kinds through one shared
+// pipeline — the Figure 10 application. Every job lives in exactly
+// one of three typed keys: a pending list ("jobs:pending"), an active
+// sorted set ("jobs:active", keyed by priority), and a done marker
+// counted in a stats hash. The measured verbs are the pipeline's
+// stages, each a single transaction spanning two container kinds:
+//
+//	submit   RPUSH pending + HINCRBY stats submitted:<shard>
+//	promote  LPOP pending → ZADD active + HINCRBY stats promoted:<shard>
+//	complete ZRANGE active 0 0 → ZREM + HINCRBY stats done:<shard>
+//	query    LLEN + ZCARD + one stats field — the consistent read
+//
+// Promote and complete fall back to submit when their source is empty
+// so every committed transaction does real cross-type work; the stats
+// counters are sharded four ways (key&3) so the hash is contended but
+// not a single hot field. Conservation — every submitted job is
+// pending, active, or done — is the audit invariant.
+type jobsApp struct {
+	store *kv.Store
+	keys  workload.KeyDist
+	cfg   Config
+}
+
+const (
+	jobsPending = "jobs:pending"
+	jobsActive  = "jobs:active"
+	jobsStats   = "jobs:stats"
+	jobsShards  = 4
+)
+
+func (a *jobsApp) seed(s *stm.STM, rng *rand.Rand) error {
+	buckets := a.cfg.Buckets / kvShards
+	if buckets < 2 {
+		buckets = 2
+	}
+	a.store = kv.New(s, kv.WithShards(kvShards), kv.WithBuckets(buckets))
+	// Seed a backlog so promote and complete do real work from the
+	// first measured transaction: half the key range pending, a quarter
+	// already active.
+	now := a.store.Now()
+	for i := 0; i < a.cfg.KeyRange/2; i++ {
+		d := a.drawFor(rng, 0)
+		if err := s.Atomically(func(tx *stm.Tx) error { return a.step(tx, d) }); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < a.cfg.KeyRange/4; i++ {
+		err := s.Atomically(func(tx *stm.Tx) error {
+			job, ok, err := a.store.LPopTx(tx, now, jobsPending)
+			if err != nil || !ok {
+				return err
+			}
+			_, err = a.store.ZAddTx(tx, now, jobsActive, job, rng.Float64()*100)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *jobsApp) mixName() string { return "" }
+
+// drawFor fixes one operation with the given verb; draw samples the
+// verb from the pipeline mix: 40% submit, 30% promote, 20% complete,
+// 10% query.
+func (a *jobsApp) drawFor(rng *rand.Rand, verb int) opDesc {
+	return opDesc{
+		verb:  verb,
+		key:   a.keys.Sample(rng),
+		id:    strconv.FormatUint(rng.Uint64(), 36),
+		score: rng.Float64() * 100,
+		now:   a.store.Now(),
+	}
+}
+
+func (a *jobsApp) draw(rng *rand.Rand) opDesc {
+	verb := 0
+	switch p := rng.Float64(); {
+	case p < 0.40:
+		verb = 0 // submit
+	case p < 0.70:
+		verb = 1 // promote
+	case p < 0.90:
+		verb = 2 // complete
+	default:
+		verb = 3 // query
+	}
+	return a.drawFor(rng, verb)
+}
+
+// submit is the shared push+count step; promote and complete fall
+// back to it when their source container is empty.
+func (a *jobsApp) submit(tx *stm.Tx, d opDesc) error {
+	if _, err := a.store.RPushTx(tx, d.now, jobsPending, d.id); err != nil {
+		return err
+	}
+	_, err := a.store.HIncrTx(tx, d.now, jobsStats, "submitted:"+strconv.Itoa(d.key&(jobsShards-1)), 1)
+	return err
+}
+
+func (a *jobsApp) step(tx *stm.Tx, d opDesc) error {
+	shard := strconv.Itoa(d.key & (jobsShards - 1))
+	switch d.verb {
+	case 1: // promote: pending list → active zset, one transaction
+		job, ok, err := a.store.LPopTx(tx, d.now, jobsPending)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return a.submit(tx, d)
+		}
+		if _, err := a.store.ZAddTx(tx, d.now, jobsActive, job, d.score); err != nil {
+			return err
+		}
+		_, err = a.store.HIncrTx(tx, d.now, jobsStats, "promoted:"+shard, 1)
+		return err
+	case 2: // complete: best active job → done counter
+		entries, err := a.store.ZRangeTx(tx, d.now, jobsActive, 0, 0)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			return a.submit(tx, d)
+		}
+		if _, err := a.store.ZRemTx(tx, d.now, jobsActive, entries[0].Member); err != nil {
+			return err
+		}
+		_, err = a.store.HIncrTx(tx, d.now, jobsStats, "done:"+shard, 1)
+		return err
+	case 3: // query: consistent snapshot across all three kinds
+		if _, err := a.store.LLenTx(tx, d.now, jobsPending); err != nil {
+			return err
+		}
+		if _, err := a.store.ZCardTx(tx, d.now, jobsActive); err != nil {
+			return err
+		}
+		_, _, err := a.store.HGetTx(tx, d.now, jobsStats, "submitted:"+shard)
+		return err
+	default:
+		return a.submit(tx, d)
+	}
+}
+
+func (a *jobsApp) after(s *stm.STM) error { return a.store.Groom() }
+
+// audit checks conservation in one consistent transaction: every
+// submitted job is pending, active, or done — nothing lost, nothing
+// duplicated — then runs the store's structural invariants.
+func (a *jobsApp) audit(s *stm.STM) error {
+	now := a.store.Now()
+	err := s.Atomically(func(tx *stm.Tx) error {
+		pending, err := a.store.LLenTx(tx, now, jobsPending)
+		if err != nil {
+			return err
+		}
+		active, err := a.store.ZCardTx(tx, now, jobsActive)
+		if err != nil {
+			return err
+		}
+		stats, err := a.store.HGetAllTx(tx, now, jobsStats)
+		if err != nil {
+			return err
+		}
+		var submitted, done int64
+		for _, f := range stats {
+			n, err := strconv.ParseInt(f.V, 10, 64)
+			if err != nil {
+				return fmt.Errorf("stats field %s=%q: %w", f.K, f.V, err)
+			}
+			switch {
+			case len(f.K) > 10 && f.K[:10] == "submitted:":
+				submitted += n
+			case len(f.K) > 5 && f.K[:5] == "done:":
+				done += n
+			}
+		}
+		if submitted != int64(pending+active)+done {
+			return fmt.Errorf("conservation broken: submitted %d != pending %d + active %d + done %d",
+				submitted, pending, active, done)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("harness: audit jobs: %w", err)
+	}
+	if err := a.store.CheckInvariants(); err != nil {
+		return fmt.Errorf("harness: audit jobs: %w", err)
 	}
 	return nil
 }

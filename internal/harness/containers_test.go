@@ -120,6 +120,62 @@ func TestRunKVWALStructure(t *testing.T) {
 	}
 }
 
+// TestRunJobsStructure runs the cross-type pipeline (Figure 10's
+// workload): every measured transaction spans at least two container
+// kinds, and the audit checks job conservation — submitted == pending
+// + active + done — in one consistent snapshot plus the store's
+// structural invariants.
+func TestRunJobsStructure(t *testing.T) {
+	cfg := quickCfg("jobs", "greedy", 4)
+	cfg.Audit = true
+	point, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Commits <= 0 {
+		t.Fatalf("no commits measured: %+v", point)
+	}
+	if point.Structure != "jobs" {
+		t.Fatalf("point structure %q, want jobs", point.Structure)
+	}
+	if point.Mix != "" {
+		t.Fatalf("jobs point carries mix %q, want empty (fixed pipeline mix)", point.Mix)
+	}
+}
+
+// TestJobsFigureSweep runs Figure 10 across two managers and checks
+// labelling, with the conservation audit on at every point.
+func TestJobsFigureSweep(t *testing.T) {
+	fig, err := harness.FigureByID(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Structure != "jobs" {
+		t.Fatalf("figure 10 = %+v, want jobs", fig)
+	}
+	points, err := harness.RunFigure(fig, harness.FigureOptions{
+		Duration: 25 * time.Millisecond,
+		Warmup:   5 * time.Millisecond,
+		Threads:  []int{1, 4},
+		Managers: []string{"greedy", "karma"},
+		Audit:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("sweep produced %d points, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.Figure != 10 || p.Structure != "jobs" {
+			t.Fatalf("point mislabelled: %+v", p)
+		}
+		if p.CommitsPerSec <= 0 {
+			t.Fatalf("no throughput at %+v", p)
+		}
+	}
+}
+
 // TestKVFigureDefaultsToSkew: figure 8 runs zipf unless the caller
 // overrides, and an explicit override wins.
 func TestKVFigureDefaultsToSkew(t *testing.T) {
@@ -180,7 +236,7 @@ func TestIntsetIgnoresMixLabel(t *testing.T) {
 
 func TestStructuresListsEverything(t *testing.T) {
 	got := harness.Structures()
-	want := []string{"list", "skiplist", "rbtree", "rbforest", "hashset", "queue", "omap", "kv", "kvwal"}
+	want := []string{"list", "skiplist", "rbtree", "rbforest", "hashset", "queue", "omap", "kv", "kvwal", "jobs"}
 	if len(got) != len(want) {
 		t.Fatalf("Structures() = %v, want %v", got, want)
 	}

@@ -12,7 +12,7 @@ import (
 // plot against the thread count.
 type Figure struct {
 	// ID is the figure number: 1-4 are the paper's, 5-7 the container
-	// extensions.
+	// extensions, 8-10 the kv-store applications.
 	ID int
 	// Name is the caption.
 	Name string
@@ -118,6 +118,13 @@ var Figures = []Figure{
 		Structure: "kvwal",
 		Mix:       "mixed",
 		KeyDist:   "zipf",
+		Managers:  core.FigureManagers,
+		Threads:   DefaultThreads,
+	},
+	{
+		ID:        10,
+		Name:      "Cross-type job pipeline (list, zset and hash in one transaction)",
+		Structure: "jobs",
 		Managers:  core.FigureManagers,
 		Threads:   DefaultThreads,
 	},

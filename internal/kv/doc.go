@@ -11,12 +11,22 @@
 // (key, value, expiry), so the Var's shallow clone is a correct
 // private copy.
 //
+// Entries are typed: besides plain strings, a key may hold a hash (a
+// per-key field table), a list (container.Deque) or a sorted set (an
+// OMap score index plus a member table), with Redis semantics — a
+// command against the wrong kind fails with ErrWrongType, TTLs attach
+// to whole keys, and a container emptied of its last element deletes
+// the key. Operations inside a container touch only that container's
+// Vars, so transactions on different fields of one hash, or opposite
+// ends of one list, do not conflict.
+//
 // Every top-level operation (Get, Set, Del, Incr, MGet, MSet, Expire,
-// TTL) runs as one atomic transaction on a pooled session; the *Tx
-// forms compose into larger transactions — the server's MULTI/EXEC
-// replays a queued command block inside a single Atomically, making
-// cross-key transfers serializable against concurrent singleton
-// operations and shard resizes.
+// TTL, and the typed HSet/LPush/ZAdd… families) runs as one atomic
+// transaction on a pooled session; the *Tx forms compose into larger
+// transactions — the server's MULTI/EXEC replays a queued command
+// block inside a single Atomically, making cross-key transfers (and
+// cross-kind moves like list→zset promotion) serializable against
+// concurrent singleton operations and shard resizes.
 //
 // Expiry is lazy: a read treats a dead entry as absent without
 // writing; writes that rebuild a chain drop dead entries in passing,

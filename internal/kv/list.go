@@ -1,0 +1,198 @@
+package kv
+
+import (
+	"repro/internal/stm"
+	"repro/internal/wal"
+)
+
+// Lists are container.Deque[string] values inside entries: pushes and
+// pops touch the deque's end links and counters only, so front and
+// back traffic on the same key are independent hot spots and neither
+// rewrites the bucket chain. The WAL sees one op per element moved
+// (push = value + end flag, pop = tombstone + end flag); replay
+// re-runs the same deque operations in commit order.
+
+// LPushTx pushes vals onto the front of the list at key, left to
+// right (so the last val ends up frontmost, as in Redis), creating
+// the list if the key is absent. Returns the new length.
+func (st *Store) LPushTx(tx *stm.Tx, now int64, key string, vals ...string) (int, error) {
+	return st.pushTx(tx, now, key, true, vals)
+}
+
+// RPushTx pushes vals onto the back of the list at key; see LPushTx.
+func (st *Store) RPushTx(tx *stm.Tx, now int64, key string, vals ...string) (int, error) {
+	return st.pushTx(tx, now, key, false, vals)
+}
+
+func (st *Store) pushTx(tx *stm.Tx, now int64, key string, front bool, vals []string) (int, error) {
+	e, err := st.containerEntry(tx, now, key, kindList)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range vals {
+		if front {
+			err = e.list.PushFront(tx, v)
+		} else {
+			err = e.list.PushBack(tx, v)
+		}
+		if err != nil {
+			return 0, err
+		}
+		capture(tx, wal.Op{Kind: wal.KindList, Key: key, Val: v, Front: front})
+	}
+	return e.list.Len(tx)
+}
+
+// LPopTx pops the front element of the list at key; ok is false when
+// the key is absent. Popping the last element deletes the key.
+func (st *Store) LPopTx(tx *stm.Tx, now int64, key string) (string, bool, error) {
+	return st.popTx(tx, now, key, true)
+}
+
+// RPopTx pops the back element of the list at key; see LPopTx.
+func (st *Store) RPopTx(tx *stm.Tx, now int64, key string) (string, bool, error) {
+	return st.popTx(tx, now, key, false)
+}
+
+func (st *Store) popTx(tx *stm.Tx, now int64, key string, front bool) (string, bool, error) {
+	e, err := st.typedEntry(tx, now, key, kindList)
+	if err != nil || e == nil {
+		return "", false, err
+	}
+	var v string
+	var ok bool
+	if front {
+		v, ok, err = e.list.PopFront(tx)
+	} else {
+		v, ok, err = e.list.PopBack(tx)
+	}
+	if err != nil || !ok {
+		return "", false, err // empty lists are unrepresentable, but stay safe
+	}
+	capture(tx, wal.Op{Kind: wal.KindList, Key: key, Del: true, Front: front})
+	n, err := e.list.Len(tx)
+	if err != nil {
+		return "", false, err
+	}
+	if n == 0 {
+		if err := st.removeKeyTx(tx, now, key); err != nil {
+			return "", false, err
+		}
+	}
+	return v, true, nil
+}
+
+// LLenTx reports the length of the list at key (0 when absent) from
+// the deque's end counters — no chain walk.
+func (st *Store) LLenTx(tx *stm.Tx, now int64, key string) (int, error) {
+	e, err := st.typedEntry(tx, now, key, kindList)
+	if err != nil || e == nil {
+		return 0, err
+	}
+	return e.list.Len(tx)
+}
+
+// LRangeTx returns the elements of the list at key between ranks
+// start and stop inclusive, front = rank 0; negative ranks count from
+// the back, Redis-style. A non-negative range walks only the prefix
+// it needs.
+func (st *Store) LRangeTx(tx *stm.Tx, now int64, key string, start, stop int) ([]string, error) {
+	e, err := st.typedEntry(tx, now, key, kindList)
+	if err != nil || e == nil {
+		return nil, err
+	}
+	if start >= 0 && stop >= 0 {
+		if stop < start {
+			return nil, nil
+		}
+		items, err := e.list.PeekFrontN(tx, stop+1)
+		if err != nil || start >= len(items) {
+			return nil, err
+		}
+		return items[start:], nil
+	}
+	items, err := e.list.Items(tx)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi, ok := rangeBounds(start, stop, len(items))
+	if !ok {
+		return nil, nil
+	}
+	return items[lo : hi+1], nil
+}
+
+// rangeBounds resolves a Redis-style inclusive rank range against
+// length n (negatives count from the end); ok is false when the
+// resolved range is empty.
+func rangeBounds(start, stop, n int) (int, int, bool) {
+	if start < 0 {
+		start += n
+		if start < 0 {
+			start = 0
+		}
+	}
+	if stop < 0 {
+		stop += n
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	if start >= n || stop < 0 || start > stop {
+		return 0, 0, false
+	}
+	return start, stop, true
+}
+
+// LPush pushes vals onto the front in one atomic transaction.
+func (st *Store) LPush(key string, vals ...string) (int, error) {
+	return st.push(key, true, vals)
+}
+
+// RPush pushes vals onto the back in one atomic transaction.
+func (st *Store) RPush(key string, vals ...string) (int, error) {
+	return st.push(key, false, vals)
+}
+
+func (st *Store) push(key string, front bool, vals []string) (int, error) {
+	var n int
+	err := st.Atomically(func(tx *stm.Tx, now int64) error {
+		var err error
+		n, err = st.pushTx(tx, now, key, front, vals)
+		return err
+	})
+	return n, err
+}
+
+// LPop pops the front element in one atomic transaction.
+func (st *Store) LPop(key string) (string, bool, error) { return st.pop(key, true) }
+
+// RPop pops the back element in one atomic transaction.
+func (st *Store) RPop(key string) (string, bool, error) { return st.pop(key, false) }
+
+func (st *Store) pop(key string, front bool) (string, bool, error) {
+	var v string
+	var ok bool
+	err := st.Atomically(func(tx *stm.Tx, now int64) error {
+		var err error
+		v, ok, err = st.popTx(tx, now, key, front)
+		return err
+	})
+	return v, ok, err
+}
+
+// LLen reports the list length in one atomic transaction.
+func (st *Store) LLen(key string) (int, error) {
+	now := st.now()
+	return stm.Atomic(st.s, func(tx *stm.Tx) (int, error) {
+		return st.LLenTx(tx, now, key)
+	})
+}
+
+// LRange reads a rank range in one atomic transaction (see LRangeTx).
+func (st *Store) LRange(key string, start, stop int) ([]string, error) {
+	now := st.now()
+	return stm.Atomic(st.s, func(tx *stm.Tx) ([]string, error) {
+		return st.LRangeTx(tx, now, key, start, stop)
+	})
+}

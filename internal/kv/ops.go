@@ -36,10 +36,11 @@ func (st *Store) findEntry(tx *stm.Tx, now int64, key string) (*entry, error) {
 	return nil, nil
 }
 
-// GetTx reads key's value inside tx at instant now (see findEntry for
-// the expiry contract).
+// GetTx reads key's string value inside tx at instant now (see
+// findEntry for the expiry contract). A live key of a container kind
+// yields ErrWrongType.
 func (st *Store) GetTx(tx *stm.Tx, now int64, key string) (string, bool, error) {
-	e, err := st.findEntry(tx, now, key)
+	e, err := st.typedEntry(tx, now, key, kindString)
 	if err != nil || e == nil {
 		return "", false, err
 	}
@@ -61,11 +62,12 @@ func (st *Store) SetTx(tx *stm.Tx, now int64, key, val string, ttl time.Duration
 }
 
 // putTx writes key=val with an explicit expiry deadline (0 = none) —
-// the single chain-rebuild under Set, Incr and Expire. The rebuilt
-// chain drops entries dead at now in passing — writers reap lazily so
-// Sweep has less to do. A chain left longer than container.GrowChain
-// raises the shard's advisory resize signal (an atomic flag,
-// retry-safe; Groom acts on it).
+// the single chain-rebuild under Set and Incr. Like Redis SET, it
+// overwrites a container entry wholesale. The rebuilt chain drops
+// entries dead at now in passing — writers reap lazily so Sweep has
+// less to do. A chain left longer than container.GrowChain raises the
+// shard's advisory resize signal (an atomic flag, retry-safe; Groom
+// acts on it).
 func (st *Store) putTx(tx *stm.Tx, now int64, key, val string, expireAt int64) error {
 	head, bv, err := st.chain(tx, key)
 	if err != nil {
@@ -77,7 +79,7 @@ func (st *Store) putTx(tx *stm.Tx, now int64, key, val string, expireAt int64) e
 		if e.key == key || e.dead(now) {
 			continue
 		}
-		rebuilt = &entry{key: e.key, val: e.val, expireAt: e.expireAt, next: rebuilt}
+		rebuilt = e.with(rebuilt)
 		chain++
 	}
 	if chain > container.GrowChain {
@@ -130,7 +132,7 @@ func pruneKey(head *entry, key string, now int64) (*entry, int) {
 			dropped++
 			continue
 		}
-		live = &entry{key: e.key, val: e.val, expireAt: e.expireAt, next: live}
+		live = e.with(live)
 	}
 	return live, dropped
 }
@@ -140,7 +142,7 @@ func pruneKey(head *entry, key string, now int64) (*entry, int) {
 // new value. An existing key keeps its TTL, Redis-style; a fresh one
 // stores without expiry. A non-integer value yields ErrNotInteger.
 func (st *Store) IncrTx(tx *stm.Tx, now int64, key string, delta int64) (int64, error) {
-	e, err := st.findEntry(tx, now, key)
+	e, err := st.typedEntry(tx, now, key, kindString)
 	if err != nil {
 		return 0, err
 	}
@@ -160,18 +162,53 @@ func (st *Store) IncrTx(tx *stm.Tx, now int64, key string, delta int64) (int64, 
 	return n, nil
 }
 
-// ExpireTx arms expiry at now+ttl on a live key, reporting whether the
-// key existed. A ttl <= 0 deletes the key immediately (Redis EXPIRE
-// with a non-positive TTL).
+// ExpireTx arms expiry at now+ttl on a live key of any kind,
+// reporting whether the key existed. A ttl <= 0 deletes the key
+// immediately (Redis EXPIRE with a non-positive TTL).
 func (st *Store) ExpireTx(tx *stm.Tx, now int64, key string, ttl time.Duration) (bool, error) {
 	if ttl <= 0 {
 		return st.DelTx(tx, now, key)
 	}
-	val, ok, err := st.GetTx(tx, now, key)
+	expireAt := now + int64(ttl)
+	if expireAt < now {
+		expireAt = math.MaxInt64 // deadline past the clock's range: lives forever
+	}
+	ok, err := st.touchTx(tx, now, key, expireAt)
 	if err != nil || !ok {
 		return false, err
 	}
-	return true, st.SetTx(tx, now, key, val, ttl)
+	capture(tx, wal.Op{Key: key, Touch: true, ExpireAt: expireAt})
+	return true, nil
+}
+
+// touchTx rebuilds key's chain with the entry's expiry deadline
+// replaced — the kind-agnostic body of Expire and the replay form of
+// a touch op. It reports whether a live entry was found; it does not
+// capture (ExpireTx does).
+func (st *Store) touchTx(tx *stm.Tx, now int64, key string, expireAt int64) (bool, error) {
+	head, bv, err := st.chain(tx, key)
+	if err != nil {
+		return false, err
+	}
+	found := false
+	var rebuilt *entry
+	for e := head; e != nil; e = e.next {
+		if e.dead(now) {
+			continue
+		}
+		if e.key == key {
+			found = true
+			c := e.with(rebuilt)
+			c.expireAt = expireAt
+			rebuilt = c
+			continue
+		}
+		rebuilt = e.with(rebuilt)
+	}
+	if !found {
+		return false, nil // absent: stay read-only, no write conflict
+	}
+	return true, stm.Write(tx, bv, rebuilt)
 }
 
 // TTLTx reports key's remaining time to live at instant now: ok is
@@ -244,7 +281,8 @@ func (st *Store) Incr(key string, delta int64) (int64, error) {
 
 // MGet reads every key in one atomic transaction — a consistent
 // multi-key snapshot: vals[i], present[i] reflect keys[i] at a single
-// serialization point.
+// serialization point. Keys holding container values read as absent
+// (Redis MGET never errors on type).
 func (st *Store) MGet(keys ...string) (vals []string, present []bool, err error) {
 	now := st.now()
 	err = st.s.Atomically(func(tx *stm.Tx) error {
@@ -252,6 +290,9 @@ func (st *Store) MGet(keys ...string) (vals []string, present []bool, err error)
 		present = make([]bool, len(keys))
 		for i, key := range keys {
 			v, ok, err := st.GetTx(tx, now, key)
+			if errors.Is(err, ErrWrongType) {
+				continue
+			}
 			if err != nil {
 				return err
 			}

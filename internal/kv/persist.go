@@ -20,6 +20,7 @@ package kv
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/stm"
@@ -93,10 +94,16 @@ func (st *Store) SealLogAsync(tx *stm.Tx) {
 	tx.OnCommit(func() { st.log.AppendAsync(ops) })
 }
 
-// SnapshotOps dumps every live entry as an absolute set-op, cut in
-// one consistent transaction across all shards — the checkpoint
-// Save hands to wal.Log.Snapshot. Dead entries are excluded: a
-// snapshot is also a compaction.
+// SnapshotOps dumps every live entry as a canonical absolute op
+// sequence, cut in one consistent transaction across all shards —
+// the checkpoint Save hands to wal.Log.Snapshot. Dead entries are
+// excluded: a snapshot is also a compaction. Per kind: strings are
+// one set-op carrying the deadline; hashes emit field sets sorted by
+// name (so two stores with the same logical hash — whatever their
+// table seeds — snapshot identically); lists emit back-pushes front
+// to back; zsets emit member sets in (score, member) order; container
+// entries with a TTL append one touch op. Replay through Apply runs
+// the same typed code paths the live store did.
 func (st *Store) SnapshotOps() ([]wal.Op, error) {
 	now := st.now()
 	var out []wal.Op
@@ -116,7 +123,9 @@ func (st *Store) SnapshotOps() ([]wal.Op, error) {
 					if e.dead(now) {
 						continue
 					}
-					out = append(out, wal.Op{Key: e.key, Val: e.val, ExpireAt: e.expireAt})
+					if out, err = appendEntryOps(tx, out, e); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -124,6 +133,43 @@ func (st *Store) SnapshotOps() ([]wal.Op, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// appendEntryOps appends e's canonical op sequence to out.
+func appendEntryOps(tx *stm.Tx, out []wal.Op, e *entry) ([]wal.Op, error) {
+	switch e.kind {
+	case kindString:
+		return append(out, wal.Op{Key: e.key, Val: e.val, ExpireAt: e.expireAt}), nil
+	case kindHash:
+		pairs, err := sortedFields(tx, e.hash)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pairs {
+			out = append(out, wal.Op{Kind: wal.KindHash, Key: e.key, Field: p.K, Val: p.V})
+		}
+	case kindList:
+		items, err := e.list.Items(tx)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range items {
+			out = append(out, wal.Op{Kind: wal.KindList, Key: e.key, Val: v})
+		}
+	case kindZSet:
+		keys, err := e.zset.byScore.Keys(tx)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			score, member := zkeyDecode(k)
+			out = append(out, wal.Op{Kind: wal.KindZSet, Key: e.key, Field: member, Val: formatScore(score)})
+		}
+	}
+	if e.expireAt != 0 {
+		out = append(out, wal.Op{Key: e.key, Touch: true, ExpireAt: e.expireAt})
 	}
 	return out, nil
 }
@@ -153,13 +199,7 @@ func (st *Store) Apply(ops []wal.Op) error {
 	now := st.now()
 	err := st.s.Atomically(func(tx *stm.Tx) error {
 		for _, op := range ops {
-			if op.Del {
-				if _, err := st.DelTx(tx, now, op.Key); err != nil {
-					return err
-				}
-				continue
-			}
-			if err := st.putTx(tx, now, op.Key, op.Val, op.ExpireAt); err != nil {
+			if err := st.applyOp(tx, now, op); err != nil {
 				return err
 			}
 		}
@@ -170,6 +210,46 @@ func (st *Store) Apply(ops []wal.Op) error {
 	}
 	_ = st.Groom()
 	return nil
+}
+
+// applyOp replays one op through the same typed mutation the live
+// store ran. A kind mismatch (a hash op against a list key, say)
+// surfaces as ErrWrongType: a log the store wrote cannot contain one,
+// so hitting it means the log is lying and replay must not guess.
+func (st *Store) applyOp(tx *stm.Tx, now int64, op wal.Op) error {
+	var err error
+	switch {
+	case op.Touch:
+		_, err = st.touchTx(tx, now, op.Key, op.ExpireAt)
+	case op.Kind == wal.KindHash:
+		if op.Del {
+			_, err = st.HDelTx(tx, now, op.Key, op.Field)
+		} else {
+			_, err = st.HSetTx(tx, now, op.Key, op.Field, op.Val)
+		}
+	case op.Kind == wal.KindList:
+		if op.Del {
+			_, _, err = st.popTx(tx, now, op.Key, op.Front)
+		} else {
+			_, err = st.pushTx(tx, now, op.Key, op.Front, []string{op.Val})
+		}
+	case op.Kind == wal.KindZSet:
+		if op.Del {
+			_, err = st.ZRemTx(tx, now, op.Key, op.Field)
+		} else {
+			var score float64
+			score, err = strconv.ParseFloat(op.Val, 64)
+			if err != nil {
+				return fmt.Errorf("zset op score %q: %w", op.Val, err)
+			}
+			_, err = st.ZAddTx(tx, now, op.Key, op.Field, score)
+		}
+	case op.Del:
+		_, err = st.DelTx(tx, now, op.Key)
+	default:
+		err = st.putTx(tx, now, op.Key, op.Val, op.ExpireAt)
+	}
+	return err
 }
 
 // capturePool recycles the server path's write captures; the ops

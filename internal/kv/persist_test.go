@@ -13,8 +13,13 @@ import (
 	"repro/internal/wal"
 )
 
+// sortOps orders ops by key, stably: SnapshotOps emits each key's op
+// sequence in a canonical order (sorted hash fields, list front to
+// back, zset score order), so a stable by-key sort makes two dumps of
+// the same logical state comparable whatever their shard iteration
+// order.
 func sortOps(ops []wal.Op) []wal.Op {
-	sort.Slice(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
 	return ops
 }
 

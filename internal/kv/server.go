@@ -265,8 +265,13 @@ func (srv *Server) execBlock(queue [][]string) resp.Value {
 // reply. Only expected command-level failures reach clients; anything
 // else marks an engine bug loudly.
 func commandError(err error) resp.Value {
-	if errors.Is(err, ErrNotInteger) {
+	switch {
+	case errors.Is(err, ErrNotInteger):
 		return resp.ErrVal("ERR value is not an integer or out of range")
+	case errors.Is(err, ErrWrongType):
+		return resp.ErrVal("WRONGTYPE Operation against a key holding the wrong kind of value")
+	case errors.Is(err, ErrNotFloat):
+		return resp.ErrVal("ERR value is not a valid float")
 	}
 	return resp.ErrVal("ERR internal: " + err.Error())
 }
@@ -318,11 +323,78 @@ func checkCommand(name string, args []string) error {
 		ok = n >= 2 && n%2 == 0
 	case "DBSIZE":
 		ok = n == 0
+	case "HGET", "ZSCORE":
+		ok = n == 2
+	case "HSET":
+		// HSET key field value [field value ...]
+		ok = n >= 3 && n%2 == 1
+	case "HDEL", "LPUSH", "RPUSH", "ZREM":
+		ok = n >= 2
+	case "HGETALL", "HLEN", "LPOP", "RPOP", "LLEN", "ZCARD", "TYPE":
+		ok = n == 1
+	case "HINCRBY":
+		ok = n == 3
+		if ok {
+			if err := checkInt(args[2]); err != nil {
+				return err
+			}
+		}
+	case "LRANGE":
+		ok = n == 3
+		if ok {
+			if err := checkInt(args[1]); err != nil {
+				return err
+			}
+			if err := checkInt(args[2]); err != nil {
+				return err
+			}
+		}
+	case "ZADD":
+		// ZADD key score member [score member ...]
+		ok = n >= 3 && n%2 == 1
+		if ok {
+			for i := 1; i+1 < n; i += 2 {
+				if err := checkScore(args[i]); err != nil {
+					return err
+				}
+			}
+		}
+	case "ZRANGE":
+		ok = n == 3 || n == 4
+		if n == 4 && strings.ToUpper(args[3]) != "WITHSCORES" {
+			return fmt.Errorf("ERR syntax error")
+		}
+		if ok {
+			if err := checkInt(args[1]); err != nil {
+				return err
+			}
+			if err := checkInt(args[2]); err != nil {
+				return err
+			}
+		}
 	default:
 		return fmt.Errorf("ERR unknown command '%s'", name)
 	}
 	if !ok {
 		return fmt.Errorf("ERR wrong number of arguments for '%s' command", name)
+	}
+	return nil
+}
+
+// checkInt validates an integer argument (rank, delta) at queue time.
+func checkInt(arg string) error {
+	if _, err := strconv.ParseInt(arg, 10, 64); err != nil {
+		return fmt.Errorf("ERR value is not an integer or out of range")
+	}
+	return nil
+}
+
+// checkScore validates a ZADD score at queue time: any finite or
+// infinite float parses; NaN has no place in a total order.
+func checkScore(arg string) error {
+	s, err := strconv.ParseFloat(arg, 64)
+	if err != nil || math.IsNaN(s) {
+		return fmt.Errorf("ERR value is not a valid float")
 	}
 	return nil
 }
@@ -414,7 +486,11 @@ func runCommand(st *Store, tx *stm.Tx, now int64, name string, args []string) (r
 		elems := make([]resp.Value, len(args))
 		for i, key := range args {
 			v, ok, err := st.GetTx(tx, now, key)
-			if err != nil {
+			if errors.Is(err, ErrWrongType) {
+				// Redis MGET reports container-typed keys as nil rather
+				// than failing the whole read.
+				v, ok = "", false
+			} else if err != nil {
 				return resp.Value{}, err
 			}
 			if ok {
@@ -460,6 +536,148 @@ func runCommand(st *Store, tx *stm.Tx, now int64, name string, args []string) (r
 		default:
 			return resp.IntVal(int64((d + time.Second - 1) / time.Second)), nil
 		}
+	case "HSET":
+		created := int64(0)
+		for i := 1; i+1 < len(args); i += 2 {
+			ok, err := st.HSetTx(tx, now, args[0], args[i], args[i+1])
+			if err != nil {
+				return resp.Value{}, err
+			}
+			if ok {
+				created++
+			}
+		}
+		return resp.IntVal(created), nil
+	case "HGET":
+		v, ok, err := st.HGetTx(tx, now, args[0], args[1])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if !ok {
+			return resp.NullVal(), nil
+		}
+		return resp.BulkVal(v), nil
+	case "HDEL":
+		n, err := st.HDelTx(tx, now, args[0], args[1:]...)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		return resp.IntVal(int64(n)), nil
+	case "HGETALL":
+		pairs, err := st.HGetAllTx(tx, now, args[0])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		elems := make([]resp.Value, 0, 2*len(pairs))
+		for _, p := range pairs {
+			elems = append(elems, resp.BulkVal(p.K), resp.BulkVal(p.V))
+		}
+		return resp.ArrayVal(elems...), nil
+	case "HLEN":
+		n, err := st.HLenTx(tx, now, args[0])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		return resp.IntVal(int64(n)), nil
+	case "HINCRBY":
+		delta, _ := strconv.ParseInt(args[2], 10, 64) // validated at check time
+		n, err := st.HIncrTx(tx, now, args[0], args[1], delta)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		return resp.IntVal(n), nil
+	case "LPUSH", "RPUSH":
+		n, err := st.pushTx(tx, now, args[0], name == "LPUSH", args[1:])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		return resp.IntVal(int64(n)), nil
+	case "LPOP", "RPOP":
+		v, ok, err := st.popTx(tx, now, args[0], name == "LPOP")
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if !ok {
+			return resp.NullVal(), nil
+		}
+		return resp.BulkVal(v), nil
+	case "LLEN":
+		n, err := st.LLenTx(tx, now, args[0])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		return resp.IntVal(int64(n)), nil
+	case "LRANGE":
+		start, _ := strconv.Atoi(args[1]) // validated at check time
+		stop, _ := strconv.Atoi(args[2])
+		items, err := st.LRangeTx(tx, now, args[0], start, stop)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		elems := make([]resp.Value, len(items))
+		for i, v := range items {
+			elems[i] = resp.BulkVal(v)
+		}
+		return resp.ArrayVal(elems...), nil
+	case "ZADD":
+		added := int64(0)
+		for i := 1; i+1 < len(args); i += 2 {
+			score, _ := strconv.ParseFloat(args[i], 64) // validated at check time
+			ok, err := st.ZAddTx(tx, now, args[0], args[i+1], score)
+			if err != nil {
+				return resp.Value{}, err
+			}
+			if ok {
+				added++
+			}
+		}
+		return resp.IntVal(added), nil
+	case "ZSCORE":
+		score, ok, err := st.ZScoreTx(tx, now, args[0], args[1])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if !ok {
+			return resp.NullVal(), nil
+		}
+		return resp.BulkVal(formatScore(score)), nil
+	case "ZREM":
+		n, err := st.ZRemTx(tx, now, args[0], args[1:]...)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		return resp.IntVal(int64(n)), nil
+	case "ZCARD":
+		n, err := st.ZCardTx(tx, now, args[0])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		return resp.IntVal(int64(n)), nil
+	case "ZRANGE":
+		start, _ := strconv.Atoi(args[1]) // validated at check time
+		stop, _ := strconv.Atoi(args[2])
+		entries, err := st.ZRangeTx(tx, now, args[0], start, stop)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		withScores := len(args) == 4
+		elems := make([]resp.Value, 0, 2*len(entries))
+		for _, ze := range entries {
+			elems = append(elems, resp.BulkVal(ze.Member))
+			if withScores {
+				elems = append(elems, resp.BulkVal(formatScore(ze.Score)))
+			}
+		}
+		return resp.ArrayVal(elems...), nil
+	case "TYPE":
+		t, ok, err := st.TypeTx(tx, now, args[0])
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if !ok {
+			return resp.SimpleVal("none"), nil
+		}
+		return resp.SimpleVal(t), nil
 	case "DBSIZE":
 		// Whole-store consistent count: every shard's every bucket joins
 		// the read set (the long scan the paper's auditor scenario

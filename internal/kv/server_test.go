@@ -263,6 +263,181 @@ func TestServerProtocol(t *testing.T) {
 	}
 }
 
+// TestServerTypedCommands drives the container command surface over
+// real TCP: hash, list and zset verbs, TYPE, WRONGTYPE and arity
+// error replies, WITHSCORES, and a MULTI/EXEC block spanning all
+// three container kinds plus the all-or-nothing abort on a typed
+// error.
+func TestServerTypedCommands(t *testing.T) {
+	var clk fakeClock
+	st := New(stm.New(), WithClock(clk.now))
+	addr, stop := startServer(t, st)
+	defer stop()
+	c := dialClient(t, addr)
+	defer c.close()
+
+	// Hashes.
+	if v := c.mustDo(t, "HSET", "h", "f1", "a", "f2", "b"); v.Int != 2 {
+		t.Fatalf("HSET = %+v", v)
+	}
+	if v := c.mustDo(t, "HSET", "h", "f1", "c"); v.Int != 0 {
+		t.Fatalf("HSET overwrite = %+v", v)
+	}
+	if v := c.mustDo(t, "HGET", "h", "f1"); v.Str != "c" {
+		t.Fatalf("HGET = %+v", v)
+	}
+	if v := c.mustDo(t, "HGET", "h", "nope"); !v.Null {
+		t.Fatalf("HGET absent = %+v", v)
+	}
+	if v := c.mustDo(t, "HLEN", "h"); v.Int != 2 {
+		t.Fatalf("HLEN = %+v", v)
+	}
+	v := c.mustDo(t, "HGETALL", "h")
+	if len(v.Elems) != 4 {
+		t.Fatalf("HGETALL = %+v", v)
+	}
+	got := map[string]string{v.Elems[0].Str: v.Elems[1].Str, v.Elems[2].Str: v.Elems[3].Str}
+	if got["f1"] != "c" || got["f2"] != "b" {
+		t.Fatalf("HGETALL pairs = %v", got)
+	}
+	if v := c.mustDo(t, "HINCRBY", "h", "ctr", "7"); v.Int != 7 {
+		t.Fatalf("HINCRBY = %+v", v)
+	}
+	if v := c.mustDo(t, "HDEL", "h", "f1", "ghost"); v.Int != 1 {
+		t.Fatalf("HDEL = %+v", v)
+	}
+	if v, _ := c.do("HSET", "h", "odd"); !v.IsError() {
+		t.Fatalf("HSET bad arity = %+v", v)
+	}
+
+	// Lists.
+	if v := c.mustDo(t, "RPUSH", "l", "a", "b"); v.Int != 2 {
+		t.Fatalf("RPUSH = %+v", v)
+	}
+	if v := c.mustDo(t, "LPUSH", "l", "z"); v.Int != 3 {
+		t.Fatalf("LPUSH = %+v", v)
+	}
+	v = c.mustDo(t, "LRANGE", "l", "0", "-1")
+	if len(v.Elems) != 3 || v.Elems[0].Str != "z" || v.Elems[2].Str != "b" {
+		t.Fatalf("LRANGE = %+v", v)
+	}
+	if v := c.mustDo(t, "LPOP", "l"); v.Str != "z" {
+		t.Fatalf("LPOP = %+v", v)
+	}
+	if v := c.mustDo(t, "RPOP", "l"); v.Str != "b" {
+		t.Fatalf("RPOP = %+v", v)
+	}
+	if v := c.mustDo(t, "LLEN", "l"); v.Int != 1 {
+		t.Fatalf("LLEN = %+v", v)
+	}
+	if v := c.mustDo(t, "LPOP", "ghostlist"); !v.Null {
+		t.Fatalf("LPOP missing = %+v", v)
+	}
+
+	// Sorted sets.
+	if v := c.mustDo(t, "ZADD", "zs", "2", "b", "1", "a", "3", "c"); v.Int != 3 {
+		t.Fatalf("ZADD = %+v", v)
+	}
+	if v := c.mustDo(t, "ZADD", "zs", "0.5", "c"); v.Int != 0 { // relocate
+		t.Fatalf("ZADD relocate = %+v", v)
+	}
+	if v := c.mustDo(t, "ZSCORE", "zs", "b"); v.Str != "2" {
+		t.Fatalf("ZSCORE = %+v", v)
+	}
+	if v := c.mustDo(t, "ZSCORE", "zs", "ghost"); !v.Null {
+		t.Fatalf("ZSCORE missing = %+v", v)
+	}
+	v = c.mustDo(t, "ZRANGE", "zs", "0", "-1")
+	if len(v.Elems) != 3 || v.Elems[0].Str != "c" || v.Elems[1].Str != "a" || v.Elems[2].Str != "b" {
+		t.Fatalf("ZRANGE = %+v", v)
+	}
+	v = c.mustDo(t, "ZRANGE", "zs", "0", "1", "WITHSCORES")
+	if len(v.Elems) != 4 || v.Elems[0].Str != "c" || v.Elems[1].Str != "0.5" || v.Elems[2].Str != "a" || v.Elems[3].Str != "1" {
+		t.Fatalf("ZRANGE WITHSCORES = %+v", v)
+	}
+	if v, _ := c.do("ZRANGE", "zs", "0", "1", "NOSUCH"); !v.IsError() {
+		t.Fatalf("ZRANGE bad option = %+v", v)
+	}
+	if v, _ := c.do("ZADD", "zs", "nan", "m"); !v.IsError() || !strings.Contains(v.Str, "not a valid float") {
+		t.Fatalf("ZADD nan = %+v", v)
+	}
+	if v := c.mustDo(t, "ZCARD", "zs"); v.Int != 3 {
+		t.Fatalf("ZCARD = %+v", v)
+	}
+	if v := c.mustDo(t, "ZREM", "zs", "a", "ghost"); v.Int != 1 {
+		t.Fatalf("ZREM = %+v", v)
+	}
+
+	// TYPE names every kind; WRONGTYPE crosses them.
+	c.mustDo(t, "SET", "str", "v")
+	for key, want := range map[string]string{"str": "string", "h": "hash", "l": "list", "zs": "zset"} {
+		if v := c.mustDo(t, "TYPE", key); v.Kind != '+' || v.Str != want {
+			t.Fatalf("TYPE %s = %+v, want %s", key, v, want)
+		}
+	}
+	if v := c.mustDo(t, "TYPE", "ghost"); v.Str != "none" {
+		t.Fatalf("TYPE missing = %+v", v)
+	}
+	for _, cmd := range [][]string{
+		{"GET", "h"},
+		{"INCR", "l"},
+		{"HGET", "l", "f"},
+		{"LPUSH", "zs", "x"},
+		{"ZADD", "str", "1", "m"},
+		{"RPOP", "h"},
+	} {
+		if v, _ := c.do(cmd...); !v.IsError() || !strings.HasPrefix(v.Str, "WRONGTYPE") {
+			t.Fatalf("%v = %+v, want WRONGTYPE", cmd, v)
+		}
+	}
+	// MGET reads container keys as null, never as an error.
+	v = c.mustDo(t, "MGET", "str", "h", "l")
+	if v.Elems[0].Str != "v" || !v.Elems[1].Null || !v.Elems[2].Null {
+		t.Fatalf("MGET over containers = %+v", v)
+	}
+
+	// EXPIRE applies to a whole container.
+	if v := c.mustDo(t, "EXPIRE", "h", "1"); v.Int != 1 {
+		t.Fatalf("EXPIRE hash = %+v", v)
+	}
+	clk.advance(2 * time.Second)
+	if v := c.mustDo(t, "HLEN", "h"); v.Int != 0 {
+		t.Fatalf("HLEN after expiry = %+v", v)
+	}
+	if v := c.mustDo(t, "TYPE", "h"); v.Str != "none" {
+		t.Fatalf("TYPE after expiry = %+v", v)
+	}
+
+	// One MULTI/EXEC block spanning all three container kinds: promote
+	// a job from a list into a zset and bump a hash counter atomically.
+	c.mustDo(t, "RPUSH", "jobs", "j1")
+	for _, cmd := range [][]string{
+		{"MULTI"}, {"LPOP", "jobs"}, {"ZADD", "active", "5", "j1"}, {"HINCRBY", "stats", "promoted", "1"},
+	} {
+		c.mustDo(t, cmd...)
+	}
+	v = c.mustDo(t, "EXEC")
+	if len(v.Elems) != 3 || v.Elems[0].Str != "j1" || v.Elems[1].Int != 1 || v.Elems[2].Int != 1 {
+		t.Fatalf("typed EXEC = %+v", v)
+	}
+	if v := c.mustDo(t, "TYPE", "jobs"); v.Str != "none" { // drained → auto-deleted
+		t.Fatalf("TYPE drained list = %+v", v)
+	}
+	// All-or-nothing: a WRONGTYPE mid-block aborts every queued write.
+	c.mustDo(t, "MULTI")
+	c.mustDo(t, "RPUSH", "newlist", "x")
+	c.mustDo(t, "HSET", "active", "f", "v") // active is a zset
+	if v, _ := c.do("EXEC"); !v.IsError() || !strings.Contains(v.Str, "EXECABORT") {
+		t.Fatalf("EXEC with WRONGTYPE = %+v", v)
+	}
+	if v := c.mustDo(t, "TYPE", "newlist"); v.Str != "none" {
+		t.Fatalf("aborted EXEC leaked a container write: %+v", v)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServerGarbageDoesNotKill sends protocol garbage and asserts the
 // server survives it: the offending connection gets an error reply (or
 // a close), and a fresh connection still works.

@@ -13,14 +13,30 @@ import (
 // entry is one key's record in a bucket chain. Chains are immutable by
 // construction — writers rebuild the changed chain and share nothing
 // mutable — so the bucket Var's default shallow clone (of the head
-// pointer) is a correct private copy.
+// pointer) is a correct private copy. kind discriminates the value:
+// val for strings, exactly one of the container pointers otherwise
+// (see types.go). The container pointers themselves are immutable;
+// their *contents* live behind the containers' own stm.Vars, so an
+// entry shared across chain rebuilds keeps one transactional value.
 type entry struct {
-	key string
-	val string
+	key  string
+	kind kind
+	val  string
+	hash *container.Table[*field]
+	list *container.Deque[string]
+	zset *zset
 	// expireAt is the store-clock instant the entry dies, in
 	// nanoseconds; zero means no expiry.
 	expireAt int64
 	next     *entry
+}
+
+// with clones e linked to next — the one chain-rebuild helper, so no
+// rebuild site can forget a typed field.
+func (e *entry) with(next *entry) *entry {
+	c := *e
+	c.next = next
+	return &c
 }
 
 // dead reports whether the entry has expired at instant now.
@@ -269,7 +285,7 @@ func rehashFor(sh *container.Table[*entry]) func(tx *stm.Tx, old, neu container.
 			}
 			for e := head; e != nil; e = e.next {
 				j := int(maphash.String(sh.Seed(), e.key) % uint64(neu.Len()))
-				heads[j] = &entry{key: e.key, val: e.val, expireAt: e.expireAt, next: heads[j]}
+				heads[j] = e.with(heads[j])
 			}
 		}
 		for j, head := range heads {
@@ -356,7 +372,7 @@ func pruneChain(head *entry, now int64) (*entry, int) {
 	var live *entry
 	for e := head; e != nil; e = e.next {
 		if !e.dead(now) {
-			live = &entry{key: e.key, val: e.val, expireAt: e.expireAt, next: live}
+			live = e.with(live)
 		}
 	}
 	return live, dropped
@@ -364,8 +380,11 @@ func pruneChain(head *entry, now int64) (*entry, int) {
 
 // CheckInvariants verifies the store's structural invariants in one
 // consistent transaction: every entry sits in the shard and bucket its
-// key hashes to, and no key appears twice. The harness audit hook and
-// the server's smoke mode run it after their hammers.
+// key hashes to, no key appears twice, and every typed value is
+// internally consistent (hash field placement, deque link symmetry
+// and counters, zset index↔skip-list bijection) and non-empty. The
+// harness audit hook and the server's smoke mode run it after their
+// hammers.
 func (st *Store) CheckInvariants() error {
 	return st.s.Atomically(func(tx *stm.Tx) error {
 		seen := make(map[string]bool)
@@ -390,6 +409,9 @@ func (st *Store) CheckInvariants() error {
 						return fmt.Errorf("kv: key %q duplicated", e.key)
 					}
 					seen[e.key] = true
+					if err := e.checkValue(tx); err != nil {
+						return fmt.Errorf("kv: key %q: %w", e.key, err)
+					}
 				}
 			}
 		}

@@ -16,26 +16,62 @@ import (
 // A record payload is a committed write set:
 //
 //	uvarint op count, then per op:
-//	  1 flag byte (bit0 = tombstone, bit1 = has TTL deadline)
+//	  1 flag byte:
+//	    bit0    tombstone (whole key for strings; one field/member/
+//	            element for container kinds)
+//	    bit1    has TTL deadline
+//	    bit2-3  value kind (00 string, 01 hash, 10 list, 11 zset)
+//	    bit4    front (list ops: push/pop at the front, else back)
+//	    bit5    touch (whole-key expiry update, no value change)
 //	  uvarint key length, key bytes
-//	  uvarint value length, value bytes   (set ops only)
+//	  uvarint field length, field bytes   (hash field / zset member)
+//	  uvarint value length, value bytes   (set/push ops only)
 //	  uvarint expireAt (unix/store ns)    (when bit1 is set)
 //
-// The decoder trusts nothing: lengths are bounded before allocation,
-// the CRC is checked before decoding, and any violation is a bad
+// Kind 00 with no extra flags is byte-identical to the pre-typed
+// encoding, so logs written before container kinds existed replay
+// unchanged. The decoder trusts nothing: lengths are bounded before
+// allocation, the CRC is checked before decoding, flag combinations
+// outside the table below are rejected, and any violation is a bad
 // frame — recovery truncates the log at the first one. Torn tails
 // (short frames, short payloads, all-zero preallocated regions) all
 // land in the bad-frame bucket by construction.
 
-// Op is one key mutation in a committed write set: an absolute value
-// (never a delta), or a tombstone.
+// Kind discriminates the value type an op mutates. The numeric values
+// are the wire encoding (flag bits 2-3) and must not be reordered.
+type Kind uint8
+
+const (
+	KindString Kind = iota
+	KindHash
+	KindList
+	KindZSet
+)
+
+// Op is one mutation in a committed write set: an absolute value or
+// container element (never a delta), a tombstone, or a whole-key
+// expiry touch.
 type Op struct {
 	// Key is the kv key (arbitrary bytes).
 	Key string
-	// Val is the value for set ops; ignored for tombstones.
+	// Val is the value for set ops (string value, hash field value,
+	// list element, zset canonical score); ignored for tombstones and
+	// touches.
 	Val string
-	// Del marks a tombstone.
+	// Field is the hash field name or zset member; empty for string
+	// and list kinds.
+	Field string
+	// Kind is the value type the op mutates.
+	Kind Kind
+	// Del marks a tombstone: the whole key for KindString, one field
+	// (Field) for KindHash/KindZSet, one popped element for KindList.
 	Del bool
+	// Front marks a list op acting on the front (LPUSH/LPOP); back
+	// otherwise.
+	Front bool
+	// Touch marks a whole-key expiry update: ExpireAt replaces the
+	// key's deadline, the value — of any kind — is untouched.
+	Touch bool
 	// ExpireAt is the absolute store-clock expiry deadline in
 	// nanoseconds; zero means no TTL.
 	ExpireAt int64
@@ -45,6 +81,10 @@ const (
 	frameHeader = 8 // u32 length + u32 crc
 	opDel       = 1 << 0
 	opTTL       = 1 << 1
+	opKindShift = 2
+	opKindMask  = 3 << opKindShift
+	opFront     = 1 << 4
+	opTouch     = 1 << 5
 
 	// MaxRecord bounds a frame payload. It is far past anything the
 	// server can produce (resp bounds a command frame at 8 MiB) while
@@ -67,17 +107,27 @@ var ErrRecordTooLarge = errors.New("wal: record exceeds MaxRecord")
 func appendRecord(dst []byte, ops []Op) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(ops)))
 	for _, op := range ops {
-		var flags byte
+		flags := byte(op.Kind) << opKindShift
 		if op.Del {
 			flags |= opDel
 		}
 		if op.ExpireAt != 0 {
 			flags |= opTTL
 		}
+		if op.Front {
+			flags |= opFront
+		}
+		if op.Touch {
+			flags |= opTouch
+		}
 		dst = append(dst, flags)
 		dst = binary.AppendUvarint(dst, uint64(len(op.Key)))
 		dst = append(dst, op.Key...)
-		if !op.Del {
+		if op.Kind == KindHash || op.Kind == KindZSet {
+			dst = binary.AppendUvarint(dst, uint64(len(op.Field)))
+			dst = append(dst, op.Field...)
+		}
+		if !op.Del && !op.Touch {
 			dst = binary.AppendUvarint(dst, uint64(len(op.Val)))
 			dst = append(dst, op.Val...)
 		}
@@ -125,17 +175,39 @@ func decodeRecord(payload []byte) ([]Op, error) {
 			return nil, fmt.Errorf("%w: truncated op", errBadFrame)
 		}
 		flags := payload[0]
-		if flags&^(opDel|opTTL) != 0 {
+		if flags&^(opDel|opTTL|opKindMask|opFront|opTouch) != 0 {
 			return nil, fmt.Errorf("%w: unknown op flags %#x", errBadFrame, flags)
 		}
 		payload = payload[1:]
 		var op Op
 		op.Del = flags&opDel != 0
+		op.Kind = Kind(flags&opKindMask) >> opKindShift
+		op.Front = flags&opFront != 0
+		op.Touch = flags&opTouch != 0
+		// Reject flag combinations the encoder cannot produce: touch is
+		// a bare expiry update (kind bits clear, no tombstone, no front,
+		// deadline required); front is meaningful only on list ops; a
+		// TTL deadline rides only on string sets and touches — container
+		// mutations never carry one (TTL is per key, set via touch).
+		if op.Touch && (op.Del || op.Front || op.Kind != KindString || flags&opTTL == 0) {
+			return nil, fmt.Errorf("%w: bad touch op flags %#x", errBadFrame, flags)
+		}
+		if op.Front && op.Kind != KindList {
+			return nil, fmt.Errorf("%w: front flag on kind %d", errBadFrame, op.Kind)
+		}
+		if flags&opTTL != 0 && op.Kind != KindString {
+			return nil, fmt.Errorf("%w: TTL deadline on kind %d", errBadFrame, op.Kind)
+		}
 		var err error
 		if op.Key, err = readBytes(); err != nil {
 			return nil, err
 		}
-		if !op.Del {
+		if op.Kind == KindHash || op.Kind == KindZSet {
+			if op.Field, err = readBytes(); err != nil {
+				return nil, err
+			}
+		}
+		if !op.Del && !op.Touch {
 			if op.Val, err = readBytes(); err != nil {
 				return nil, err
 			}

@@ -93,6 +93,93 @@ func TestDecodeTruncationTable(t *testing.T) {
 	}
 }
 
+// TestDecodeTypedRoundTrip covers every container-kind op shape the
+// store can log: hash set/del, list push/pop at both ends, zset
+// set/del, whole-key touches, mixed with pre-typed string ops in one
+// record.
+func TestDecodeTypedRoundTrip(t *testing.T) {
+	recs := [][]Op{
+		{
+			{Kind: KindHash, Key: "h", Field: "f", Val: "v"},
+			{Kind: KindHash, Key: "h", Field: "gone", Del: true},
+			{Kind: KindHash, Key: "h", Field: "", Val: ""}, // empty field and value are legal
+		},
+		{
+			{Kind: KindList, Key: "l", Val: "back"},
+			{Kind: KindList, Key: "l", Val: "front", Front: true},
+			{Kind: KindList, Key: "l", Del: true, Front: true},
+			{Kind: KindList, Key: "l", Del: true},
+		},
+		{
+			{Kind: KindZSet, Key: "z", Field: "m", Val: "1.5"},
+			{Kind: KindZSet, Key: "z", Field: "m", Del: true},
+		},
+		{
+			{Key: "s", Val: "x", ExpireAt: 42},
+			{Key: "any-kind", Touch: true, ExpireAt: 7},
+			{Key: "plain", Val: "y"},
+		},
+	}
+	data := encodeFrames(recs)
+	got, good, err := DecodeAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good != int64(len(data)) {
+		t.Fatalf("good prefix %d, want %d", good, len(data))
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("decoded %+v, want %+v", got, recs)
+	}
+}
+
+// TestDecodeRejectsIllegalFlagCombos pins the strict decoder: flag
+// combinations the encoder cannot produce are bad frames, truncating
+// recovery before them, even when the frame's CRC is intact.
+func TestDecodeRejectsIllegalFlagCombos(t *testing.T) {
+	// Hand-build a payload: op count 1, then the raw flag byte and a
+	// minimal body (empty key, and whatever sections the flags demand).
+	frame := func(flags byte, body ...byte) []byte {
+		payload := append([]byte{1, flags}, body...)
+		return appendFrame(nil, payload)
+	}
+	const (
+		del   = 1 << 0
+		ttl   = 1 << 1
+		hash  = 1 << 2
+		list  = 2 << 2
+		zset  = 3 << 2
+		front = 1 << 4
+		touch = 1 << 5
+	)
+	cases := map[string][]byte{
+		// key=0 len, expiry uvarint 1
+		"touch-without-ttl":  frame(touch, 0),
+		"touch-with-del":     frame(touch|ttl|del, 0, 1),
+		"touch-with-front":   frame(touch|ttl|front, 0, 1),
+		"touch-on-hash":      frame(touch|ttl|hash, 0, 0, 1),
+		"front-on-hash":      frame(hash|front, 0, 0, 0),
+		"front-on-zset":      frame(zset|front, 0, 0, 0),
+		"front-on-string":    frame(front, 0, 0),
+		"ttl-on-hash":        frame(ttl|hash, 0, 0, 0, 1),
+		"ttl-on-list":        frame(ttl|list, 0, 0, 1),
+		"ttl-on-zset":        frame(ttl|zset, 0, 0, 0, 1),
+		"ttl-zero-deadline":  frame(ttl, 0, 0, 0),
+		"reserved-high-bits": frame(1<<6, 0, 0),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			recs, good, err := DecodeAll(data)
+			if err == nil {
+				t.Fatalf("decoded illegal frame: %+v", recs)
+			}
+			if good != 0 || len(recs) != 0 {
+				t.Fatalf("illegal frame accepted into good prefix: good=%d recs=%+v", good, recs)
+			}
+		})
+	}
+}
+
 func TestDecodeEmptyAndGarbage(t *testing.T) {
 	if recs, good, err := DecodeAll(nil); err != nil || good != 0 || len(recs) != 0 {
 		t.Fatalf("empty input: %v %d %v", recs, good, err)
@@ -115,6 +202,12 @@ func FuzzWALDecode(f *testing.F) {
 		{{Key: "gone", Del: true}, {Key: "", Val: ""}},
 	}))
 	f.Add(encodeFrames([][]Op{{{Key: string([]byte{0, 255}), Val: "\r\n"}}}))
+	f.Add(encodeFrames([][]Op{
+		{{Kind: KindHash, Key: "h", Field: "f", Val: "v"}},
+		{{Kind: KindList, Key: "l", Val: "e", Front: true}, {Kind: KindList, Key: "l", Del: true}},
+		{{Kind: KindZSet, Key: "z", Field: "m", Val: "-1.25"}, {Kind: KindZSet, Key: "z", Field: "m", Del: true}},
+	}))
+	f.Add(encodeFrames([][]Op{{{Key: "k", Touch: true, ExpireAt: 99}}}))
 	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0})
 	f.Add(make([]byte, 32))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -38,25 +38,30 @@ wait_ready() {
 
 go build -o "$BIN" ./cmd/stmkv
 
-echo "== phase 1: seed a durable server, plant TTL probes, snapshot =="
+echo "== phase 1: seed a durable server, plant TTL + typed probes, snapshot =="
 "$BIN" -addr "$ADDR" -data "$DATA" -walwindow 2ms &
 SERVER_PID=$!
 wait_ready
-"$BIN" -loadgen -addr "$ADDR" -clients 8 -ops 500
-# Plant probes and cut a snapshot so the restart exercises
-# snapshot-load + log-replay, not just replay.
+"$BIN" -loadgen -addr "$ADDR" -clients 8 -ops 500 -typed
+# Plant probes (TTL pair plus one key per container kind) and cut a
+# snapshot so the restart exercises snapshot-load + log-replay, not
+# just replay.
 "$BIN" -audit set -save -addr "$ADDR"
 kill -9 "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=
 
 echo "== phase 2: restart, then kill -9 mid-loadgen =="
-"$BIN" -addr "$ADDR" -data "$DATA" -walwindow 2ms &
+# Scheduled snapshots every 400 logged records: the crash lands with
+# the log mid-truncation cycle, so recovery proves snapshot + suffix
+# replay under typed traffic, not just a cold log.
+"$BIN" -addr "$ADDR" -data "$DATA" -walwindow 2ms -bgsave-every 400ops &
 SERVER_PID=$!
 wait_ready
-# A deliberately oversized run with binary-hostile keys: the server
-# dies long before it finishes, mid-traffic.
-"$BIN" -loadgen -addr "$ADDR" -clients 8 -ops 1000000 -binkeys &
+# A deliberately oversized run with binary-hostile keys and typed
+# containers in the mix: the server dies long before it finishes,
+# mid-traffic.
+"$BIN" -loadgen -addr "$ADDR" -clients 8 -ops 1000000 -binkeys -typed &
 LOADGEN_PID=$!
 sleep 3
 kill -9 "$SERVER_PID"
