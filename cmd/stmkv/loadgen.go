@@ -5,10 +5,12 @@ import (
 	"math/rand/v2"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/resp"
 	"repro/internal/workload"
 )
@@ -75,6 +77,54 @@ type counters struct {
 	hincrs, pushes, pops, zadds                        atomic.Int64
 }
 
+// opLats is one client's client-side latency record: wall time from
+// the first byte of the request to the last byte of the reply, one
+// histogram per op kind. Each client owns its own (histograms are not
+// concurrency-safe); runLoadgen merges them after the run. A transfer
+// times the whole MULTI..EXEC conversation — that is the unit a
+// caller waits for.
+type opLats struct {
+	get, set, incr, del, mget, expire, transfer, typed metrics.Histogram
+}
+
+// merge folds another client's record into this one.
+func (l *opLats) merge(o *opLats) {
+	l.get.Merge(&o.get)
+	l.set.Merge(&o.set)
+	l.incr.Merge(&o.incr)
+	l.del.Merge(&o.del)
+	l.mget.Merge(&o.mget)
+	l.expire.Merge(&o.expire)
+	l.transfer.Merge(&o.transfer)
+	l.typed.Merge(&o.typed)
+}
+
+// report renders one "lat <kind> p50/p95/p99" line per op kind that
+// ran. Quantiles are log2-bucket estimates (factor of two), which is
+// exactly the resolution a closed-loop generator can honestly claim.
+func (l *opLats) report() string {
+	var b strings.Builder
+	for _, e := range []struct {
+		name string
+		h    *metrics.Histogram
+	}{
+		{"get", &l.get}, {"set", &l.set}, {"incr", &l.incr}, {"del", &l.del},
+		{"mget", &l.mget}, {"expire", &l.expire}, {"transfer", &l.transfer},
+		{"typed", &l.typed},
+	} {
+		if e.h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  lat %-8s p50=%-10v p95=%-10v p99=%-10v (n=%d)",
+			e.name,
+			e.h.Quantile(0.50).Round(time.Microsecond),
+			e.h.Quantile(0.95).Round(time.Microsecond),
+			e.h.Quantile(0.99).Round(time.Microsecond),
+			e.h.Count())
+	}
+	return b.String()
+}
+
 // runLoadgen drives addr with cfg.clients closed-loop connections and
 // verifies two invariants on the way out: every transfer account
 // survives with the account total conserved (the MULTI/EXEC atomicity
@@ -135,12 +185,13 @@ func runLoadgen(addr string, cfg loadConfig) (string, error) {
 	var cnt counters
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.clients)
+	lats := make([]opLats, cfg.clients)
 	start := time.Now()
 	for g := 0; g < cfg.clients; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			errs[g] = driveClient(addr, g, cfg, dist, keys, accounts, &cnt)
+			errs[g] = driveClient(addr, g, cfg, dist, keys, accounts, &cnt, &lats[g])
 		}(g)
 	}
 	wg.Wait()
@@ -149,6 +200,10 @@ func runLoadgen(addr string, cfg loadConfig) (string, error) {
 		if err != nil {
 			return "", err
 		}
+	}
+	var lat opLats
+	for g := range lats {
+		lat.merge(&lats[g])
 	}
 
 	// Conservation audit: one consistent MGET across the accounts.
@@ -187,11 +242,12 @@ func runLoadgen(addr string, cfg loadConfig) (string, error) {
 	total := int64(cfg.clients) * int64(cfg.ops)
 	return fmt.Sprintf(
 		"loadgen: %d ops over %d clients in %v (%.0f ops/sec; keys=%s)\n"+
-			"  gets=%d sets=%d incrs=%d dels=%d mgets=%d expires=%d transfers=%d — accounts conserved%s",
+			"  gets=%d sets=%d incrs=%d dels=%d mgets=%d expires=%d transfers=%d — accounts conserved%s%s",
 		total, cfg.clients, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds(), dist.Name(),
 		cnt.gets.Load(), cnt.sets.Load(), cnt.incrs.Load(), cnt.dels.Load(),
-		cnt.mgets.Load(), cnt.expires.Load(), cnt.transfers.Load(), typedNote), nil
+		cnt.mgets.Load(), cnt.expires.Load(), cnt.transfers.Load(), typedNote,
+		lat.report()), nil
 }
 
 // typedStatsKey is the shared hash the typed workload's HINCRBY
@@ -234,8 +290,8 @@ func binKey(i int) string {
 
 // driveClient is one connection's closed loop: a transfer with
 // probability cfg.transfer, otherwise a weighted singleton command on
-// a distribution-drawn key.
-func driveClient(addr string, g int, cfg loadConfig, dist workload.KeyDist, keys, accounts []string, cnt *counters) error {
+// a distribution-drawn key. Every op's round-trip lands in lat.
+func driveClient(addr string, g int, cfg loadConfig, dist workload.KeyDist, keys, accounts []string, cnt *counters, lat *opLats) error {
 	c, err := dial(addr)
 	if err != nil {
 		return err
@@ -253,34 +309,42 @@ func driveClient(addr string, g int, cfg loadConfig, dist workload.KeyDist, keys
 	}
 	for i := 0; i < cfg.ops; i++ {
 		if rng.Float64() < cfg.transfer {
+			t0 := time.Now()
 			if err := doTransfer(c, rng, accounts); err != nil {
 				return err
 			}
+			lat.transfer.Observe(time.Since(t0))
 			cnt.transfers.Add(1)
 			continue
 		}
 		if cfg.typed && rng.Float64() < 0.4 {
+			t0 := time.Now()
 			if err := typed.step(c, rng, cfg, cnt); err != nil {
 				return err
 			}
+			lat.typed.Observe(time.Since(t0))
 			continue
 		}
 		key := keys[dist.Sample(rng)]
+		t0 := time.Now()
 		switch rng.Int64N(10) {
 		case 0, 1, 2: // 30% SET
 			if _, err := c.must("SET", key, strconv.Itoa(i)); err != nil {
 				return err
 			}
+			lat.set.Observe(time.Since(t0))
 			cnt.sets.Add(1)
 		case 3: // 10% INCR on a dedicated integer namespace
 			if _, err := c.must("INCR", "ctr:"+key); err != nil {
 				return err
 			}
+			lat.incr.Observe(time.Since(t0))
 			cnt.incrs.Add(1)
 		case 4: // 10% DEL
 			if _, err := c.must("DEL", key); err != nil {
 				return err
 			}
+			lat.del.Observe(time.Since(t0))
 			cnt.dels.Add(1)
 		case 5: // 10% MGET of a small neighbourhood
 			k2 := keys[dist.Sample(rng)]
@@ -288,16 +352,19 @@ func driveClient(addr string, g int, cfg loadConfig, dist workload.KeyDist, keys
 			if _, err := c.must("MGET", key, k2, k3); err != nil {
 				return err
 			}
+			lat.mget.Observe(time.Since(t0))
 			cnt.mgets.Add(1)
 		case 6: // 10% short-TTL SET (exercises expiry under load)
 			if _, err := c.must("SET", "tmp:"+key, "x", "PX", "5"); err != nil {
 				return err
 			}
+			lat.expire.Observe(time.Since(t0))
 			cnt.expires.Add(1)
 		default: // 30% GET
 			if _, err := c.must("GET", key); err != nil {
 				return err
 			}
+			lat.get.Observe(time.Since(t0))
 			cnt.gets.Add(1)
 		}
 	}

@@ -23,8 +23,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -36,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kv"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/wal"
 )
@@ -47,6 +50,7 @@ func main() {
 		shards  = flag.Int("shards", 16, "store shard count (rounded up to a power of two)")
 		buckets = flag.Int("buckets", 8, "initial buckets per shard (shards grow on demand)")
 
+		metrics   = flag.String("metrics", "", "observability HTTP listener serving /metrics, /healthz and /debug/pprof (empty disables)")
 		data      = flag.String("data", "", "durability directory: recover on boot, then write-ahead log every commit (empty = memory only)")
 		walWindow = flag.Duration("walwindow", 500*time.Microsecond, "group-commit linger window (negative disables lingering)")
 		sweep     = flag.Duration("sweep", 500*time.Millisecond, "background TTL sweep cadence for a full pass over all shards (0 disables)")
@@ -105,7 +109,7 @@ func main() {
 			fatal(err)
 		}
 	default:
-		if err := serve(*addr, *manager, *shards, *buckets, *data, *walWindow, *sweep, *bgsave); err != nil {
+		if err := serve(*addr, *metrics, *manager, *shards, *buckets, *data, *walWindow, *sweep, *bgsave); err != nil {
 			fatal(err)
 		}
 	}
@@ -150,8 +154,10 @@ func openStore(manager string, shards, buckets int, data string, window time.Dur
 // tick, with the tick jittered around cadence/shards so a full pass
 // takes roughly cadence without phase-locking against client traffic.
 // Sweeps run through Store.SweepShard, so reaped keys are tombstoned
-// in the WAL and replay agrees with the reap.
-func startSweeper(store *kv.Store, cadence time.Duration, seed uint64) (stop func()) {
+// in the WAL and replay agrees with the reap. Failures and reaped-key
+// counts feed the server's registry (INFO stats, /metrics) as well as
+// stderr.
+func startSweeper(srv *kv.Server, store *kv.Store, cadence time.Duration, seed uint64) (stop func()) {
 	if cadence <= 0 {
 		return func() {}
 	}
@@ -174,8 +180,11 @@ func startSweeper(store *kv.Store, cadence time.Duration, seed uint64) (stop fun
 				return
 			case <-timer.C:
 			}
-			if _, err := store.SweepShard(shard); err != nil {
+			if reaped, err := store.SweepShard(shard); err != nil {
+				srv.NoteSweepFailure()
 				fmt.Fprintf(os.Stderr, "stmkv: sweep shard %d: %v\n", shard, err)
+			} else if reaped > 0 {
+				srv.NoteSweepReaped(reaped)
 			}
 			shard = (shard + 1) % store.Shards()
 			timer.Reset(time.Duration(float64(per) * (0.75 + 0.5*rng.Float64())))
@@ -190,10 +199,11 @@ func startSweeper(store *kv.Store, cadence time.Duration, seed uint64) (stop fun
 // the log since the last cut, polled coarsely). Each trigger runs
 // Store.Save — the same rotate → cut → rename → reap path as an
 // explicit BGSAVE — so the log is continuously truncated and a
-// restart replays a bounded suffix. Failures are logged and the
-// schedule keeps running: a snapshot that loses a race with traffic
-// just tries again next period.
-func startBgsave(store *kv.Store, spec string) (stop func(), err error) {
+// restart replays a bounded suffix. Failures are counted in the
+// server's registry and logged, and the schedule keeps running: a
+// snapshot that loses a race with traffic just tries again next
+// period.
+func startBgsave(srv *kv.Server, store *kv.Store, spec string) (stop func(), err error) {
 	if spec == "" {
 		return func() {}, nil
 	}
@@ -245,6 +255,7 @@ func startBgsave(store *kv.Store, spec string) (stop func(), err error) {
 				continue
 			}
 			if err := store.Save(); err != nil {
+				srv.NoteBgsaveFailure()
 				fmt.Fprintf(os.Stderr, "stmkv: bgsave: %v\n", err)
 			}
 		}
@@ -252,16 +263,47 @@ func startBgsave(store *kv.Store, spec string) (stop func(), err error) {
 	return func() { close(done); wg.Wait() }, nil
 }
 
+// startMetrics serves the observability endpoints — Prometheus
+// /metrics, liveness /healthz, /debug/pprof — from the server's
+// registry on its own listener, so scraping and profiling never
+// contend with the RESP accept loop. Health turns red when the WAL
+// has latched a sticky error: the process answers but is no longer
+// durable, which a probe should treat as down. Empty addr disables;
+// the resolved address (useful with ":0") and a stop func are
+// returned.
+func startMetrics(addr string, srv *kv.Server, store *kv.Store) (string, func(), error) {
+	if addr == "" {
+		return "", func() {}, nil
+	}
+	health := func() error {
+		if store.Durable() {
+			return store.WAL().Err()
+		}
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	hs := &http.Server{Handler: obs.Mux(srv.Registry(), health)}
+	go hs.Serve(ln)
+	return ln.Addr().String(), func() { hs.Close() }, nil
+}
+
 // serve runs the server until SIGINT/SIGTERM, then shuts down cleanly:
 // listener and connections first, then the sweeper and the snapshot
 // schedule, then the log.
-func serve(addr, manager string, shards, buckets int, data string, window, sweep time.Duration, bgsave string) error {
+func serve(addr, metrics, manager string, shards, buckets int, data string, window, sweep time.Duration, bgsave string) error {
 	store, l, err := openStore(manager, shards, buckets, data, window)
 	if err != nil {
 		return err
 	}
-	srv := kv.NewServer(store)
-	stopSave, err := startBgsave(store, bgsave)
+	srv := kv.NewServer(store, kv.WithManagerName(manager))
+	stopSave, err := startBgsave(srv, store, bgsave)
+	if err != nil {
+		return err
+	}
+	maddr, stopMetrics, err := startMetrics(metrics, srv, store)
 	if err != nil {
 		return err
 	}
@@ -269,9 +311,9 @@ func serve(addr, manager string, shards, buckets int, data string, window, sweep
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "stmkv: serving on %s (manager=%s shards=%d buckets=%d durable=%v bgsave=%q)\n",
-		ln.Addr(), manager, store.Shards(), buckets, store.Durable(), bgsave)
-	stopSweep := startSweeper(store, sweep, 0x51eeb)
+	fmt.Fprintf(os.Stderr, "stmkv: serving on %s (manager=%s shards=%d buckets=%d durable=%v bgsave=%q metrics=%q)\n",
+		ln.Addr(), manager, store.Shards(), buckets, store.Durable(), bgsave, maddr)
+	stopSweep := startSweeper(srv, store, sweep, 0x51eeb)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
@@ -279,6 +321,7 @@ func serve(addr, manager string, shards, buckets int, data string, window, sweep
 	shutdown := func(serveErr error) error {
 		stopSweep()
 		stopSave()
+		stopMetrics()
 		if l != nil {
 			if err := l.Close(); err != nil && serveErr == nil {
 				serveErr = fmt.Errorf("wal close: %w", err)
@@ -311,17 +354,24 @@ func runSmoke(manager string, shards, buckets int, data string, window, sweep ti
 	if err != nil {
 		return err
 	}
-	srv := kv.NewServer(store)
-	stopSave, err := startBgsave(store, bgsave)
+	srv := kv.NewServer(store, kv.WithManagerName(manager))
+	stopSave, err := startBgsave(srv, store, bgsave)
 	if err != nil {
 		return err
 	}
+	stopSave = sync.OnceFunc(stopSave)
 	defer stopSave()
+	maddr, stopMetrics, err := startMetrics("127.0.0.1:0", srv, store)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	stopSweep := startSweeper(store, sweep, lcfg.seed)
+	stopSweep := sync.OnceFunc(startSweeper(srv, store, sweep, lcfg.seed))
+	defer stopSweep()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -330,6 +380,13 @@ func runSmoke(manager string, shards, buckets int, data string, window, sweep ti
 		return fmt.Errorf("smoke: loadgen: %w", err)
 	}
 	fmt.Println(report)
+
+	// The observability surface is a smoke gate too: the exposition
+	// must parse back, the storm must be visible in the command
+	// counters, and health and pprof must answer.
+	if err := smokeMetrics("http://" + maddr); err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
 
 	// The store must be structurally sound after the storm, and the
 	// expiry backstop must run clean.
@@ -349,6 +406,12 @@ func runSmoke(manager string, shards, buckets int, data string, window, sweep ti
 		n, reaped, store.BucketsPerShard(), stats.Commits, stats.AbortRate())
 
 	if l != nil {
+		// Quiesce the background writers first: a scheduled BGSAVE
+		// rotating and reaping segments — or a sweeper pass appending
+		// tombstones — while Recover scans the directory hands the
+		// comparison a torn view of the log.
+		stopSweep()
+		stopSave()
 		if err := smokeDurability(store, l, lcfg); err != nil {
 			return err
 		}
@@ -375,6 +438,55 @@ func runSmoke(manager string, shards, buckets int, data string, window, sweep ti
 			return fmt.Errorf("smoke: wal close: %w", err)
 		}
 	}
+	return nil
+}
+
+// smokeMetrics gates the observability surface under -smoke: /metrics
+// must serve a well-formed exposition that records the loadgen storm
+// (nonzero stmkv_commands_total across commands), /healthz must be
+// green, and pprof must be reachable. Runs against the in-process
+// metrics listener over a real HTTP round trip, same as a scraper.
+func smokeMetrics(base string) error {
+	get := func(path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: read %s: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("metrics: GET %s: status %d (%s)", path, resp.StatusCode, body)
+		}
+		return body, nil
+	}
+	body, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	samples, err := obs.CheckExposition(body)
+	if err != nil {
+		return fmt.Errorf("metrics: exposition malformed: %w", err)
+	}
+	var commands float64
+	for name, v := range samples {
+		if strings.HasPrefix(name, "stmkv_commands_total{") {
+			commands += v
+		}
+	}
+	if commands == 0 {
+		return fmt.Errorf("metrics: stmkv_commands_total is zero after the loadgen storm")
+	}
+	if _, err := get("/healthz"); err != nil {
+		return err
+	}
+	if _, err := get("/debug/pprof/cmdline"); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: metrics ok — %d samples parsed back, %.0f commands counted, healthz and pprof answering\n",
+		len(samples), commands)
 	return nil
 }
 
@@ -412,13 +524,8 @@ func smokeDurability(store *kv.Store, l *wal.Log, lcfg loadConfig) error {
 	}
 	sortOps(pre)
 	sortOps(post)
-	if len(pre) != len(post) {
-		return fmt.Errorf("smoke: restore mismatch: %d live entries, want %d", len(post), len(pre))
-	}
-	for i := range pre {
-		if pre[i] != post[i] {
-			return fmt.Errorf("smoke: restore mismatch at %q", pre[i].Key)
-		}
+	if diff := diffOps(pre, post); diff != "" {
+		return fmt.Errorf("smoke: restore mismatch: %s", diff)
 	}
 	sum := 0
 	for i := 0; i < lcfg.accounts; i++ {
@@ -463,6 +570,26 @@ func smokeDurability(store *kv.Store, l *wal.Log, lcfg loadConfig) error {
 // dumps of the same logical state comparable.
 func sortOps(ops []wal.Op) {
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
+}
+
+// diffOps reports the first divergence between two sorted op dumps —
+// naming the key, kind and values on both sides — or "" if they
+// match. A bare length mismatch is useless in a flake report; the
+// offending key is what lets the failure be diagnosed post-hoc.
+func diffOps(pre, post []wal.Op) string {
+	n := min(len(pre), len(post))
+	for i := 0; i < n; i++ {
+		if pre[i] != post[i] {
+			return fmt.Sprintf("at index %d: live %+v, restored %+v", i, pre[i], post[i])
+		}
+	}
+	switch {
+	case len(pre) > n:
+		return fmt.Sprintf("%d restored entries, want %d; first live-only op %+v", len(post), len(pre), pre[n])
+	case len(post) > n:
+		return fmt.Sprintf("%d restored entries, want %d; first restored-only op %+v", len(post), len(pre), post[n])
+	}
+	return ""
 }
 
 func fatal(err error) {

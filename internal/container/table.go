@@ -96,6 +96,14 @@ func (t *Table[E]) Buckets(tx *stm.Tx) (Buckets[E], error) {
 // a single-variable snapshot for reports and tests.
 func (t *Table[E]) PeekLen() int { return len(t.state.Peek().buckets) }
 
+// PeekBuckets returns the committed bucket array outside any
+// transaction. Like Var.Peek it is a single-variable snapshot: the
+// array is the one committed at some instant during the call, but
+// reading the buckets' contents afterwards observes each bucket
+// independently. For observability (key counts, chain-depth probes),
+// not for invariant-carrying reads.
+func (t *Table[E]) PeekBuckets() Buckets[E] { return Buckets[E]{vars: t.state.Peek().buckets} }
+
 // SignalGrowth raises the advisory resize flag. Safe to call from
 // inside a transaction (it is not a transactional effect and is
 // harmless on attempts that abort); the owner drains it with

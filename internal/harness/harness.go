@@ -141,10 +141,22 @@ type Point struct {
 	EnemyAborts int64
 	// AbortRate is total aborts / total attempts for the whole run.
 	AbortRate float64
+	// WaitNs and BackoffNs aggregate the run's time spent waiting on
+	// the contention manager's say-so (policy) and in engine-level
+	// backoff (mechanism) — see stm.Stats. Wait time is the quantity
+	// behind the paper's worst cases: Karma's Figure 10 collapse is
+	// threads waiting ~100 resolutions per abort.
+	WaitNs    int64
+	BackoffNs int64
 	// Latency is the distribution of per-transaction wall times
 	// (including retries — the paper's Theorem 1 is a statement about
 	// exactly this worst case).
 	Latency metrics.Histogram
+	// CommitLatency is the engine-side distribution of successful
+	// Atomically calls (first attempt through commit), merged across
+	// the run's sessions. Unlike Latency it excludes the harness's
+	// draw/after bookkeeping — the two disagreeing is itself a signal.
+	CommitLatency metrics.Histogram
 }
 
 // Run executes one benchmark configuration.
@@ -235,10 +247,13 @@ func Run(cfg Config) (Point, error) {
 		Conflicts:     total.Conflicts,
 		EnemyAborts:   total.EnemyAborts,
 		AbortRate:     total.AbortRate(),
+		WaitNs:        total.WaitNs,
+		BackoffNs:     total.BackoffNs,
 	}
 	for i := range latencies {
 		point.Latency.Merge(&latencies[i])
 	}
+	point.CommitLatency.Merge(s.CommitLatency())
 	if cfg.Audit {
 		if err := application.audit(s); err != nil {
 			return Point{}, err

@@ -26,9 +26,13 @@ type pointJSON struct {
 	Conflicts     int64   `json:"conflicts"`
 	EnemyAborts   int64   `json:"enemy_aborts"`
 	AbortRate     float64 `json:"abort_rate"`
+	WaitNs        int64   `json:"wait_ns,omitempty"`
+	BackoffNs     int64   `json:"backoff_ns,omitempty"`
 	LatP50Us      float64 `json:"lat_p50_us"`
 	LatP99Us      float64 `json:"lat_p99_us"`
 	LatMaxUs      float64 `json:"lat_max_us"`
+	CommitP50Us   float64 `json:"commit_p50_us,omitempty"`
+	CommitP99Us   float64 `json:"commit_p99_us,omitempty"`
 }
 
 // WriteJSON emits the points as an indented JSON array; each point
@@ -50,9 +54,13 @@ func WriteJSON(w io.Writer, points []Point) error {
 			Conflicts:     p.Conflicts,
 			EnemyAborts:   p.EnemyAborts,
 			AbortRate:     p.AbortRate,
+			WaitNs:        p.WaitNs,
+			BackoffNs:     p.BackoffNs,
 			LatP50Us:      float64(p.Latency.Quantile(0.50).Nanoseconds()) / 1e3,
 			LatP99Us:      float64(p.Latency.Quantile(0.99).Nanoseconds()) / 1e3,
 			LatMaxUs:      float64(p.Latency.Max().Nanoseconds()) / 1e3,
+			CommitP50Us:   float64(p.CommitLatency.Quantile(0.50).Nanoseconds()) / 1e3,
+			CommitP99Us:   float64(p.CommitLatency.Quantile(0.99).Nanoseconds()) / 1e3,
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -64,7 +72,7 @@ func WriteJSON(w io.Writer, points []Point) error {
 // re-plotting the paper's figures.
 func WriteCSV(w io.Writer, points []Point) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"structure", "manager", "threads", "commits_per_sec", "commits", "aborts", "conflicts", "abort_rate", "lat_p50_us", "lat_p99_us", "lat_max_us"}); err != nil {
+	if err := cw.Write([]string{"structure", "manager", "threads", "commits_per_sec", "commits", "aborts", "conflicts", "abort_rate", "wait_ns", "backoff_ns", "lat_p50_us", "lat_p99_us", "lat_max_us", "commit_p50_us", "commit_p99_us"}); err != nil {
 		return err
 	}
 	for _, p := range points {
@@ -77,9 +85,13 @@ func WriteCSV(w io.Writer, points []Point) error {
 			strconv.FormatInt(p.Aborts, 10),
 			strconv.FormatInt(p.Conflicts, 10),
 			strconv.FormatFloat(p.AbortRate, 'f', 4, 64),
+			strconv.FormatInt(p.WaitNs, 10),
+			strconv.FormatInt(p.BackoffNs, 10),
 			strconv.FormatFloat(float64(p.Latency.Quantile(0.50).Microseconds()), 'f', 0, 64),
 			strconv.FormatFloat(float64(p.Latency.Quantile(0.99).Microseconds()), 'f', 0, 64),
 			strconv.FormatFloat(float64(p.Latency.Max().Microseconds()), 'f', 0, 64),
+			strconv.FormatFloat(float64(p.CommitLatency.Quantile(0.50).Microseconds()), 'f', 0, 64),
+			strconv.FormatFloat(float64(p.CommitLatency.Quantile(0.99).Microseconds()), 'f', 0, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

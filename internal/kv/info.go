@@ -1,0 +1,469 @@
+package kv
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/resp"
+)
+
+// This file is the server's observability surface: per-command
+// metrics, the SLOWLOG ring, the INFO sections, and the bridge that
+// exposes engine (stm), WAL and keyspace state through the obs
+// registry. The paper-relevant number here is the per-manager wait
+// time: a contention manager without a progress guarantee shows up as
+// stm_wait_ns_total exploding while commits flatline (ROADMAP's karma
+// convoy), which no throughput counter reveals.
+
+// ServerOption configures a Server beyond its store.
+type ServerOption func(*Server)
+
+// WithRegistry makes the server register and expose its metrics in
+// reg instead of a private registry — the hook cmd/stmkv uses to serve
+// everything on one /metrics listener.
+func WithRegistry(reg *obs.Registry) ServerOption {
+	return func(srv *Server) { srv.reg = reg }
+}
+
+// WithManagerName labels the engine metrics with the contention
+// manager the server was started with, so dashboards can tell a karma
+// fleet from a greedy one.
+func WithManagerName(name string) ServerOption {
+	return func(srv *Server) { srv.managerName = name }
+}
+
+// WithSlowlog tunes the slow-command ring: commands at or above
+// threshold are recorded, keeping the most recent size entries. A
+// negative threshold disables recording; zero records everything.
+// Defaults: 10ms, 128 entries.
+func WithSlowlog(threshold time.Duration, size int) ServerOption {
+	return func(srv *Server) {
+		srv.slow.threshold = threshold
+		if size > 0 {
+			srv.slow.ring = make([]slowEntry, size)
+		}
+	}
+}
+
+// cmdMetrics is one command's counters and latency distribution.
+type cmdMetrics struct {
+	calls  *obs.Counter
+	errors *obs.Counter
+	lat    *obs.Histogram
+}
+
+// commandNames enumerates every command the handler accepts, control
+// commands included — the fixed metric universe, pre-registered so the
+// hot path is map lookups of interned strings, never registration.
+var commandNames = []string{
+	"PING", "GET", "SET", "DEL", "INCR", "INCRBY", "MGET", "MSET",
+	"EXPIRE", "PEXPIRE", "TTL", "PTTL", "DBSIZE",
+	"HSET", "HGET", "HDEL", "HGETALL", "HLEN", "HINCRBY",
+	"LPUSH", "RPUSH", "LPOP", "RPOP", "LLEN", "LRANGE",
+	"ZADD", "ZSCORE", "ZREM", "ZCARD", "ZRANGE", "TYPE",
+	"MULTI", "EXEC", "DISCARD", "QUIT", "SAVE", "BGSAVE",
+	"INFO", "SLOWLOG",
+}
+
+// serverMetrics bundles the server's own instruments.
+type serverMetrics struct {
+	connections *obs.Counter
+	clients     *obs.Gauge
+	cmds        map[string]*cmdMetrics
+	unknown     *cmdMetrics
+
+	sweepFailures  *obs.Counter
+	sweepReaped    *obs.Counter
+	bgsaveFailures *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	sm := &serverMetrics{
+		connections: reg.Counter("stmkv_connections_total", "Connections accepted.", nil),
+		clients:     reg.Gauge("stmkv_connected_clients", "Connections currently open.", nil),
+		cmds:        make(map[string]*cmdMetrics, len(commandNames)+1),
+		sweepFailures: reg.Counter("stmkv_sweeper_failures_total",
+			"Background TTL sweeper passes that failed.", nil),
+		sweepReaped: reg.Counter("stmkv_sweeper_reaped_total",
+			"Expired keys removed by the background sweeper.", nil),
+		bgsaveFailures: reg.Counter("stmkv_bgsave_failures_total",
+			"Background saves (scheduled or BGSAVE) that failed.", nil),
+	}
+	mk := func(name string) *cmdMetrics {
+		lbl := obs.Labels{"cmd": strings.ToLower(name)}
+		return &cmdMetrics{
+			calls:  reg.Counter("stmkv_commands_total", "Commands processed.", lbl),
+			errors: reg.Counter("stmkv_command_errors_total", "Commands answered with an error.", lbl),
+			lat:    reg.Histogram("stmkv_command_seconds", "Command wall time, decode to reply.", lbl),
+		}
+	}
+	for _, name := range commandNames {
+		sm.cmds[name] = mk(name)
+	}
+	sm.unknown = mk("UNKNOWN")
+	return sm
+}
+
+// cmd returns the metrics slot for a command name (already uppercased
+// by the handler), folding unrecognized names into one series so a
+// hostile client cannot grow the label space.
+func (sm *serverMetrics) cmd(name string) *cmdMetrics {
+	if m, ok := sm.cmds[name]; ok {
+		return m
+	}
+	return sm.unknown
+}
+
+// observe records one handled command. reply errors count as command
+// errors whether they came from validation, execution, or state
+// machinery (MULTI misuse) — if the client saw "-ERR", it counts.
+func (srv *Server) observe(name string, start time.Time, args []string, reply resp.Value) {
+	m := srv.sm.cmd(name)
+	m.calls.Inc()
+	if reply.IsError() {
+		m.errors.Inc()
+	}
+	dur := time.Since(start)
+	m.lat.Observe(dur)
+	// SLOWLOG itself is exempt: inspecting or resetting the log must
+	// not repopulate it (a RESET would otherwise leave one entry —
+	// the RESET).
+	if name != "SLOWLOG" {
+		srv.slow.note(name, args, dur)
+	}
+}
+
+// NoteSweepFailure counts a failed background sweeper pass; the
+// sweeper goroutine lives in cmd/stmkv, the count surfaces in INFO
+// stats and /metrics.
+func (srv *Server) NoteSweepFailure() { srv.sm.sweepFailures.Inc() }
+
+// NoteSweepReaped counts keys removed by the background sweeper.
+func (srv *Server) NoteSweepReaped(n int) { srv.sm.sweepReaped.Add(int64(n)) }
+
+// NoteBgsaveFailure counts a failed background save (scheduled
+// -bgsave-every runs and BGSAVE commands alike).
+func (srv *Server) NoteBgsaveFailure() { srv.sm.bgsaveFailures.Inc() }
+
+// Registry returns the registry holding the server's metrics (its own
+// unless WithRegistry injected one), for serving over HTTP.
+func (srv *Server) Registry() *obs.Registry { return srv.reg }
+
+// registerStoreMetrics bridges engine, WAL and keyspace state into the
+// registry as read-at-scrape functions — the subsystems keep their own
+// quiescence-free counters; exposition just snapshots them.
+func registerStoreMetrics(reg *obs.Registry, st *Store, manager string) {
+	lbl := obs.Labels{"manager": manager}
+	engine := st.STM()
+	reg.CounterFunc("stm_commits_total", "Committed logical transactions.", lbl,
+		func() int64 { s := engine.TotalStats(); return s.Commits })
+	reg.CounterFunc("stm_aborts_total", "Aborted transaction attempts.", lbl,
+		func() int64 { s := engine.TotalStats(); return s.Aborts })
+	reg.CounterFunc("stm_conflicts_total", "Conflicts observed.", lbl,
+		func() int64 { s := engine.TotalStats(); return s.Conflicts })
+	reg.CounterFunc("stm_enemy_aborts_total", "Conflicts resolved by aborting the enemy.", lbl,
+		func() int64 { s := engine.TotalStats(); return s.EnemyAborts })
+	reg.CounterFunc("stm_wait_ns_total",
+		"Nanoseconds inside the contention manager's ResolveConflict (policy waiting).", lbl,
+		func() int64 { s := engine.TotalStats(); return s.WaitNs })
+	reg.CounterFunc("stm_backoff_ns_total",
+		"Nanoseconds in engine-level backoff (CAS retries, installer waits).", lbl,
+		func() int64 { s := engine.TotalStats(); return s.BackoffNs })
+	reg.HistogramFunc("stm_commit_seconds",
+		"Wall time of committed logical transactions, retries included.", lbl,
+		engine.CommitLatency)
+	reg.SizeHistogramFunc("stm_commit_attempts",
+		"Attempts per committed transaction (1 = first try).", lbl,
+		engine.CommitAttempts)
+	reg.GaugeFunc("stmkv_keys", "Approximate live keys (expired excluded).", nil,
+		func() float64 { return float64(st.PeekLen()) })
+	if !st.Durable() {
+		return
+	}
+	l := st.WAL()
+	reg.CounterFunc("wal_records_total", "Write sets logged.", nil,
+		func() int64 { return l.Stats().Records })
+	reg.CounterFunc("wal_batches_total", "Group-commit flushes.", nil,
+		func() int64 { return l.Stats().Batches })
+	reg.CounterFunc("wal_fsyncs_total", "Segment fsync syscalls.", nil,
+		func() int64 { return l.Stats().Fsyncs })
+	reg.CounterFunc("wal_dropped_total", "Records refused for exceeding MaxRecord.", nil,
+		func() int64 { return l.Stats().Dropped })
+	reg.GaugeFunc("wal_segment", "Sequence number of the segment being written.", nil,
+		func() float64 { return float64(l.Stats().Segment) })
+	reg.GaugeFunc("wal_queue_depth", "Tickets enqueued but not yet flushed.", nil,
+		func() float64 { return float64(l.Stats().QueueDepth) })
+	reg.GaugeFunc("wal_sticky_error", "1 when the log is poisoned by a write/fsync failure.", nil,
+		func() float64 {
+			if l.Err() != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.HistogramFunc("wal_fsync_seconds", "Segment fsync wall time.", nil, l.FsyncLatency)
+	reg.SizeHistogramFunc("wal_batch_ops", "Records per group-commit flush.", nil, l.BatchSizes)
+}
+
+// slowEntry is one recorded slow command.
+type slowEntry struct {
+	id   int64
+	unix int64 // wall-clock seconds when the command finished
+	dur  time.Duration
+	args []string // command name followed by its arguments
+}
+
+// slowlog is a fixed-size ring of the most recent slow commands,
+// mirroring Redis's SLOWLOG: mutex-guarded because it is only touched
+// for commands that already took ~milliseconds.
+type slowlog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	ring      []slowEntry
+	total     int64 // entries ever recorded; also the next id
+}
+
+func (sl *slowlog) note(name string, args []string, dur time.Duration) {
+	if sl.threshold < 0 || dur < sl.threshold || len(sl.ring) == 0 {
+		return
+	}
+	full := append([]string{name}, args...)
+	sl.mu.Lock()
+	sl.ring[sl.total%int64(len(sl.ring))] = slowEntry{
+		id:   sl.total,
+		unix: time.Now().Unix(),
+		dur:  dur,
+		args: full,
+	}
+	sl.total++
+	sl.mu.Unlock()
+}
+
+// get returns up to n entries, newest first (n < 0 means all held).
+func (sl *slowlog) get(n int) []slowEntry {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	held := sl.total
+	if held > int64(len(sl.ring)) {
+		held = int64(len(sl.ring))
+	}
+	if n >= 0 && int64(n) < held {
+		held = int64(n)
+	}
+	out := make([]slowEntry, 0, held)
+	for i := int64(0); i < held; i++ {
+		out = append(out, sl.ring[(sl.total-1-i)%int64(len(sl.ring))])
+	}
+	return out
+}
+
+func (sl *slowlog) len() int64 {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if sl.total > int64(len(sl.ring)) {
+		return int64(len(sl.ring))
+	}
+	return sl.total
+}
+
+func (sl *slowlog) reset() {
+	sl.mu.Lock()
+	sl.total = 0
+	for i := range sl.ring {
+		sl.ring[i] = slowEntry{}
+	}
+	sl.mu.Unlock()
+}
+
+// slowlogReply serves SLOWLOG GET [n] | LEN | RESET.
+func (srv *Server) slowlogReply(args []string) resp.Value {
+	switch strings.ToUpper(args[0]) {
+	case "GET":
+		n := 10
+		if len(args) == 2 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil {
+				return resp.ErrVal("ERR value is not an integer or out of range")
+			}
+			n = v
+		} else if len(args) > 2 {
+			return resp.ErrVal("ERR wrong number of arguments for 'slowlog|get' command")
+		}
+		entries := srv.slow.get(n)
+		elems := make([]resp.Value, len(entries))
+		for i, e := range entries {
+			cmd := make([]resp.Value, len(e.args))
+			for j, a := range e.args {
+				cmd[j] = resp.BulkVal(a)
+			}
+			elems[i] = resp.ArrayVal(
+				resp.IntVal(e.id),
+				resp.IntVal(e.unix),
+				resp.IntVal(e.dur.Microseconds()),
+				resp.ArrayVal(cmd...),
+			)
+		}
+		return resp.ArrayVal(elems...)
+	case "LEN":
+		if len(args) != 1 {
+			return resp.ErrVal("ERR wrong number of arguments for 'slowlog|len' command")
+		}
+		return resp.IntVal(srv.slow.len())
+	case "RESET":
+		if len(args) != 1 {
+			return resp.ErrVal("ERR wrong number of arguments for 'slowlog|reset' command")
+		}
+		srv.slow.reset()
+		return resp.SimpleVal("OK")
+	default:
+		return resp.ErrVal(fmt.Sprintf("ERR unknown SLOWLOG subcommand '%s'", args[0]))
+	}
+}
+
+// infoSections lists the sections in rendering order.
+var infoSections = []string{"server", "clients", "stats", "commandstats", "stm", "wal", "keyspace"}
+
+// infoReply serves INFO [section].
+func (srv *Server) infoReply(args []string) resp.Value {
+	sections := infoSections
+	if len(args) == 1 {
+		want := strings.ToLower(args[0])
+		found := false
+		for _, s := range infoSections {
+			if s == want {
+				sections, found = []string{s}, true
+				break
+			}
+		}
+		if !found {
+			return resp.ErrVal(fmt.Sprintf("ERR unknown INFO section '%s'", args[0]))
+		}
+	}
+	var b strings.Builder
+	for i, s := range sections {
+		if i > 0 {
+			b.WriteString("\r\n")
+		}
+		srv.infoSection(&b, s)
+	}
+	return resp.BulkVal(b.String())
+}
+
+func (srv *Server) infoSection(b *strings.Builder, section string) {
+	line := func(k string, v any) { fmt.Fprintf(b, "%s:%v\r\n", k, v) }
+	switch section {
+	case "server":
+		b.WriteString("# Server\r\n")
+		line("stmkv_version", "0.8.0")
+		line("go_version", runtime.Version())
+		line("process_id", os.Getpid())
+		line("uptime_in_seconds", int64(time.Since(srv.started).Seconds()))
+		line("contention_manager", srv.managerName)
+		line("shards", srv.store.Shards())
+		line("durable", boolInt(srv.store.Durable()))
+	case "clients":
+		b.WriteString("# Clients\r\n")
+		line("connected_clients", srv.sm.clients.Value())
+	case "stats":
+		b.WriteString("# Stats\r\n")
+		var cmds, errs int64
+		for _, m := range srv.sm.cmds {
+			cmds += m.calls.Value()
+			errs += m.errors.Value()
+		}
+		cmds += srv.sm.unknown.calls.Value()
+		errs += srv.sm.unknown.errors.Value()
+		line("total_connections_received", srv.sm.connections.Value())
+		line("total_commands_processed", cmds)
+		line("total_command_errors", errs)
+		line("sweeper_failures", srv.sm.sweepFailures.Value())
+		line("sweeper_reaped_keys", srv.sm.sweepReaped.Value())
+		line("bgsave_failures", srv.sm.bgsaveFailures.Value())
+		line("slowlog_len", srv.slow.len())
+	case "commandstats":
+		b.WriteString("# Commandstats\r\n")
+		names := make([]string, 0, len(srv.sm.cmds))
+		for name := range srv.sm.cmds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := srv.sm.cmds[name]
+			calls := m.calls.Value()
+			if calls == 0 {
+				continue
+			}
+			snap := m.lat.Snapshot()
+			fmt.Fprintf(b, "cmdstat_%s:calls=%d,errors=%d,p50_usec=%d,p99_usec=%d\r\n",
+				strings.ToLower(name), calls, m.errors.Value(),
+				snap.Quantile(0.50).Microseconds(), snap.Quantile(0.99).Microseconds())
+		}
+	case "stm":
+		b.WriteString("# Stm\r\n")
+		s := srv.store.STM().TotalStats()
+		line("manager", srv.managerName)
+		line("commits", s.Commits)
+		line("aborts", s.Aborts)
+		line("conflicts", s.Conflicts)
+		line("enemy_aborts", s.EnemyAborts)
+		line("opens", s.Opens)
+		line("wait_ns", s.WaitNs)
+		line("backoff_ns", s.BackoffNs)
+		fmt.Fprintf(b, "abort_rate:%.4f\r\n", s.AbortRate())
+		lat := srv.store.STM().CommitLatency()
+		line("commit_p50_usec", lat.Quantile(0.50).Microseconds())
+		line("commit_p99_usec", lat.Quantile(0.99).Microseconds())
+		tries := srv.store.STM().CommitAttempts()
+		fmt.Fprintf(b, "attempts_per_commit:%.2f\r\n", meanOf(tries.Sum(), tries.Count()))
+	case "wal":
+		b.WriteString("# Wal\r\n")
+		if !srv.store.Durable() {
+			line("wal_enabled", 0)
+			return
+		}
+		line("wal_enabled", 1)
+		l := srv.store.WAL()
+		st := l.Stats()
+		line("records", st.Records)
+		line("batches", st.Batches)
+		line("fsyncs", st.Fsyncs)
+		line("dropped", st.Dropped)
+		line("segment", st.Segment)
+		line("queue_depth", st.QueueDepth)
+		lat := l.FsyncLatency()
+		line("fsync_p50_usec", lat.Quantile(0.50).Microseconds())
+		line("fsync_p99_usec", lat.Quantile(0.99).Microseconds())
+		sizes := l.BatchSizes()
+		fmt.Fprintf(b, "ops_per_batch:%.2f\r\n", meanOf(sizes.Sum(), sizes.Count()))
+		if err := l.Err(); err != nil {
+			line("sticky_error", err.Error())
+		} else {
+			line("sticky_error", "none")
+		}
+	case "keyspace":
+		b.WriteString("# Keyspace\r\n")
+		fmt.Fprintf(b, "db0:keys=%d\r\n", srv.store.PeekLen())
+	}
+}
+
+func boolInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// meanOf computes sum/count as a float, zero when empty — for
+// dimensionless histograms whose Sum is stored as a time.Duration.
+func meanOf(sum time.Duration, count uint64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}

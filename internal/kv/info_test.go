@@ -1,0 +1,270 @@
+package kv
+
+import (
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stm"
+	"repro/internal/wal"
+)
+
+// startServerWith is startServer with server options.
+func startServerWith(t *testing.T, st *Store, opts ...ServerOption) (*Server, string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st, opts...)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve returned: %v", err)
+		}
+	}
+	return srv, ln.Addr().String(), stop
+}
+
+func TestInfoSections(t *testing.T) {
+	st := New(stm.New())
+	_, addr, stop := startServerWith(t, st, WithManagerName("greedy"))
+	defer stop()
+	c := dialClient(t, addr)
+	defer c.close()
+
+	c.mustDo(t, "SET", "a", "1")
+	c.mustDo(t, "SET", "b", "2")
+
+	// No argument: every section, with live values.
+	v := c.mustDo(t, "INFO")
+	if v.Kind != '$' {
+		t.Fatalf("INFO reply kind = %q, want bulk", v.Kind)
+	}
+	for _, want := range []string{
+		"# Server", "# Clients", "# Stats", "# Commandstats", "# Stm", "# Wal", "# Keyspace",
+		"contention_manager:greedy", "connected_clients:1", "wal_enabled:0",
+		"db0:keys=2", "cmdstat_set:calls=2",
+	} {
+		if !strings.Contains(v.Str, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, v.Str)
+		}
+	}
+	if !strings.Contains(v.Str, "total_commands_processed:") {
+		t.Fatalf("INFO missing stats:\n%s", v.Str)
+	}
+
+	// Section selection, case-insensitive.
+	v = c.mustDo(t, "INFO", "KEYSPACE")
+	if !strings.Contains(v.Str, "db0:keys=2") || strings.Contains(v.Str, "# Server") {
+		t.Fatalf("INFO KEYSPACE = %q", v.Str)
+	}
+	v = c.mustDo(t, "INFO", "stm")
+	if !strings.Contains(v.Str, "commits:") || !strings.Contains(v.Str, "wait_ns:") {
+		t.Fatalf("INFO stm = %q", v.Str)
+	}
+
+	// Unknown section and bad arity are errors.
+	if v, _ := c.do("INFO", "bogus"); !v.IsError() || !strings.Contains(v.Str, "unknown INFO section") {
+		t.Fatalf("INFO bogus = %+v, want unknown-section error", v)
+	}
+	if v, _ := c.do("INFO", "stats", "extra"); !v.IsError() {
+		t.Fatalf("INFO with two args = %+v, want arity error", v)
+	}
+}
+
+func TestInfoAndSlowlogRejectedInsideMulti(t *testing.T) {
+	st := New(stm.New())
+	_, addr, stop := startServerWith(t, st)
+	defer stop()
+	c := dialClient(t, addr)
+	defer c.close()
+
+	for _, cmd := range [][]string{{"INFO"}, {"SLOWLOG", "LEN"}} {
+		c.mustDo(t, "MULTI")
+		if v, _ := c.do(cmd...); !v.IsError() || !strings.Contains(v.Str, "inside MULTI") {
+			t.Fatalf("%v inside MULTI = %+v, want rejection", cmd, v)
+		}
+		// The rejection poisons the block, exactly like SAVE.
+		if v, _ := c.do("EXEC"); !v.IsError() || !strings.HasPrefix(v.Str, "EXECABORT") {
+			t.Fatalf("EXEC after %v = %+v, want EXECABORT", cmd, v)
+		}
+	}
+}
+
+func TestSlowlogRingWraparound(t *testing.T) {
+	st := New(stm.New())
+	// Threshold zero records every command; ring of 4 forces wraparound.
+	_, addr, stop := startServerWith(t, st, WithSlowlog(0, 4))
+	defer stop()
+	c := dialClient(t, addr)
+	defer c.close()
+
+	for i := 0; i < 10; i++ {
+		c.mustDo(t, "SET", "k", "v")
+	}
+	v := c.mustDo(t, "SLOWLOG", "LEN")
+	if v.Int != 4 {
+		t.Fatalf("SLOWLOG LEN = %d, want ring size 4", v.Int)
+	}
+	v = c.mustDo(t, "SLOWLOG", "GET", "-1")
+	if len(v.Elems) != 4 {
+		t.Fatalf("SLOWLOG GET returned %d entries, want 4", len(v.Elems))
+	}
+	// Newest first, strictly descending ids; every surviving entry is
+	// from the most recent commands (ids keep counting past the ring).
+	prev := int64(1 << 62)
+	for _, e := range v.Elems {
+		if len(e.Elems) != 4 {
+			t.Fatalf("entry shape = %+v", e)
+		}
+		id, usec, cmd := e.Elems[0].Int, e.Elems[2].Int, e.Elems[3]
+		if id >= prev {
+			t.Fatalf("ids not descending: %d after %d", id, prev)
+		}
+		prev = id
+		if usec < 0 {
+			t.Fatalf("negative duration %d", usec)
+		}
+		if len(cmd.Elems) == 0 {
+			t.Fatal("entry lost its command args")
+		}
+	}
+	// The newest entry's id reflects everything ever recorded (the 10
+	// SETs; SLOWLOG itself is exempt), not just the 4 held.
+	if newest := v.Elems[0].Elems[0].Int; newest < 9 {
+		t.Fatalf("newest id = %d, want >= 9 after wraparound", newest)
+	}
+	// GET with a count caps the result.
+	if v = c.mustDo(t, "SLOWLOG", "GET", "2"); len(v.Elems) != 2 {
+		t.Fatalf("SLOWLOG GET 2 returned %d entries", len(v.Elems))
+	}
+	c.mustDo(t, "SLOWLOG", "RESET")
+	if v = c.mustDo(t, "SLOWLOG", "LEN"); v.Int != 0 {
+		t.Fatalf("SLOWLOG LEN after RESET = %d", v.Int)
+	}
+	// Unknown subcommand errors.
+	if v, _ := c.do("SLOWLOG", "HELP"); !v.IsError() {
+		t.Fatalf("SLOWLOG HELP = %+v, want error", v)
+	}
+}
+
+// TestMetricsExposition drives commands over RESP and checks the
+// registry's /metrics output parses back with the expected samples —
+// per-command counters and latency histograms, engine wait-time with
+// the manager label, and WAL internals on a durable store.
+func TestMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{GroupWindow: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := New(stm.New())
+	st.AttachWAL(l)
+	defer l.Close()
+
+	reg := obs.NewRegistry()
+	srv, addr, stop := startServerWith(t, st, WithRegistry(reg), WithManagerName("karma"))
+	defer stop()
+	if srv.Registry() != reg {
+		t.Fatal("Registry() did not return the injected registry")
+	}
+	c := dialClient(t, addr)
+	defer c.close()
+	c.mustDo(t, "SET", "k", "v")
+	c.mustDo(t, "GET", "k")
+	c.mustDo(t, "GET", "k")
+	if v, _ := c.do("GET"); !v.IsError() {
+		t.Fatalf("GET with no key = %+v, want arity error", v)
+	}
+	srv.NoteSweepFailure()
+	srv.NoteBgsaveFailure()
+
+	mux := obs.Mux(reg, nil)
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+	resp, err := hs.Client().Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	samples, err := obs.CheckExposition(body)
+	if err != nil {
+		t.Fatalf("/metrics failed parse-back: %v\n%s", err, body)
+	}
+	checks := map[string]float64{
+		`stmkv_commands_total{cmd="set"}`:        1,
+		`stmkv_commands_total{cmd="get"}`:        3,
+		`stmkv_command_errors_total{cmd="get"}`:  1,
+		`stmkv_command_seconds_count{cmd="get"}`: 3,
+		`stmkv_sweeper_failures_total`:           1,
+		`stmkv_bgsave_failures_total`:            1,
+	}
+	for name, want := range checks {
+		if got := samples[name]; got != want {
+			t.Fatalf("%s = %g, want %g\n%s", name, got, want, body)
+		}
+	}
+	// Engine metrics carry the manager label; commits happened.
+	if samples[`stm_commits_total{manager="karma"}`] < 1 {
+		t.Fatalf("stm_commits_total missing or zero:\n%s", body)
+	}
+	if _, ok := samples[`stm_wait_ns_total{manager="karma"}`]; !ok {
+		t.Fatalf("per-manager wait metric missing:\n%s", body)
+	}
+	if samples[`stm_commit_seconds_count{manager="karma"}`] < 1 {
+		t.Fatalf("commit latency histogram empty:\n%s", body)
+	}
+	// WAL metrics present on a durable store.
+	if samples[`wal_records_total`] < 1 {
+		t.Fatalf("wal_records_total missing:\n%s", body)
+	}
+	if _, ok := samples[`wal_fsync_seconds_count`]; !ok {
+		t.Fatalf("wal fsync histogram missing:\n%s", body)
+	}
+	if samples[`stmkv_keys`] != 1 {
+		t.Fatalf("stmkv_keys = %g, want 1\n%s", samples[`stmkv_keys`], body)
+	}
+	if samples[`stmkv_connected_clients`] != 1 {
+		t.Fatalf("stmkv_connected_clients = %g, want 1", samples[`stmkv_connected_clients`])
+	}
+
+	// pprof rides the same mux.
+	pr, err := hs.Client().Get(hs.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != 200 {
+		t.Fatalf("pprof status = %d", pr.StatusCode)
+	}
+}
+
+// TestStorePeekLen: the non-transactional key count matches reality
+// and skips expired entries.
+func TestStorePeekLen(t *testing.T) {
+	var clk fakeClock
+	st := New(stm.New(), WithClock(clk.now))
+	if err := st.Set("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetTTL("b", "2", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.PeekLen(); got != 2 {
+		t.Fatalf("PeekLen = %d, want 2", got)
+	}
+	clk.advance(time.Second)
+	if got := st.PeekLen(); got != 1 {
+		t.Fatalf("PeekLen after expiry = %d, want 1", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resp"
 	"repro/internal/stm"
 	"repro/internal/wal"
@@ -32,6 +33,15 @@ import (
 type Server struct {
 	store *Store
 
+	// Observability state (see info.go): the metrics registry, the
+	// per-command instruments, the SLOWLOG ring, and the labels INFO
+	// reports.
+	reg         *obs.Registry
+	sm          *serverMetrics
+	slow        *slowlog
+	managerName string
+	started     time.Time
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -39,9 +49,26 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer returns a server for the store.
-func NewServer(store *Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+// NewServer returns a server for the store. Without options it keeps
+// metrics in a private registry (INFO and SLOWLOG still work); pass
+// WithRegistry to expose them on a shared /metrics listener.
+func NewServer(store *Store, opts ...ServerOption) *Server {
+	srv := &Server{
+		store:       store,
+		conns:       make(map[net.Conn]struct{}),
+		managerName: "default",
+		started:     time.Now(),
+		slow:        &slowlog{threshold: 10 * time.Millisecond, ring: make([]slowEntry, 128)},
+	}
+	for _, opt := range opts {
+		opt(srv)
+	}
+	if srv.reg == nil {
+		srv.reg = obs.NewRegistry()
+	}
+	srv.sm = newServerMetrics(srv.reg)
+	registerStoreMetrics(srv.reg, store, srv.managerName)
+	return srv
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
@@ -117,6 +144,9 @@ func (srv *Server) drop(conn net.Conn) {
 // one atomic transaction.
 func (srv *Server) handle(conn net.Conn) {
 	defer srv.drop(conn)
+	srv.sm.connections.Inc()
+	srv.sm.clients.Add(1)
+	defer srv.sm.clients.Add(-1)
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
 	var (
@@ -143,14 +173,39 @@ func (srv *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		start := time.Now()
 		name := strings.ToUpper(args[0])
 		args = args[1:]
 		var reply resp.Value
 		switch name {
 		case "QUIT":
-			w.Value(resp.SimpleVal("OK"))
+			reply = resp.SimpleVal("OK")
+			srv.observe(name, start, args, reply)
+			w.Value(reply)
 			w.Flush()
 			return
+		case "INFO":
+			switch {
+			case len(args) > 1:
+				reply = resp.ErrVal("ERR wrong number of arguments for 'info' command")
+			case multi:
+				// Like SAVE: not replayable inside a transaction, and a
+				// stats snapshot inside EXEC would be a lie anyway.
+				dirty = true
+				reply = resp.ErrVal("ERR INFO inside MULTI is not supported")
+			default:
+				reply = srv.infoReply(args)
+			}
+		case "SLOWLOG":
+			switch {
+			case len(args) == 0:
+				reply = resp.ErrVal("ERR wrong number of arguments for 'slowlog' command")
+			case multi:
+				dirty = true
+				reply = resp.ErrVal("ERR SLOWLOG inside MULTI is not supported")
+			default:
+				reply = srv.slowlogReply(args)
+			}
 		case "MULTI":
 			if multi {
 				reply = resp.ErrVal("ERR MULTI calls can not be nested")
@@ -189,6 +244,7 @@ func (srv *Server) handle(conn net.Conn) {
 			default: // BGSAVE: fire and forget, Redis-style.
 				go func() {
 					if err := srv.store.Save(); err != nil && !errors.Is(err, wal.ErrSnapshotInProgress) {
+						srv.NoteBgsaveFailure()
 						log.Printf("kv: background save: %v", err)
 					}
 				}()
@@ -219,6 +275,7 @@ func (srv *Server) handle(conn net.Conn) {
 				reply = srv.runSingle(name, args)
 			}
 		}
+		srv.observe(name, start, args, reply)
 		w.Value(reply)
 		if err := w.Flush(); err != nil {
 			return

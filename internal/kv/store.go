@@ -147,6 +147,27 @@ func (st *Store) BucketsPerShard() []int {
 	return out
 }
 
+// PeekLen counts live keys without a transaction: each bucket is an
+// independent committed snapshot, so the total is approximate under
+// concurrent writes — the observability counterpart of DBSIZE, which
+// pays for exactness with a whole-store read set. Expired-but-unswept
+// entries are excluded, like everywhere else.
+func (st *Store) PeekLen() int64 {
+	now := st.now()
+	var total int64
+	for _, sh := range st.shards {
+		b := sh.PeekBuckets()
+		for i := 0; i < b.Len(); i++ {
+			for e := b.At(i).Peek(); e != nil; e = e.next {
+				if !e.dead(now) {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
 // shard maps a key to its shard table.
 func (st *Store) shard(key string) *container.Table[*entry] {
 	return st.shards[maphash.String(st.seed, key)&uint64(len(st.shards)-1)]

@@ -15,10 +15,13 @@ import (
 	"time"
 )
 
-// histBuckets is the number of log2 buckets: bucket i holds durations
+// NumBuckets is the number of log2 buckets: bucket i holds durations
 // in [2^i, 2^(i+1)) nanoseconds, which spans 1ns to ~18s at i=34 and
-// far beyond at 63.
-const histBuckets = 64
+// far beyond at 63. It is exported so concurrent wrappers (internal/obs)
+// can share the bucket layout.
+const NumBuckets = 64
+
+const histBuckets = NumBuckets
 
 // Histogram is a fixed-size logarithmic histogram of durations. The
 // zero value is ready to use. It is not safe for concurrent use; give
@@ -37,6 +40,21 @@ func bucketOf(d time.Duration) int {
 		return 0
 	}
 	return 63 - bits.LeadingZeros64(uint64(d))
+}
+
+// BucketOf returns the log2 bucket index for d: the bucket holding
+// durations in [2^i, 2^(i+1)) nanoseconds, with non-positive durations
+// in bucket 0.
+func BucketOf(d time.Duration) int { return bucketOf(d) }
+
+// BucketUpper returns the exclusive upper edge of bucket i, clamped to
+// the largest representable duration for the top buckets whose edge
+// would overflow int64.
+func BucketUpper(i int) time.Duration {
+	if i >= 62 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(1) << uint(i+1)
 }
 
 // Observe records one duration.
@@ -94,14 +112,52 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, c := range h.counts {
 		seen += c
 		if seen >= rank {
-			upper := time.Duration(1) << uint(i+1)
-			if upper > h.max && h.max > 0 {
+			// Clamp to the observed max: it is both a tighter bound
+			// than the bucket edge and immune to the int64 overflow
+			// the top buckets' edges would hit.
+			upper := BucketUpper(i)
+			if upper > h.max {
 				return h.max
 			}
 			return upper
 		}
 	}
 	return h.max
+}
+
+// Counts returns a copy of the per-bucket observation counts.
+func (h *Histogram) Counts() [NumBuckets]uint64 { return h.counts }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
+// FromBuckets reconstructs a histogram from raw per-bucket counts and
+// an observation sum, as captured by a concurrent collector that tracks
+// only those two pieces of state. Count is derived from the buckets;
+// min and max are approximated by the lower edge of the lowest occupied
+// bucket and the upper edge of the highest occupied bucket, which keeps
+// Quantile within its documented factor-of-two bound.
+func FromBuckets(counts []uint64, sum time.Duration) *Histogram {
+	h := &Histogram{sum: sum}
+	first := true
+	for i, c := range counts {
+		if i >= NumBuckets {
+			break
+		}
+		if c == 0 {
+			continue
+		}
+		h.counts[i] = c
+		h.total += c
+		if first {
+			first = false
+			if i > 0 {
+				h.min = time.Duration(1) << uint(i)
+			}
+		}
+		h.max = BucketUpper(i)
+	}
+	return h
 }
 
 // Merge accumulates other into h.

@@ -144,6 +144,123 @@ func TestQuickHistogramInvariants(t *testing.T) {
 	}
 }
 
+func TestHistogramAllZeroObservations(t *testing.T) {
+	// All observations are zero: every quantile is exactly zero, not
+	// the upper edge of bucket 0. (A previous version returned 2ns.)
+	var h metrics.Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("quantile(%g) = %v, want 0", q, v)
+		}
+	}
+}
+
+func TestHistogramHugeDuration(t *testing.T) {
+	// Observations in the top buckets must not overflow the bucket
+	// upper edge into a negative duration. (A previous version computed
+	// 1<<63 for bucket 62.)
+	var h metrics.Histogram
+	huge := time.Duration(math.MaxInt64)
+	h.Observe(huge)
+	h.Observe(huge / 2)
+	for _, q := range []float64{0.5, 1} {
+		v := h.Quantile(q)
+		if v <= 0 {
+			t.Fatalf("quantile(%g) = %v, want positive", q, v)
+		}
+		if v > huge {
+			t.Fatalf("quantile(%g) = %v exceeds max", q, v)
+		}
+	}
+	if h.Quantile(1) != huge {
+		t.Fatalf("p100 = %v, want clamp to observed max %v", h.Quantile(1), huge)
+	}
+}
+
+func TestHistogramMergeQuantileMonotone(t *testing.T) {
+	// Merging histograms whose mass lives in different buckets must
+	// keep quantiles monotone in q and bracketed by the merged extrema.
+	var lo, hi metrics.Histogram
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 500; i++ {
+		lo.Observe(time.Duration(1 + rng.Int64N(int64(time.Microsecond))))
+		hi.Observe(time.Second + time.Duration(rng.Int64N(int64(time.Second))))
+	}
+	lo.Merge(&hi)
+	if lo.Count() != 1000 {
+		t.Fatalf("merged count = %d", lo.Count())
+	}
+	last := time.Duration(0)
+	for _, q := range []float64{0, 0.1, 0.4, 0.5, 0.6, 0.9, 0.99, 1} {
+		v := lo.Quantile(q)
+		if v < last {
+			t.Fatalf("merged quantile not monotone at %g: %v < %v", q, v, last)
+		}
+		if v < lo.Min() || v > lo.Max() {
+			t.Fatalf("merged quantile(%g) = %v outside [%v, %v]", q, v, lo.Min(), lo.Max())
+		}
+		last = v
+	}
+	// Half the mass is sub-microsecond, half is super-second: p25 must
+	// be tiny and p75 must be huge.
+	if p := lo.Quantile(0.25); p > 2*time.Microsecond {
+		t.Fatalf("p25 = %v, want sub-2us", p)
+	}
+	if p := lo.Quantile(0.75); p < time.Second {
+		t.Fatalf("p75 = %v, want >= 1s", p)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if metrics.BucketOf(0) != 0 || metrics.BucketOf(-time.Second) != 0 {
+		t.Fatal("non-positive durations must land in bucket 0")
+	}
+	if metrics.BucketOf(1) != 0 || metrics.BucketOf(2) != 1 || metrics.BucketOf(3) != 1 {
+		t.Fatal("small-bucket boundaries wrong")
+	}
+	if metrics.BucketUpper(0) != 2 {
+		t.Fatalf("BucketUpper(0) = %v", metrics.BucketUpper(0))
+	}
+	for i := 0; i < metrics.NumBuckets; i++ {
+		if metrics.BucketUpper(i) <= 0 {
+			t.Fatalf("BucketUpper(%d) = %v, not positive", i, metrics.BucketUpper(i))
+		}
+	}
+}
+
+func TestFromBuckets(t *testing.T) {
+	var h metrics.Histogram
+	for _, d := range []time.Duration{time.Microsecond, 3 * time.Microsecond, time.Millisecond} {
+		h.Observe(d)
+	}
+	counts := h.Counts()
+	got := metrics.FromBuckets(counts[:], h.Sum())
+	if got.Count() != h.Count() || got.Sum() != h.Sum() {
+		t.Fatalf("round-trip count/sum = %d/%v, want %d/%v", got.Count(), got.Sum(), h.Count(), h.Sum())
+	}
+	if got.Counts() != counts {
+		t.Fatal("round-trip bucket counts differ")
+	}
+	// Extrema are bucket-edge approximations bracketing the real ones.
+	if got.Min() > h.Min() || got.Max() < h.Max() {
+		t.Fatalf("approx extrema [%v, %v] don't bracket exact [%v, %v]",
+			got.Min(), got.Max(), h.Min(), h.Max())
+	}
+	// Quantiles stay within the factor-of-two contract.
+	for _, q := range []float64{0.5, 1} {
+		v, exact := got.Quantile(q), h.Quantile(q)
+		if v < exact/2 || v > 2*exact {
+			t.Fatalf("reconstructed quantile(%g) = %v vs exact %v", q, v, exact)
+		}
+	}
+	if empty := metrics.FromBuckets(nil, 0); empty.Count() != 0 || empty.Quantile(0.5) != 0 {
+		t.Fatal("FromBuckets(nil) not empty")
+	}
+}
+
 func TestWelford(t *testing.T) {
 	var w metrics.Welford
 	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mux returns an HTTP handler serving the standard operational
+// endpoints:
+//
+//	/metrics       Prometheus text exposition of r
+//	/healthz       200 "ok" (or 503 with the error when health fails)
+//	/debug/pprof/  the full pprof suite (profile, heap, trace, ...)
+//
+// health may be nil, in which case /healthz always reports healthy.
+// The pprof handlers are registered explicitly rather than through
+// http.DefaultServeMux so an stmkv process never exposes them on a
+// listener it didn't ask for.
+func Mux(r *Registry, health func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteProm(w); err != nil {
+			// Too late for a status code if the write partially
+			// succeeded; the scraper sees a truncated body and retries.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Add(-2)
+	if g.Value() != 40 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 4, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count() != goroutines*per {
+		t.Fatalf("snapshot count = %d, want %d", snap.Count(), goroutines*per)
+	}
+	wantSum := time.Duration(per) * (1 + 2 + 3 + 4) * time.Microsecond
+	if snap.Sum() != wantSum {
+		t.Fatalf("snapshot sum = %v, want %v", snap.Sum(), wantSum)
+	}
+	if p := snap.Quantile(0.99); p < 4*time.Microsecond || p > 8*time.Microsecond {
+		t.Fatalf("p99 = %v, want within [4us, 8us]", p)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("requests_total", "help", Labels{"cmd": "GET"})
+	b := r.Counter("requests_total", "help", Labels{"cmd": "GET"})
+	if a != b {
+		t.Fatal("same name+labels returned different counters")
+	}
+	other := r.Counter("requests_total", "help", Labels{"cmd": "SET"})
+	if a == other {
+		t.Fatal("different labels returned the same counter")
+	}
+	h1 := r.Histogram("latency_seconds", "help", nil)
+	h2 := r.Histogram("latency_seconds", "help", nil)
+	if h1 != h2 {
+		t.Fatal("histogram registration not idempotent")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad-name", "", nil)
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "", nil).Inc()
+	r.Gauge("x", "", nil).Set(1)
+	r.Histogram("x", "", nil).Observe(time.Second)
+	r.CounterFunc("x", "", nil, func() int64 { return 0 })
+	if err := r.WriteProm(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePromParseBack(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stmkv_commands_total", "Commands processed.", Labels{"cmd": "GET"}).Add(5)
+	r.Counter("stmkv_commands_total", "Commands processed.", Labels{"cmd": "SET"}).Add(3)
+	r.Gauge("stmkv_connected_clients", "Open connections.", nil).Set(2)
+	r.GaugeFunc("stmkv_uptime_seconds", "Uptime.", nil, func() float64 { return 1.5 })
+	r.CounterFunc("stm_commits_total", "Commits.", Labels{"manager": "greedy"}, func() int64 { return 99 })
+	h := r.Histogram("stmkv_command_seconds", "Latency.", Labels{"cmd": "GET"})
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	sh := r.SizeHistogram("wal_batch_ops", "Batch sizes.", nil)
+	sh.ObserveN(4)
+	r.HistogramFunc("stm_commit_seconds", "Commit latency.", nil, func() *metrics.Histogram {
+		var m metrics.Histogram
+		m.Observe(time.Millisecond)
+		return &m
+	})
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	samples, err := CheckExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition failed parse-back: %v\n%s", err, out)
+	}
+	if samples[`stmkv_commands_total{cmd="GET"}`] != 5 {
+		t.Fatalf("GET counter sample wrong:\n%s", out)
+	}
+	if samples[`stm_commits_total{manager="greedy"}`] != 99 {
+		t.Fatalf("counter func sample wrong:\n%s", out)
+	}
+	if samples[`stmkv_connected_clients`] != 2 {
+		t.Fatalf("gauge sample wrong:\n%s", out)
+	}
+	if samples[`stmkv_command_seconds_count{cmd="GET"}`] != 2 {
+		t.Fatalf("histogram count wrong:\n%s", out)
+	}
+	if samples[`stmkv_command_seconds_bucket{cmd="GET",le="+Inf"}`] != 2 {
+		t.Fatalf("+Inf bucket wrong:\n%s", out)
+	}
+	sum := samples[`stmkv_command_seconds_sum{cmd="GET"}`]
+	if sum < 0.003 || sum > 0.0032 {
+		t.Fatalf("histogram sum = %g, want ~0.0031:\n%s", sum, out)
+	}
+	if samples[`wal_batch_ops_sum`] != 4 {
+		t.Fatalf("size histogram sum = %g, want unscaled 4:\n%s", samples[`wal_batch_ops_sum`], out)
+	}
+	if samples[`stm_commit_seconds_count`] != 1 {
+		t.Fatalf("histogram func count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE stmkv_command_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	// Cumulative buckets: every _bucket sample is <= the +Inf total.
+	for name, v := range samples {
+		if strings.Contains(name, "_bucket{") && strings.Contains(name, `cmd="GET"`) {
+			if v > 2 {
+				t.Fatalf("bucket %s = %g exceeds count", name, v)
+			}
+		}
+	}
+}
+
+func TestWritePromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "", Labels{"key": "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := CheckExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("escaped output failed parse-back: %v\n%s", err, buf.String())
+	}
+	if len(samples) != 1 {
+		t.Fatalf("want 1 sample, got %v", samples)
+	}
+}
+
+func TestCheckExpositionRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"no_type_line 3\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x counter\nx{unterminated=\"v 3\n",
+		"# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"# TYPE x counter\nx 1\nx 2\n",
+		"",
+	}
+	for _, c := range cases {
+		if _, err := CheckExposition([]byte(c)); err == nil {
+			t.Fatalf("malformed exposition accepted: %q", c)
+		}
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "", nil).Inc()
+	healthy := true
+	mux := Mux(r, func() error {
+		if !healthy {
+			return io.ErrClosedPipe
+		}
+		return nil
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if _, err := CheckExposition(body); err != nil {
+		t.Fatalf("/metrics not well-formed: %v", err)
+	}
+	if code, body = get("/healthz"); code != 200 || !strings.Contains(string(body), "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, _ = get("/healthz"); code != 503 {
+		t.Fatalf("unhealthy /healthz status = %d, want 503", code)
+	}
+	// pprof index and a real profile endpoint must be reachable.
+	if code, _ = get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _ = get("/debug/pprof/goroutine?debug=1"); code != 200 {
+		t.Fatalf("/debug/pprof/goroutine status %d", code)
+	}
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE pair per family, then one
+// sample line per series, with histograms expanded to cumulative
+// le-edge buckets plus _sum and _count. Output is deterministic
+// (families and series sorted) so it diffs cleanly in tests.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	for _, f := range fams {
+		f.mu.Lock()
+		sers := make([]*series, len(f.series))
+		copy(sers, f.series)
+		f.mu.Unlock()
+		if len(sers) == 0 {
+			continue
+		}
+		sort.Slice(sers, func(i, j int) bool { return sers[i].key < sers[j].key })
+
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range sers {
+			switch f.kind {
+			case KindCounter:
+				v := int64(0)
+				if s.counterFn != nil {
+					v = s.counterFn()
+				} else if s.counter != nil {
+					v = s.counter.Value()
+				}
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(s, nil), v)
+			case KindGauge:
+				if s.gaugeFn != nil {
+					fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(s, nil), formatFloat(s.gaugeFn()))
+				} else if s.gauge != nil {
+					fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(s, nil), s.gauge.Value())
+				}
+			case KindHistogram:
+				var snap *metrics.Histogram
+				if s.histFn != nil {
+					snap = s.histFn()
+				} else if s.hist != nil {
+					snap = s.hist.Snapshot()
+				}
+				if snap == nil {
+					snap = &metrics.Histogram{}
+				}
+				writeHistogram(bw, f, s, snap)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits cumulative buckets for the occupied le edges
+// plus the mandatory +Inf bucket. Skipping empty buckets keeps 64-way
+// families compact; cumulative semantics make any subset of edges
+// valid.
+func writeHistogram(w io.Writer, f *family, s *series, snap *metrics.Histogram) {
+	counts := snap.Counts()
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := float64(metrics.BucketUpper(i)) * f.scale
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(s, []string{"le", formatFloat(le)}), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(s, []string{"le", "+Inf"}), snap.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(s, nil), formatFloat(float64(snap.Sum())*f.scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s, nil), snap.Count())
+}
+
+// labelString renders {k="v",...}, optionally with one extra pair
+// (used for the histogram le label), or "" when there are no labels.
+func labelString(s *series, extra []string) string {
+	if len(s.labelKeys) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range s.labelKeys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(s.labelVals[i]))
+		b.WriteByte('"')
+	}
+	if extra != nil {
+		if len(s.labelKeys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extra[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+func escapeHelp(v string) string  { return helpEscaper.Replace(v) }
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -138,7 +138,7 @@ func (tx *Tx) tryCommitReadOnly() bool {
 	for attempt := 0; ; attempt++ {
 		if tx.stm.installers.Load() != 0 {
 			// An installation is in progress; wait it out.
-			Backoff(attempt)
+			tx.backoff(attempt)
 			continue
 		}
 		c0 := tx.stm.commitClock.Load()

@@ -3,6 +3,9 @@ package stm
 import (
 	"errors"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // session is the unit of transaction execution: it binds a contention
@@ -31,6 +34,14 @@ type session struct {
 	// stats counters are written only by the session's current
 	// goroutine but read concurrently by TotalStats, hence atomic.
 	stats atomicStats
+
+	// commitLat and commitTries distribute the wall time and attempt
+	// count of committed logical transactions. Like stats they are
+	// written by the session's current goroutine and snapshotted
+	// concurrently (obs.Histogram is atomic per bucket), so
+	// STM.CommitLatency needs no quiescence.
+	commitLat   obs.Histogram
+	commitTries obs.Histogram
 
 	// freeTx, freeReads and freeShared cache attempt state for reuse
 	// (see recycle). They are owner-private: only the goroutine holding
@@ -202,7 +213,14 @@ func (sess *session) atomically(fn func(tx *Tx) error) error {
 	}
 	shared.id.Store(sess.stm.txIDs.Add(1))
 	shared.timestamp.Store(sess.stm.timestamps.Add(1))
+	start := time.Now()
 	err := sess.run(shared, fn)
+	if err == nil {
+		// Wall time of the whole logical transaction, retries included —
+		// the latency a caller of Atomically actually experienced.
+		sess.commitLat.ObserveSince(start)
+		sess.commitTries.ObserveN(shared.aborts.Load() + 1)
+	}
 	if !errors.Is(err, ErrHalted) {
 		// The logical transaction is over and frozen, so enemies never
 		// consult its record again and it can serve the next

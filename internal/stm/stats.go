@@ -25,6 +25,16 @@ type Stats struct {
 	Opens int64
 	// Halted counts attempts abandoned by failure injection.
 	Halted int64
+	// WaitNs is total nanoseconds spent inside the contention
+	// manager's ResolveConflict — the policy-chosen waiting the paper
+	// holds against wait-based managers (karma's Figure 10 convoy is a
+	// WaitNs explosion, invisible in Commits/Aborts alone). Lazy mode
+	// never consults the manager at open time, so it accrues none.
+	WaitNs int64
+	// BackoffNs is total nanoseconds spent in engine-level backoff:
+	// acquisition CAS retries and installer-wait loops. Unlike WaitNs
+	// this is mechanism, not policy — every manager pays it equally.
+	BackoffNs int64
 }
 
 // Add accumulates other into s.
@@ -35,6 +45,8 @@ func (s *Stats) Add(other Stats) {
 	s.EnemyAborts += other.EnemyAborts
 	s.Opens += other.Opens
 	s.Halted += other.Halted
+	s.WaitNs += other.WaitNs
+	s.BackoffNs += other.BackoffNs
 }
 
 // atomicStats is the live, concurrently readable form of Stats. Each
@@ -48,6 +60,8 @@ type atomicStats struct {
 	enemyAborts atomic.Int64
 	opens       atomic.Int64
 	halted      atomic.Int64
+	waitNs      atomic.Int64
+	backoffNs   atomic.Int64
 }
 
 // snapshot captures the counters as a plain Stats value.
@@ -59,6 +73,8 @@ func (a *atomicStats) snapshot() Stats {
 		EnemyAborts: a.enemyAborts.Load(),
 		Opens:       a.opens.Load(),
 		Halted:      a.halted.Load(),
+		WaitNs:      a.waitNs.Load(),
+		BackoffNs:   a.backoffNs.Load(),
 	}
 }
 

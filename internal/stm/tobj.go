@@ -3,6 +3,7 @@ package stm
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Value is the interface transactional data must implement. Opening an
@@ -154,7 +155,7 @@ func (o *TObj) openWriteAs(tx *Tx, mk func() Value) (Value, error) {
 			nl.newVal = cur.Clone()
 		}
 		if !o.loc.CompareAndSwap(l, nl) {
-			Backoff(spin)
+			tx.backoff(spin)
 			continue
 		}
 		tx.writes = append(tx.writes, o)
@@ -221,10 +222,17 @@ func (tx *Tx) noteConflict() { tx.sess.stats.conflicts.Add(1) }
 
 // resolve runs one round of the contention-management protocol between
 // tx and enemy, translating the manager's decision into an abort of
-// one side or an (already-performed) wait.
+// one side or an (already-performed) wait. The manager consultation is
+// timed into WaitNs: a Wait decision has already slept inside
+// ResolveConflict, so this one measurement captures exactly the
+// policy-chosen waiting that distinguishes managers with and without
+// progress guarantees.
 func resolve(tx, enemy *Tx) error {
 	tx.noteConflict()
-	switch d := tx.sess.mgr.ResolveConflict(tx, enemy); d {
+	t0 := time.Now()
+	d := tx.sess.mgr.ResolveConflict(tx, enemy)
+	tx.sess.stats.waitNs.Add(int64(time.Since(t0)))
+	switch d {
 	case AbortOther:
 		enemy.Abort()
 		tx.sess.stats.enemyAborts.Add(1)

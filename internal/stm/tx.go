@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // txShared is the state of a logical transaction that survives aborts
@@ -193,6 +194,15 @@ func (tx *Tx) String() string {
 	return fmt.Sprintf("tx(id=%d ts=%d %s)", tx.ID(), tx.Timestamp(), tx.Status())
 }
 
+// backoff is the engine-level Backoff with the time accounted to the
+// session's BackoffNs — acquisition CAS retries and installer waits,
+// the mechanism-side counterpart of the manager's policy-side WaitNs.
+func (tx *Tx) backoff(spin int) {
+	t0 := time.Now()
+	Backoff(spin)
+	tx.sess.stats.backoffNs.Add(int64(time.Since(t0)))
+}
+
 // step checks that the attempt may keep running, translating an
 // enemy-inflicted abort or injected halt into the error the
 // transactional function should return.
@@ -224,7 +234,7 @@ func (tx *Tx) validate() bool {
 	// cannot match a pre-installation validClock.
 	for attempt := 0; ; attempt++ {
 		if tx.stm.installers.Load() != 0 {
-			Backoff(attempt)
+			tx.backoff(attempt)
 			continue
 		}
 		clock := tx.stm.commitClock.Load()

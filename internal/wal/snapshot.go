@@ -24,6 +24,19 @@ const snapshotMagic = "stmkv-snapshot-v1"
 // snapshot body; it bounds encoder buffer growth, nothing more.
 const snapshotBatch = 1024
 
+// maxSnapshotRedos bounds how often Snapshot re-rotates and re-cuts
+// when writes keep slipping between the rotation and the checkpoint.
+// The cut itself is a whole-store read that only succeeds in a lull,
+// so a lull long enough for the cut is normally long enough to pass
+// the slip check on the same attempt.
+const maxSnapshotRedos = 8
+
+// ErrSnapshotContended is returned by Snapshot when every attempt had
+// a write land between the rotation and the checkpoint cut; the log
+// is unchanged (beyond rotations) and the caller may simply retry
+// later, as a scheduled BGSAVE does.
+var ErrSnapshotContended = fmt.Errorf("wal: snapshot: writes kept arriving between rotation and cut")
+
 // Snapshot cuts a checkpoint and truncates the log: rotate onto a
 // fresh segment, call cut for a consistent dump of the live state,
 // write it side-by-side, atomically rename it into place, then reap
@@ -33,30 +46,45 @@ const snapshotBatch = 1024
 // exactly the logged history.
 //
 // cut runs outside the logger goroutine and may take as long as it
-// needs; appends continue into the new segment meanwhile. Any op
-// logged after the rotation lands in a segment the snapshot does not
-// reap, and replaying it over the checkpoint is idempotent because
-// records carry absolute values.
+// needs; appends continue into the new segment meanwhile. A write
+// that commits after the rotation but before the cut's serialization
+// point would be both in the checkpoint and in a surviving segment —
+// harmless for absolute-valued records, but a replayed list push or
+// pop is a delta and would corrupt the restored list. Snapshot
+// therefore detects any append accepted after the rotation (the
+// count stamped on the rotation ticket) once the cut returns, and
+// redoes the rotate+cut rather than publish an overlapping
+// checkpoint. Appends racing the check only ever cause a spurious
+// redo, never an overlap: a record enqueued after the cut's
+// serialization point is absent from the checkpoint either way.
 func (l *Log) Snapshot(cut func() ([]Op, error)) error {
 	if !l.snapshotting.CompareAndSwap(false, true) {
 		return ErrSnapshotInProgress
 	}
 	defer l.snapshotting.Store(false)
-	base, err := l.Rotate()
-	if err != nil {
-		return err
+	for redo := 0; ; redo++ {
+		base, mark, err := l.rotateMarked()
+		if err != nil {
+			return err
+		}
+		ops, err := cut()
+		if err != nil {
+			return fmt.Errorf("wal: snapshot cut: %w", err)
+		}
+		if l.appends.Load() != mark {
+			if redo == maxSnapshotRedos {
+				return ErrSnapshotContended
+			}
+			continue
+		}
+		if err := writeSnapshot(l.dir, base, ops); err != nil {
+			return err
+		}
+		// The checkpoint covers everything below the rotated-to
+		// segment. Reaping is cleanup, not correctness: a crash before
+		// it leaves segments recovery skips by base comparison.
+		return reapSegments(l.dir, base-1)
 	}
-	ops, err := cut()
-	if err != nil {
-		return fmt.Errorf("wal: snapshot cut: %w", err)
-	}
-	if err := writeSnapshot(l.dir, base, ops); err != nil {
-		return err
-	}
-	// The checkpoint covers everything below the rotated-to segment.
-	// Reaping is cleanup, not correctness: a crash before it leaves
-	// segments recovery skips by base comparison.
-	return reapSegments(l.dir, base-1)
 }
 
 // writeSnapshot writes a complete snapshot file atomically.

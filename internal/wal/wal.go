@@ -40,6 +40,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Options tunes a Log. The zero value gets sensible defaults.
@@ -72,6 +75,7 @@ type Ticket struct {
 	done   chan struct{}
 	err    error
 	rotate chan uint64 // non-nil marks a rotation control ticket
+	mark   int64       // rotation tickets: append count at enqueue
 }
 
 // Wait blocks until the record is durably on disk (written and
@@ -94,6 +98,10 @@ type Stats struct {
 	Dropped int64
 	// Segment is the sequence number of the segment being written.
 	Segment uint64
+	// QueueDepth is the number of tickets enqueued but not yet taken
+	// by the logger — a sustained nonzero depth means the disk cannot
+	// keep up with the commit rate.
+	QueueDepth int
 }
 
 // ErrClosed is returned for appends after Close.
@@ -129,6 +137,19 @@ type Log struct {
 	fsyncs  atomic.Int64
 	dropped atomic.Int64
 	curSeq  atomic.Uint64
+
+	// appends counts record tickets ever accepted into the queue (not
+	// rotations). Snapshot compares it against the count stamped on
+	// its rotation ticket to detect writes that slipped between the
+	// rotation and the checkpoint cut — see Snapshot.
+	appends atomic.Int64
+
+	// fsyncLat distributes the wall time of segment fsyncs and
+	// batchOps the records-per-flush batch sizes — together they show
+	// whether group commit is amortizing the fsync cost it exists to
+	// amortize. Written by the logger goroutine, snapshotted by anyone.
+	fsyncLat obs.Histogram
+	batchOps obs.Histogram
 
 	snapshotting atomic.Bool
 }
@@ -166,14 +187,29 @@ func (l *Log) Dir() string { return l.dir }
 
 // Stats returns a snapshot of the log's counters.
 func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	depth := len(l.pending)
+	l.mu.Unlock()
 	return Stats{
-		Records: l.records.Load(),
-		Batches: l.batches.Load(),
-		Fsyncs:  l.fsyncs.Load(),
-		Dropped: l.dropped.Load(),
-		Segment: l.curSeq.Load(),
+		Records:    l.records.Load(),
+		Batches:    l.batches.Load(),
+		Fsyncs:     l.fsyncs.Load(),
+		Dropped:    l.dropped.Load(),
+		Segment:    l.curSeq.Load(),
+		QueueDepth: depth,
 	}
 }
+
+// Err returns the sticky log error: the first write or fsync failure,
+// which poisons every later append. Nil while the log is healthy.
+func (l *Log) Err() error { return l.stickyErr() }
+
+// FsyncLatency returns a snapshot of the fsync wall-time distribution.
+func (l *Log) FsyncLatency() *metrics.Histogram { return l.fsyncLat.Snapshot() }
+
+// BatchSizes returns a snapshot of the records-per-flush distribution
+// (dimensionless counts, not durations).
+func (l *Log) BatchSizes() *metrics.Histogram { return l.batchOps.Snapshot() }
 
 // Append enqueues one committed write set for durable logging and
 // returns a ticket to wait on. It never blocks on I/O — it is safe
@@ -208,6 +244,11 @@ func (l *Log) enqueue(t *Ticket) *Ticket {
 		}
 		t.fail(err)
 		return t
+	}
+	if t.rotate == nil {
+		l.appends.Add(1)
+	} else {
+		t.mark = l.appends.Load()
 	}
 	l.pending = append(l.pending, t)
 	l.mu.Unlock()
@@ -265,6 +306,7 @@ func (l *Log) flush(batch []*Ticket) {
 	var acks []*Ticket
 	settle := func() {
 		if len(buf) > 0 {
+			l.batchOps.ObserveN(int64(len(acks)))
 			err := l.writeAndSync(buf)
 			if err != nil {
 				l.poison(err)
@@ -313,9 +355,11 @@ func (l *Log) writeAndSync(buf []byte) error {
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: write segment %d: %w", l.seq, err)
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync segment %d: %w", l.seq, err)
 	}
+	l.fsyncLat.ObserveSince(t0)
 	l.fsyncs.Add(1)
 	l.batches.Add(1)
 	return nil
@@ -361,11 +405,20 @@ func (l *Log) stickyErr() error {
 // ordered after every record enqueued before it. It returns the
 // sequence number of the new segment.
 func (l *Log) Rotate() (uint64, error) {
+	seq, _, err := l.rotateMarked()
+	return seq, err
+}
+
+// rotateMarked is Rotate plus the append count stamped at the moment
+// the rotation entered the queue: every record ticket accepted before
+// the rotation is ≤ mark and lands in a segment below the returned
+// one; any append observed past mark may share the new segment.
+func (l *Log) rotateMarked() (uint64, int64, error) {
 	t := &Ticket{done: make(chan struct{}), rotate: make(chan uint64, 1)}
 	l.enqueue(t)
 	seq := <-t.rotate
 	<-t.done
-	return seq, t.err
+	return seq, t.mark, t.err
 }
 
 // rotateSegment runs on the logger goroutine.

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -223,6 +224,98 @@ func TestSnapshotTruncatesAndRecovers(t *testing.T) {
 	}
 }
 
+// TestSnapshotRedoesOnSlippedAppend pins the overlap defense: a write
+// accepted after the rotation but captured by the checkpoint cut
+// would otherwise be applied twice on recovery (fatal for list
+// deltas). Snapshot must notice and redo the rotate+cut, so the
+// slipped record's segment is reaped under the final checkpoint and
+// recovery sees each op exactly once.
+func TestSnapshotRedoesOnSlippedAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]Op{{Kind: KindList, Key: "l", Val: "e0"}}).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	cut := func() ([]Op, error) {
+		calls++
+		if calls == 1 {
+			// A commit slips in after the rotation; the cut's state
+			// includes it.
+			if err := l.Append([]Op{{Kind: KindList, Key: "l", Val: "e1"}}).Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return []Op{
+			{Kind: KindList, Key: "l", Val: "e0"},
+			{Kind: KindList, Key: "l", Val: "e1"},
+		}, nil
+	}
+	if err := l.Snapshot(cut); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("cut ran %d times, want 2 (one redo after the slipped append)", calls)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	st, err := Recover(dir, c.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 0 {
+		t.Fatalf("recovery replayed %d log records, want 0 (all covered by the checkpoint)", st.Records)
+	}
+	want := []Op{
+		{Kind: KindList, Key: "l", Val: "e0"},
+		{Kind: KindList, Key: "l", Val: "e1"},
+	}
+	if !reflect.DeepEqual(c.flat(), want) {
+		t.Fatalf("recovered %+v, want %+v (the push must not double-apply)", c.flat(), want)
+	}
+}
+
+// TestSnapshotContended: when a write lands between rotation and cut
+// on every attempt, Snapshot gives up with ErrSnapshotContended and
+// the log remains fully recoverable — nothing was reaped.
+func TestSnapshotContended(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	cut := func() ([]Op, error) {
+		i++
+		if err := l.Append([]Op{{Key: "k", Val: strconv.Itoa(i)}}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return []Op{{Key: "k", Val: strconv.Itoa(i)}}, nil
+	}
+	if err := l.Snapshot(cut); !errors.Is(err, ErrSnapshotContended) {
+		t.Fatalf("err = %v, want ErrSnapshotContended", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c collect
+	st, err := Recover(dir, c.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SnapshotOps != 0 {
+		t.Fatalf("a contended snapshot was published: %+v", st)
+	}
+	if got := len(c.flat()); got != i {
+		t.Fatalf("recovered %d records, want all %d appends", got, i)
+	}
+}
+
 func TestSnapshotCutErrorLeavesLogUsable(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, testOptions())
@@ -407,5 +500,46 @@ func TestRecoverMissingDir(t *testing.T) {
 	st, err := Recover(filepath.Join(t.TempDir(), "nope"), c.apply)
 	if err != nil || len(c.recs) != 0 || st.Base != 1 {
 		t.Fatalf("missing dir: stats %+v err %v", st, err)
+	}
+}
+
+// TestTelemetry: fsync latency and batch-size histograms fill in as
+// batches flush, queue depth reads zero at rest, and Err stays nil on
+// a healthy log.
+func TestTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := l.Append([]Op{{Key: fmt.Sprintf("k%d", i), Val: "v"}}).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	lat := l.FsyncLatency()
+	if lat.Count() != uint64(st.Fsyncs) {
+		t.Fatalf("fsync latency count = %d, want %d (one sample per fsync)", lat.Count(), st.Fsyncs)
+	}
+	if lat.Quantile(1) <= 0 {
+		t.Fatalf("fsync p100 = %v, want positive", lat.Quantile(1))
+	}
+	sizes := l.BatchSizes()
+	if sizes.Count() != uint64(st.Batches) {
+		t.Fatalf("batch size count = %d, want %d", sizes.Count(), st.Batches)
+	}
+	if got := int64(sizes.Sum()); got != st.Records {
+		t.Fatalf("batch sizes sum to %d records, want %d", got, st.Records)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth at rest = %d, want 0", st.QueueDepth)
+	}
+	if l.Err() != nil {
+		t.Fatalf("healthy log Err() = %v", l.Err())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
