@@ -70,6 +70,7 @@ func runFixedOps(b *testing.B, structure, manager string, tailWork int, forestAl
 					// Livelock fuse: an always-abort manager can
 					// ping-pong workers forever; after a bound the
 					// operation is abandoned and counted.
+					//stm:impure(livelock fuse: the cross-retry attempt count is what bounds the ping-pong)
 					if attempts++; attempts > 2_000 {
 						return errGiveUp
 					}

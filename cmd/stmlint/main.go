@@ -1,0 +1,127 @@
+// Command stmlint enforces the repository's transactional contracts:
+// the engine-specific analyzers in internal/analysis (txpure,
+// txescape, hookreentry) plus a selected set of upstream vet passes
+// that matter for an STM codebase (atomics, lock copying, goroutine
+// capture, channel misuse).
+//
+// Usage:
+//
+//	go run ./cmd/stmlint ./...
+//	go run ./cmd/stmlint -unused-suppressions ./...
+//
+// Exit status is non-zero iff any diagnostic is reported, so CI can
+// require it. -unused-suppressions additionally reports stale
+// //stm:impure / //stm:escape / //stm:reentrant comments that no
+// longer suppress anything.
+//
+// Mechanically the binary speaks the x/tools unitchecker protocol:
+// when invoked by the go command (with -V=full or a *.cfg unit file)
+// it behaves as a vet tool; when invoked with package patterns it
+// re-executes itself as `go vet -vettool=<self> <patterns>`, which
+// delegates package loading, export data and per-package caching to
+// the build system — no network, no go/packages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/bools"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/errorsas"
+	"golang.org/x/tools/go/analysis/passes/loopclosure"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/sigchanyzer"
+	"golang.org/x/tools/go/analysis/passes/stringintconv"
+	"golang.org/x/tools/go/analysis/passes/unreachable"
+	"golang.org/x/tools/go/analysis/passes/unusedresult"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	stmanalysis "repro/internal/analysis"
+)
+
+// suite is every analyzer stmlint runs. The vet passes are the
+// subset most relevant here: atomic/copylock/sigchanyzer guard the
+// concurrency primitives the engine is built from, loopclosure and
+// lostcancel guard goroutine capture in the server and harness, and
+// the rest are cheap correctness nets that plain `go vet` also runs —
+// harmless to duplicate, and they keep stmlint meaningful standalone.
+var suite = []*analysis.Analyzer{
+	stmanalysis.Txpure,
+	stmanalysis.Txescape,
+	stmanalysis.Hookreentry,
+	atomic.Analyzer,
+	bools.Analyzer,
+	copylock.Analyzer,
+	errorsas.Analyzer,
+	loopclosure.Analyzer,
+	lostcancel.Analyzer,
+	nilfunc.Analyzer,
+	sigchanyzer.Analyzer,
+	stringintconv.Analyzer,
+	unreachable.Analyzer,
+	unusedresult.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if vetProtocol(args) {
+		unitchecker.Main(suite...) // does not return
+	}
+
+	fs := flag.NewFlagSet("stmlint", flag.ExitOnError)
+	unused := fs.Bool("unused-suppressions", false,
+		"also report //stm:* suppression comments that no longer suppress anything")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: stmlint [-unused-suppressions] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the stm transactional-contract analyzers (txpure, txescape,\nhookreentry) and selected vet passes over the given packages\n(default ./...).\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stmlint: cannot locate own binary: %v\n", err)
+		os.Exit(2)
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if *unused {
+		for _, name := range []string{"txpure", "txescape", "hookreentry"} {
+			vetArgs = append(vetArgs, fmt.Sprintf("-%s.unused-suppressions", name))
+		}
+	}
+	vetArgs = append(vetArgs, patterns...)
+
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "stmlint: go vet: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// vetProtocol reports whether the invocation comes from the go
+// command's vet driver rather than a human: a -V=full version probe
+// or a JSON unit config.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

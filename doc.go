@@ -22,6 +22,13 @@
 // adversary and the Lemma 7 graph machinery (internal/sched,
 // internal/graph).
 //
+// The engine's transactional contracts (retry-safe bodies, no
+// descriptor escape, no commit-hook re-entry) are machine-checked:
+// run `go run ./cmd/stmlint ./...` — a go/analysis suite
+// (internal/analysis) that CI requires to pass; deliberate
+// violations carry //stm:impure(reason)-style suppressions (see
+// DESIGN.md, "Static analysis").
+//
 // See DESIGN.md for the architecture (engine / sessions / typed
 // facade / managers / containers / kv server / durability) and the
 // hardware substitutions; cmd/stmbench (figures 1-9, -structure,

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestTxpure(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Txpure, "txpure")
+}
+
+func TestTxescape(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Txescape, "txescape")
+}
+
+func TestHookreentry(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Hookreentry, "hookreentry")
+}
+
+// TestUnusedSuppressions covers the -unused-suppressions mode: a
+// stale //stm:impure (present, but with no diagnostic under it) is
+// itself reported, while a live one stays silent.
+func TestUnusedSuppressions(t *testing.T) {
+	analysis.TxpureUnusedSuppressions = true
+	defer func() { analysis.TxpureUnusedSuppressions = false }()
+	analysistest.Run(t, "testdata", analysis.Txpure, "suppress")
+}
+
+// TestSuppressionsNotReportedByDefault runs the same fixture without
+// the flag: the stale comment must NOT be reported (the suite's CI
+// run treats staleness as an opt-in audit, not a build breaker), so
+// the only finding left is the reasonless directive.
+func TestSuppressionsNotReportedByDefault(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Txpure, "suppressquiet")
+}

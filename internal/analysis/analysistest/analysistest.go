@@ -1,0 +1,277 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against // want comments — a self-contained
+// stand-in for golang.org/x/tools/go/analysis/analysistest, which the
+// toolchain does not vendor (it depends on go/packages). Testdata
+// lives in testdata/src/<pkg>/ and may import real module packages
+// (the suite's fixtures import repro/internal/stm); imports are
+// resolved offline through `go list -export`, which materializes
+// export data from the build cache.
+//
+// Want-comment syntax is the upstream subset the suite uses: a
+// comment on the flagged line of the form
+//
+//	// want "regexp" `another regexp`
+//
+// Every diagnostic on a line must be matched by a distinct regexp on
+// that line and vice versa.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads testdata/src/<pkg> (relative to the calling test's
+// directory), type-checks it, applies a, and compares diagnostics
+// with the package's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	tpkg, info, err := typecheck(fset, pkg, files)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+	diags := runAnalyzer(t, a, fset, files, tpkg, info)
+	checkWants(t, fset, files, diags)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return fset.File(files[i].Pos()).Name() < fset.File(files[j].Pos()).Name()
+	})
+	return files, nil
+}
+
+// exportFiles caches import path → compiled export data location,
+// filled by `go list -export` once per needed path set.
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{}
+)
+
+// resolveExports asks the go tool for export data covering paths and
+// their transitive dependencies. Offline-safe: everything here is
+// module-local or std, built into the cache on demand.
+func resolveExports(paths []string) error {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportFiles[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+func typecheck(fset *token.FileSet, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				imports = append(imports, p)
+			}
+		}
+	}
+	if err := resolveExports(imports); err != nil {
+		return nil, nil, err
+	}
+	lookup := func(p string) (io.ReadCloser, error) {
+		exportMu.Lock()
+		f, ok := exportFiles[p]
+		exportMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+// runAnalyzer applies a (and, first, its Requires closure) and
+// returns the diagnostics. Facts are unsupported — none of the
+// suite's analyzers use them.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	results := map[*analysis.Analyzer]any{}
+	var apply func(a *analysis.Analyzer, record bool)
+	apply = func(a *analysis.Analyzer, record bool) {
+		for _, req := range a.Requires {
+			if _, done := results[req]; !done {
+				apply(req, false)
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   map[*analysis.Analyzer]any{},
+			Report: func(d analysis.Diagnostic) {
+				if record {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = results[req]
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	apply(a, true)
+	return diags
+}
+
+// wantRx extracts the expectation strings from a // want comment.
+var wantRx = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\")|(`[^`]*`)")
+
+type want struct {
+	rx   *regexp.Regexp
+	used bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*want{} // "file:line" → expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRx.FindAllString(c.Text[idx+len("// want "):], -1) {
+					lit, err := strconv.Unquote(m)
+					if err != nil {
+						t.Errorf("%s: bad want string %s: %v", key, m, err)
+						continue
+					}
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, lit, err)
+						continue
+					}
+					wants[key] = append(wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.rx.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.used {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.rx)
+			}
+		}
+	}
+}

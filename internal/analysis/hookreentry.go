@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"flag"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Hookreentry flags OnCommit hooks that call back into the engine.
+//
+// Tx.OnCommit hooks fire INSIDE the stripe-held commit window — after
+// the clock bump, before the stripes release — which is what makes
+// the WAL's queue order equal the per-key commit order (DESIGN.md
+// §Durability). The price: a hook that starts a new transaction, or
+// touches a Var through the typed operations, re-enters an engine
+// whose commit stripes its own transaction is still holding. Best
+// case it deadlocks against itself; worst case it commits against a
+// half-released stripe order the safety argument does not cover.
+//
+// Hooks should only hand data outward: enqueue to the WAL, stash a
+// ticket, bump an atomic counter. The check is transitive through
+// same-package callees (a hook calling a helper that calls
+// Atomically is just as deadlocked), with diagnostics reported at the
+// registration site. Deliberate violations carry
+// //stm:reentrant(reason).
+var Hookreentry = &analysis.Analyzer{
+	Name: "hookreentry",
+	Doc: "check that Tx.OnCommit hooks do not re-enter the engine " +
+		"(they run inside the stripe-held commit window)",
+	Run: runHookreentry,
+}
+
+// HookreentryUnusedSuppressions mirrors
+// -hookreentry.unused-suppressions.
+var HookreentryUnusedSuppressions bool
+
+func init() {
+	Hookreentry.Flags.Init("hookreentry", flag.ExitOnError)
+	Hookreentry.Flags.BoolVar(&HookreentryUnusedSuppressions, "unused-suppressions", false, "report //stm:reentrant comments that suppress nothing")
+}
+
+// reentrantEntryPoints are the engine calls that must not happen in a
+// commit hook: everything that starts a transaction, every typed Var
+// operation (they need a live attempt and may park on a stripe the
+// hook's transaction holds), and re-registration.
+var reentrantEntryPoints = map[string]bool{
+	"Atomically": true, "Atomic": true, "Atomic2": true,
+	"Read": true, "Write": true, "Update": true, "UpdateErr": true,
+	"Swap": true, "CompareAndSwap": true, "ReadAll": true, "Snapshot": true,
+	"OnCommit": true,
+}
+
+func runHookreentry(pass *analysis.Pass) (any, error) {
+	// The engine's own tests register hooks that poke internals on
+	// purpose; the contract binds consumers.
+	if isEnginePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	sup := newSuppressor(pass, "reentrant")
+	h := &hooks{pass: pass, sup: sup, decls: map[types.Object]*ast.FuncDecl{}}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.ObjectOf(fd.Name); obj != nil {
+					h.decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isGenerated(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isOnCommitCall(pass, call) || len(call.Args) != 1 {
+				return true
+			}
+			h.checkHook(call.Args[0])
+			return true
+		})
+	}
+	sup.finish(pass, HookreentryUnusedSuppressions)
+	return nil, nil
+}
+
+type hooks struct {
+	pass  *analysis.Pass
+	sup   *suppressor
+	decls map[types.Object]*ast.FuncDecl
+}
+
+// checkHook resolves the registered function and walks it. All
+// diagnostics anchor at the registration argument — the hook function
+// itself may be fine in other callers; registering it as a commit
+// hook is what makes the call a violation.
+func (h *hooks) checkHook(arg ast.Expr) {
+	var body *ast.BlockStmt
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		body = a.Body
+	case *ast.Ident:
+		if fd := h.decls[h.pass.TypesInfo.ObjectOf(a)]; fd != nil {
+			body = fd.Body
+		}
+	case *ast.SelectorExpr:
+		if obj := h.pass.TypesInfo.ObjectOf(a.Sel); obj != nil {
+			if fd := h.decls[obj]; fd != nil {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		return
+	}
+	seen := map[*ast.BlockStmt]bool{}
+	h.walk(arg, body, seen, 0)
+}
+
+// walk reports engine re-entry reachable from a hook body, following
+// same-package callees up to a small depth (cross-package callees are
+// opaque — internal/kv's own hooks only touch the WAL, and a
+// same-package helper chain is the realistic way a store op sneaks
+// back in).
+func (h *hooks) walk(reg ast.Expr, body *ast.BlockStmt, seen map[*ast.BlockStmt]bool, depth int) {
+	if seen[body] || depth > 4 {
+		return
+	}
+	seen[body] = true
+	pass := h.pass
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			// A goroutine spawned from the hook runs outside the
+			// stripe-held window; re-entry from there is legal (and
+			// txescape polices what it may capture), so don't descend.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callee(pass, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == stmPkgPath && reentrantEntryPoints[fn.Name()] {
+			h.sup.report(pass, reg.Pos(),
+				"OnCommit hook calls stm.%s (at %s): hooks run inside the stripe-held commit window, so re-entering the engine deadlocks against the committing transaction",
+				fn.Name(), pass.Fset.Position(call.Pos()))
+			return false // the outer report covers the call's arguments
+		}
+		// Same-package callee: follow it.
+		if fn.Pkg() == pass.Pkg {
+			if fd := h.decls[fn]; fd != nil && fd.Body != nil {
+				h.walk(reg, fd.Body, seen, depth+1)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// A directive is one //stm:<name>(reason) suppression comment.
+// Placement: at the end of the offending line, or alone on the line
+// directly above it (the same two placements gofmt preserves). The
+// reason is mandatory — suppressions are part of the audit trail, so
+// "why is this exempt" must be answerable at the comment itself.
+type directive struct {
+	pos    token.Pos // position of the comment
+	line   int       // line the comment sits on
+	reason string
+	bad    string // non-empty: malformed (missing/empty reason)
+	used   bool
+}
+
+// suppressor collects one analyzer's directives across a package and
+// filters that analyzer's diagnostics against them. Each analyzer
+// owns one directive name (txpure → stm:impure, …): a stale
+// stm:impure comment is judged by txpure alone, so "unused" is
+// well-defined even though the analyzers run independently.
+type suppressor struct {
+	name string // directive name, e.g. "impure"
+	byLn map[string]map[int]*directive
+}
+
+// newSuppressor scans every file in the pass for //stm:<name>
+// comments. Malformed directives (no parenthesized reason, or an
+// empty one) are reported immediately: a suppression that cannot say
+// why it exists is itself a finding.
+func newSuppressor(pass *analysis.Pass, name string) *suppressor {
+	s := &suppressor{name: name, byLn: make(map[string]map[int]*directive)}
+	prefix := "//stm:" + name
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text != prefix && !strings.HasPrefix(c.Text, prefix+"(") && !strings.HasPrefix(c.Text, prefix+" ") {
+					continue
+				}
+				d := &directive{pos: c.Pos()}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				reason, ok := parseReason(rest)
+				if !ok {
+					d.bad = fmt.Sprintf("//stm:%s needs a parenthesized reason: //stm:%s(why this is safe)", name, name)
+				} else {
+					d.reason = reason
+				}
+				p := pass.Fset.Position(c.Pos())
+				d.line = p.Line
+				m := s.byLn[p.Filename]
+				if m == nil {
+					m = make(map[int]*directive)
+					s.byLn[p.Filename] = m
+				}
+				m[d.line] = d
+			}
+		}
+	}
+	return s
+}
+
+// parseReason extracts the reason from "(reason)" (an optional
+// trailing free-form comment after the closing paren is allowed).
+func parseReason(rest string) (string, bool) {
+	if !strings.HasPrefix(rest, "(") {
+		return "", false
+	}
+	end := strings.LastIndex(rest, ")")
+	if end < 0 {
+		return "", false
+	}
+	reason := strings.TrimSpace(rest[1:end])
+	return reason, reason != ""
+}
+
+// suppressed reports whether a diagnostic at pos is covered by a
+// well-formed directive — same line, or the line directly above —
+// and marks that directive used.
+func (s *suppressor) suppressed(pass *analysis.Pass, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	m := s.byLn[p.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		if d := m[line]; d != nil && d.bad == "" {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// report emits a diagnostic unless a directive covers it.
+func (s *suppressor) report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if s.suppressed(pass, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// finish reports malformed directives always, and — when the
+// analyzer's -unused-suppressions flag is set — directives that
+// suppressed nothing in this package: a stale suppression hides the
+// next real violation on its line, so it must not linger.
+func (s *suppressor) finish(pass *analysis.Pass, reportUnused bool) {
+	for _, m := range s.byLn {
+		for _, d := range m {
+			if d.bad != "" {
+				pass.Reportf(d.pos, "%s", d.bad)
+				continue
+			}
+			if reportUnused && !d.used {
+				pass.Reportf(d.pos, "unused //stm:%s suppression (nothing to suppress here — remove it)", s.name)
+			}
+		}
+	}
+}
+
+// isGenerated reports whether a file carries the standard generated-
+// code marker; generated files are exempt from the contracts (their
+// generator, not a reviewer, owns them).
+func isGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") && strings.HasSuffix(c.Text, " DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+// Package suppress is the fixture for -unused-suppressions mode: a
+// live directive stays silent, a stale one is reported.
+package suppress
+
+import (
+	"time"
+
+	"repro/internal/stm"
+)
+
+var s = stm.New()
+
+func live() {
+	_ = s.Atomically(func(tx *stm.Tx) error {
+		//stm:impure(fixture: deliberate clock read, still present)
+		_ = time.Now()
+		return nil
+	})
+}
+
+func stale() {
+	//stm:impure(stale: the clock read below was removed last refactor) // want `unused //stm:impure suppression`
+	x := 1
+	_ = x
+}

@@ -1,0 +1,16 @@
+// Package suppressquiet is the fixture for default (no audit flag)
+// suppression handling: staleness is not reported, but a missing
+// reason always is.
+package suppressquiet
+
+func quiet() {
+	//stm:impure(stale but not reported without the audit flag)
+	x := 1
+	_ = x
+}
+
+func reasonless() {
+	//stm:impure // want `needs a parenthesized reason`
+	x := 2
+	_ = x
+}

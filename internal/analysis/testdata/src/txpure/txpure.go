@@ -1,0 +1,163 @@
+// Package txpure is the txpure analyzer's fixture: transaction
+// bodies with retry-unsafe operations (flagged), the blessed
+// result-capture idioms (clean), and //stm:impure suppressions.
+package txpure
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/stm"
+)
+
+var (
+	s = stm.New()
+	v = stm.NewVar(0)
+)
+
+func use(...any) {}
+
+func channelAndGoroutine(ch chan int) {
+	_ = s.Atomically(func(tx *stm.Tx) error {
+		n, _ := stm.Read(tx, v)
+		ch <- n   // want `channel send in transaction body`
+		x := <-ch // want `channel receive in transaction body`
+		go use(n) // want `transaction body spawns a goroutine`
+		select {  // want `select in transaction body`
+		default:
+		}
+		close(ch)      // want `close of a channel in transaction body`
+		for range ch { // want `range over a channel in transaction body`
+		}
+		return stm.Write(tx, v, x)
+	})
+}
+
+func locksClocksIO() {
+	var mu sync.Mutex
+	_ = s.Atomically(func(tx *stm.Tx) error {
+		mu.Lock()         // want `call to sync.Lock in transaction body`
+		defer mu.Unlock() // want `call to sync.Unlock in transaction body`
+		_ = time.Now()    // want `call to time.Now in transaction body`
+		time.Sleep(1)     // want `call to time.Sleep in transaction body`
+		_ = rand.Int()    // want `call to rand.Int in transaction body`
+		fmt.Println("x")  // want `call to fmt.Println in transaction body`
+		println("x")      // want `println in transaction body`
+		return nil
+	})
+}
+
+func capturedWrites() {
+	total := 0
+	attempts := 0
+	seen := []int{}
+	_ = s.Atomically(func(tx *stm.Tx) error {
+		n, err := stm.Read(tx, v)
+		if err != nil {
+			return err
+		}
+		total += n             // want `compound assignment to captured variable "total"`
+		attempts++             // want `\+\+ of captured variable "attempts"`
+		seen = append(seen, n) // want `appends to captured slice "seen"`
+		return stm.Write(tx, v, n+1)
+	})
+	use(total, attempts, seen)
+}
+
+// declaredBody is transactional wherever it is called from: a *Tx
+// parameter marks it.
+func declaredBody(tx *stm.Tx) error {
+	_ = time.Now() // want `call to time.Now in transaction body`
+	return nil
+}
+
+// Update closures re-execute even though they never see the Tx: a
+// capture from outside the transaction accumulates across retries.
+var hits int
+
+func bump(n int) int {
+	hits++ // want `\+\+ of captured variable "hits"`
+	return n + 1
+}
+
+func updateByName(tx *stm.Tx) {
+	_ = stm.Update(tx, v, bump)
+}
+
+func updateClosureCapture() {
+	calls := 0
+	_ = s.Atomically(func(tx *stm.Tx) error {
+		return stm.Update(tx, v, func(n int) int {
+			calls++ // want `\+\+ of captured variable "calls"`
+			return n + 1
+		})
+	})
+	use(calls)
+}
+
+// A local of a declared transactional body is per-attempt state —
+// the whole function re-executes — so writes to it are clean even
+// from a nested closure.
+func localOfDeclaredBody(tx *stm.Tx) error {
+	n := 0
+	return stm.Update(tx, v, func(x int) int {
+		n++ // per-attempt: the enclosing body re-declares n on retry
+		return x + n
+	})
+}
+
+// clean shows the blessed idioms: plain `=` result capture, per-
+// attempt locals (including a local slice), pure fmt formatting, and
+// reads through helpers.
+func clean() error {
+	out := 0
+	err := s.Atomically(func(tx *stm.Tx) error {
+		n, err := stm.Read(tx, v)
+		if err != nil {
+			return err
+		}
+		out = n // plain result capture: last attempt wins, whole
+		local := make([]int, 0, 4)
+		local = append(local, n) // per-attempt buffer: allowed
+		msg := fmt.Sprintf("%d", n)
+		use(local, msg)
+		return stm.Write(tx, v, n+1)
+	})
+	use(out)
+	return err
+}
+
+// hookIsNotABody: OnCommit closures run once, post-commit — txpure
+// leaves them to hookreentry even when they would flunk purity.
+func hookIsNotABody() {
+	var t0 time.Time
+	_ = s.Atomically(func(tx *stm.Tx) error {
+		tx.OnCommit(func() { t0 = time.Now() })
+		return nil
+	})
+	use(t0)
+}
+
+// suppressed: deliberate impurities carry a reasoned directive, on
+// the line or directly above it.
+func suppressed() {
+	_ = s.Atomically(func(tx *stm.Tx) error {
+		//stm:impure(fixture: deliberate clock read above the flagged line)
+		_ = time.Now()
+		_ = time.Now() //stm:impure(fixture: same-line form)
+		return nil
+	})
+}
+
+// reasonless: a directive without a reason is itself a finding, and
+// suppresses nothing.
+func reasonless() {
+	_ = s.Atomically(func(tx *stm.Tx) error {
+		//stm:impure // want `//stm:impure needs a parenthesized reason`
+		_ = time.Now() // want `call to time.Now in transaction body`
+		_ = time.Now() //stm:impure() // want `needs a parenthesized reason` `call to time.Now in transaction body`
+		return nil
+	})
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"flag"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Txpure flags code inside transaction bodies that is not retry-safe.
+//
+// The engine may execute a transaction body any number of times
+// before one attempt commits — aborting and re-running the loser is
+// how every contention manager resolves a conflict — so a body must
+// be a pure function of its transactional reads plus immutable
+// captures. Anything that observes or mutates the outside world per
+// execution (channels, locks, goroutines, I/O, clocks, randomness,
+// accumulating writes to captured variables) silently changes meaning
+// under contention: it happens once per ATTEMPT, not once per COMMIT.
+//
+// A transaction body is: any function literal or declaration with a
+// *stm.Tx parameter (the compositional *Tx forms included), and any
+// closure passed to stm.Update / stm.UpdateErr. Closures registered
+// with Tx.OnCommit are not bodies — they run exactly once, after the
+// attempt has won, and are checked by hookreentry instead.
+//
+// Deliberate violations (failure injectors, liveness experiments)
+// carry //stm:impure(reason) on or directly above the flagged line.
+var Txpure = &analysis.Analyzer{
+	Name: "txpure",
+	Doc: "check that transaction bodies are retry-safe: no channel ops, locks, " +
+		"goroutines, I/O, clock or randomness reads, or accumulating captured writes",
+	Run: runTxpure,
+}
+
+// TxpureUnusedSuppressions mirrors the -txpure.unused-suppressions
+// flag (exported so tests can flip it without a FlagSet round-trip).
+var TxpureUnusedSuppressions bool
+
+func init() {
+	Txpure.Flags.Init("txpure", flag.ExitOnError)
+	Txpure.Flags.BoolVar(&TxpureUnusedSuppressions, "unused-suppressions", false, "report //stm:impure comments that suppress nothing")
+}
+
+func runTxpure(pass *analysis.Pass) (any, error) {
+	if isEnginePackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	sup := newSuppressor(pass, "impure")
+	p := &purity{pass: pass, sup: sup, decls: map[types.Object]*ast.FuncDecl{}, visited: map[*ast.BlockStmt]bool{}}
+
+	// Named functions by object, so a body passed to stm.Update by
+	// name is analyzed at its declaration.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.ObjectOf(fd.Name); obj != nil {
+					p.decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isGenerated(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// A declared function (or method) taking a *stm.Tx is
+			// transactional code wherever it is called from.
+			if obj := pass.TypesInfo.ObjectOf(fd.Name); obj != nil {
+				if sig, ok := obj.Type().(*types.Signature); ok && sigHasTxParam(sig) {
+					p.root(fd, fd.Body)
+					continue
+				}
+			}
+			// Otherwise scan it for literals that are bodies.
+			p.scan(fd.Body)
+		}
+	}
+	sup.finish(pass, TxpureUnusedSuppressions)
+	return nil, nil
+}
+
+type purity struct {
+	pass    *analysis.Pass
+	sup     *suppressor
+	decls   map[types.Object]*ast.FuncDecl
+	visited map[*ast.BlockStmt]bool
+
+	// fn is the function node owning the body currently being walked;
+	// capture is judged against its extent so the function's own
+	// parameters (per-attempt values) do not count as captured.
+	fn ast.Node
+}
+
+// scan looks for transaction-body roots inside non-transactional
+// code: literals with a *Tx parameter, and arguments to stm.Update /
+// stm.UpdateErr (whose closures take no Tx but still re-execute).
+func (p *purity) scan(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if sig, ok := p.pass.TypesInfo.TypeOf(n).(*types.Signature); ok && sigHasTxParam(sig) {
+				p.root(n, n.Body)
+				return false
+			}
+		case *ast.CallExpr:
+			if isStmCall(p.pass, n, "Update", "UpdateErr") {
+				for _, arg := range n.Args {
+					switch arg := arg.(type) {
+					case *ast.FuncLit:
+						p.root(arg, arg.Body)
+					case *ast.Ident:
+						if fd := p.decls[p.pass.TypesInfo.ObjectOf(arg)]; fd != nil && fd.Body != nil {
+							p.root(fd, fd.Body)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// root walks one transaction body and reports impurities. Nested
+// literals execute inline (sort comparators and the like) and are
+// walked as part of the body; OnCommit arguments and go'd closures
+// are not — the former are hookreentry's jurisdiction, the latter are
+// already reported wholesale at the go statement.
+func (p *purity) root(fn ast.Node, body *ast.BlockStmt) {
+	if p.visited[body] {
+		return
+	}
+	p.visited[body] = true
+	prevFn := p.fn
+	p.fn = fn
+	defer func() { p.fn = prevFn }()
+
+	pass, info := p.pass, p.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.sup.report(pass, n.Pos(), "transaction body spawns a goroutine: every aborted attempt spawns another (move the spawn into tx.OnCommit or outside the transaction)")
+			return false
+		case *ast.SendStmt:
+			p.sup.report(pass, n.Pos(), "channel send in transaction body: retries repeat it once per attempt, not once per commit")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				p.sup.report(pass, n.Pos(), "channel receive in transaction body: it blocks the attempt and consumes a value per retry")
+				return false
+			}
+		case *ast.SelectStmt:
+			p.sup.report(pass, n.Pos(), "select in transaction body: channel communication is repeated on every retry")
+			return false
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					p.sup.report(pass, n.Pos(), "range over a channel in transaction body: values are consumed once per attempt")
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			p.checkCall(n)
+			if _, lit := funcLitArg(n); lit != nil && isOnCommitCall(pass, n) {
+				return false // hookreentry owns the hook's body
+			}
+			// A named function handed to stm.Update/UpdateErr becomes
+			// a body too; literals are already walked inline.
+			if isStmCall(pass, n, "Update", "UpdateErr") {
+				for _, arg := range n.Args {
+					if id, ok := arg.(*ast.Ident); ok {
+						if fd := p.decls[info.ObjectOf(id)]; fd != nil && fd.Body != nil {
+							p.root(fd, fd.Body)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			p.checkAssign(n)
+		case *ast.IncDecStmt:
+			if obj := p.capturedVar(n.X); obj != nil {
+				p.sup.report(pass, n.Pos(), "%s of captured variable %q in transaction body: each aborted attempt applies it again", n.Tok, obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// impureCallees maps package path → the reason calls into it are not
+// retry-safe. A nil name-set means the whole package is flagged.
+var impureCallees = map[string]struct {
+	names  map[string]bool // nil = every function
+	reason string
+}{
+	"sync": {nil, "blocking synchronization inside a transaction body composes wrong with the engine's own conflict resolution (a held lock outlives the attempt that took it)"},
+	"time": {map[string]bool{
+		"Now": true, "Sleep": true, "Since": true, "Until": true, "After": true,
+		"AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	}, "wall-clock use differs between retries of the same transaction (sample the clock once outside the body, as internal/kv does)"},
+	"math/rand":    {nil, "randomness re-drawn per attempt makes retries diverge"},
+	"math/rand/v2": {nil, "randomness re-drawn per attempt makes retries diverge"},
+	"crypto/rand":  {nil, "randomness re-drawn per attempt makes retries diverge"},
+	"fmt": {map[string]bool{
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	}, "I/O in a transaction body repeats once per attempt"},
+	"os":       {nil, "I/O in a transaction body repeats once per attempt"},
+	"log":      {nil, "I/O in a transaction body repeats once per attempt"},
+	"io":       {nil, "I/O in a transaction body repeats once per attempt"},
+	"bufio":    {nil, "I/O in a transaction body repeats once per attempt"},
+	"net":      {nil, "I/O in a transaction body repeats once per attempt"},
+	"net/http": {nil, "I/O in a transaction body repeats once per attempt"},
+	"syscall":  {nil, "I/O in a transaction body repeats once per attempt"},
+}
+
+func (p *purity) checkCall(call *ast.CallExpr) {
+	pass := p.pass
+	// Builtins: println/print write to stderr; close is a channel op.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "close":
+				p.sup.report(pass, call.Pos(), "close of a channel in transaction body: a second attempt closes it twice")
+			case "println", "print":
+				p.sup.report(pass, call.Pos(), "%s in transaction body: I/O repeats once per attempt", b.Name())
+			}
+			return
+		}
+	}
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	rule, ok := impureCallees[fn.Pkg().Path()]
+	if !ok {
+		return
+	}
+	if rule.names != nil && !rule.names[fn.Name()] {
+		return
+	}
+	p.sup.report(pass, call.Pos(), "call to %s.%s in transaction body: %s", fn.Pkg().Name(), fn.Name(), rule.reason)
+}
+
+// checkAssign flags accumulating writes to variables captured from
+// outside the body. Plain `x = <expr>` result capture is the blessed
+// idiom — the last attempt's write wins and earlier attempts' writes
+// are overwritten whole — but `x += …`, `x op= …` and
+// `x = append(x, …)` fold every aborted attempt into the final value.
+func (p *purity) checkAssign(a *ast.AssignStmt) {
+	for i, lhs := range a.Lhs {
+		obj := p.capturedVar(lhs)
+		if obj == nil {
+			continue
+		}
+		if a.Tok != token.ASSIGN && a.Tok != token.DEFINE {
+			p.sup.report(p.pass, a.Pos(), "compound assignment to captured variable %q in transaction body: each aborted attempt applies it again (capture the result with plain `=` instead)", obj.Name())
+			continue
+		}
+		if a.Tok != token.ASSIGN || len(a.Rhs) != len(a.Lhs) {
+			continue
+		}
+		if call, ok := ast.Unparen(a.Rhs[i]).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := p.pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+					if first := p.objectOf(call.Args[0]); first != nil && first == obj {
+						p.sup.report(p.pass, a.Pos(), "transaction body appends to captured slice %q: aborted attempts' elements accumulate (reset the slice at the top of the body or use a per-attempt buffer)", obj.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// capturedVar resolves expr to a variable declared OUTSIDE the
+// function owning the current body (a closure capture or a package
+// variable); nil otherwise. Parameters and locals of the body — and
+// of literals nested in it — are per-attempt state and do not count.
+func (p *purity) capturedVar(expr ast.Expr) types.Object {
+	obj := p.objectOf(expr)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	if obj.Pos() >= p.fn.Pos() && obj.Pos() <= p.fn.End() {
+		return nil
+	}
+	return obj
+}
+
+func (p *purity) objectOf(expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.pass.TypesInfo.ObjectOf(id)
+}
+
+// isOnCommitCall reports whether call is tx.OnCommit(...).
+func isOnCommitCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "OnCommit" {
+		return false
+	}
+	return isTxType(pass.TypesInfo.TypeOf(sel.X))
+}

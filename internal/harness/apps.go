@@ -511,12 +511,15 @@ func (a *jobsApp) seed(s *stm.STM, rng *rand.Rand) error {
 		}
 	}
 	for i := 0; i < a.cfg.KeyRange/4; i++ {
+		// Draw the score before entering the transaction: a retry must
+		// replay the same decision, not advance the RNG again (txpure).
+		score := rng.Float64() * 100
 		err := s.Atomically(func(tx *stm.Tx) error {
 			job, ok, err := a.store.LPopTx(tx, now, jobsPending)
 			if err != nil || !ok {
 				return err
 			}
-			_, err = a.store.ZAddTx(tx, now, jobsActive, job, rng.Float64()*100)
+			_, err = a.store.ZAddTx(tx, now, jobsActive, job, score)
 			return err
 		})
 		if err != nil {

@@ -246,9 +246,13 @@ func TestRBTreeInvariantsUnderRandomOps(t *testing.T) {
 	rng := rand.New(rand.NewPCG(7, 11))
 	for i := 0; i < 3000; i++ {
 		key := int(rng.Int64N(128))
+		// Decide the operation before the transaction: a retried body
+		// must not re-draw it (txpure) — moot in this sequential test,
+		// but the fixture should model the idiom it audits.
+		insert := rng.Int64N(2) == 0
 		err := w.Atomically(func(tx *stm.Tx) error {
 			var err error
-			if rng.Int64N(2) == 0 {
+			if insert {
 				_, err = tree.Insert(tx, key)
 			} else {
 				_, err = tree.Remove(tx, key)

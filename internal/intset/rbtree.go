@@ -55,7 +55,10 @@ type rbOps struct {
 	err error
 }
 
-func (t *RBTree) ops(tx *stm.Tx) *rbOps { return &rbOps{t: t, tx: tx} }
+func (t *RBTree) ops(tx *stm.Tx) *rbOps {
+	//stm:escape(rbOps is attempt-scoped: built and dropped inside one transaction body, never stored beyond it)
+	return &rbOps{t: t, tx: tx}
+}
 
 // node reads h by value. Reads of our own written nodes see the
 // private copy, so reads issued after writes are always current.

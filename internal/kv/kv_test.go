@@ -343,6 +343,7 @@ func TestStoreTransferHammer(t *testing.T) {
 						// INCRBY from -amount; INCRBY to amount.
 						attempts := 0
 						err := st.Atomically(func(tx *stm.Tx, now int64) error {
+							//stm:impure(livelock fuse: the cross-retry attempt count is what bounds the ping-pong)
 							if attempts++; attempts > 2000 {
 								return errFuseBlew
 							}
@@ -369,6 +370,7 @@ func TestStoreTransferHammer(t *testing.T) {
 						var present []bool
 						attempts := 0
 						err := st.s.Atomically(func(tx *stm.Tx) error {
+							//stm:impure(livelock fuse: the cross-retry attempt count is what bounds the ping-pong)
 							if attempts++; attempts > 2000 {
 								return errFuseBlew
 							}

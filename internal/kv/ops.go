@@ -249,16 +249,20 @@ func (st *Store) SetTTL(key, val string, ttl time.Duration) error {
 func (st *Store) Del(keys ...string) (int, error) {
 	removed := 0
 	err := st.Atomically(func(tx *stm.Tx, now int64) error {
-		removed = 0
+		// Accumulate in a per-attempt local and capture with a plain
+		// assignment: retries overwrite the whole count (txpure's
+		// blessed idiom) instead of relying on a top-of-body reset.
+		n := 0
 		for _, key := range keys {
 			ok, err := st.DelTx(tx, now, key)
 			if err != nil {
 				return err
 			}
 			if ok {
-				removed++
+				n++
 			}
 		}
+		removed = n
 		return nil
 	})
 	return removed, err

@@ -348,7 +348,9 @@ func (st *Store) SweepShard(i int) (int, error) {
 	sh := st.shards[i]
 	removed := 0
 	err := st.Atomically(func(tx *stm.Tx, now int64) error {
-		removed = 0
+		// Per-attempt accumulator, captured whole at the end — an
+		// aborted attempt's partial count vanishes with it.
+		reaped := 0
 		b, err := sh.Buckets(tx)
 		if err != nil {
 			return err
@@ -370,8 +372,9 @@ func (st *Store) SweepShard(i int) (int, error) {
 					capture(tx, wal.Op{Key: e.key, Del: true})
 				}
 			}
-			removed += dropped
+			reaped += dropped
 		}
+		removed = reaped
 		return nil
 	})
 	return removed, err

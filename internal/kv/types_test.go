@@ -317,25 +317,24 @@ func TestCrossTypeConservation(t *testing.T) {
 	audit := func() (int, error) {
 		total := 0
 		err := st.Atomically(func(tx *stm.Tx, now int64) error {
-			total = 0
-			n, err := st.LLenTx(tx, now, "pending")
+			// Sum in a per-attempt local, capture whole (txpure).
+			sum, err := st.LLenTx(tx, now, "pending")
 			if err != nil {
 				return err
 			}
-			total += n
-			n, err = st.ZCardTx(tx, now, "active")
+			n, err := st.ZCardTx(tx, now, "active")
 			if errors.Is(err, ErrWrongType) {
 				return fmt.Errorf("active key has wrong type")
 			}
 			if err != nil {
 				return err
 			}
-			total += n
+			sum += n
 			done, err := st.HGetAllTx(tx, now, "done")
 			if err != nil {
 				return err
 			}
-			total += len(done)
+			total = sum + len(done)
 			return nil
 		})
 		return total, err
@@ -354,16 +353,20 @@ func TestCrossTypeConservation(t *testing.T) {
 					return
 				default:
 				}
+				// Draw the op choice and score before the transaction:
+				// a retry replays the same decision (txpure).
+				promote := rng.Int64N(2) == 0
+				score := float64(rng.Int64N(100))
 				err := st.Atomically(func(tx *stm.Tx, now int64) error {
 					// Promote: pending list → active zset, or complete:
 					// active zset → done hash. Either way one transaction
 					// touches two containers.
-					if rng.Int64N(2) == 0 {
+					if promote {
 						job, ok, err := st.LPopTx(tx, now, "pending")
 						if err != nil || !ok {
 							return err
 						}
-						_, err = st.ZAddTx(tx, now, "active", job, float64(rng.Int64N(100)))
+						_, err = st.ZAddTx(tx, now, "active", job, score)
 						return err
 					}
 					entries, err := st.ZRangeTx(tx, now, "active", 0, 0)

@@ -74,7 +74,7 @@ func BoundedCommit(manager string, n, s, touches int, seed uint64) (*BoundedComm
 			barrier.Wait()
 			var attempts int64
 			errs[i] = world.Atomically(func(tx *stm.Tx) error {
-				attempts++
+				attempts++ //stm:impure(counting attempts across retries is the measurement: aborts = attempts-1)
 				for _, obj := range order {
 					if err := stm.Update(tx, objects[obj], incr); err != nil {
 						return err
