@@ -12,7 +12,8 @@
 //	stmbench -structure queue -mix rangeheavy
 //	stmbench -figure 4 -csv            # machine-readable output (CSV)
 //	stmbench -all -json                # machine-readable output (JSON array)
-//	stmbench -figure 2 -threads 1,4,8 -duration 200ms -managers greedy,karma
+//	stmbench -figure 2 -threads 1,4,8 -window 200ms -managers greedy,karma
+//	stmbench -figure 10 -threads 64 -txtrace 16 -json   # conflict attribution
 package main
 
 import (
@@ -34,8 +35,10 @@ func main() {
 		figureID  = flag.Int("figure", 0, "figure number to run (1-7, see -list)")
 		all       = flag.Bool("all", false, "run every figure")
 		structure = flag.String("structure", "", "sweep one structure by name (list, skiplist, rbtree, rbforest, hashset, queue, omap)")
-		duration  = flag.Duration("duration", 300*time.Millisecond, "measurement window per point")
-		warmup    = flag.Duration("warmup", 50*time.Millisecond, "warmup per point")
+		duration  = flag.Duration("duration", 300*time.Millisecond, "measurement window per point (alias of -window)")
+		window    = flag.Duration("window", 0, "measurement window per point; overrides -duration when set")
+		warmup    = flag.Duration("warmup", 50*time.Millisecond, "warmup per point (runs before the window opens; not measured)")
+		txtrace   = flag.Int("txtrace", 0, "sample 1 in N transactions into the flight recorder: points gain abort-cause breakdown and top-K hot vars (0 disables)")
 		threads   = flag.String("threads", "", "comma-separated thread counts (default: the figure's 1..32 sweep)")
 		managers  = flag.String("managers", "", "comma-separated manager names (default: the figure's five series)")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
@@ -52,6 +55,11 @@ func main() {
 
 	if *csvOut && *jsonOut {
 		usage("-csv and -json are mutually exclusive")
+	}
+	// -window is the measurement window's proper name (the warmup runs
+	// before it opens); -duration predates it and stays as an alias.
+	if *window > 0 {
+		*duration = *window
 	}
 
 	if *list {
@@ -78,6 +86,7 @@ func main() {
 		KeyDist:    *keyDist,
 		Mix:        *mix,
 		BinaryKeys: *binKeys,
+		TxTrace:    *txtrace,
 	}
 	if *threads != "" {
 		ts, err := parseInts(*threads)
@@ -92,8 +101,12 @@ func main() {
 	machine := *csvOut || *jsonOut
 	if !machine {
 		opts.Progress = func(p harness.Point) {
-			fmt.Fprintf(os.Stderr, "  %-10s %-12s x%-3d %10.0f commits/s (abort rate %.2f)\n",
-				p.Structure, p.Manager, p.Threads, p.CommitsPerSec, p.AbortRate)
+			hot := ""
+			if len(p.HotVars) > 0 {
+				hot = "  hot=" + p.HotVars[0].Obj
+			}
+			fmt.Fprintf(os.Stderr, "  %-10s %-12s x%-3d %10.0f commits/s (abort rate %.2f)%s\n",
+				p.Structure, p.Manager, p.Threads, p.CommitsPerSec, p.AbortRate, hot)
 		}
 	}
 

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,7 @@ func main() {
 		buckets = flag.Int("buckets", 8, "initial buckets per shard (shards grow on demand)")
 
 		metrics   = flag.String("metrics", "", "observability HTTP listener serving /metrics, /healthz and /debug/pprof (empty disables)")
+		txtrace   = flag.Int("txtrace", 0, "transaction flight recorder: sample 1 in N transactions into ABORTLOG and /debug/stm/conflicts (0 disables)")
 		data      = flag.String("data", "", "durability directory: recover on boot, then write-ahead log every commit (empty = memory only)")
 		walWindow = flag.Duration("walwindow", 500*time.Microsecond, "group-commit linger window (negative disables lingering)")
 		sweep     = flag.Duration("sweep", 500*time.Millisecond, "background TTL sweep cadence for a full pass over all shards (0 disables)")
@@ -105,26 +107,63 @@ func main() {
 			fatal(err)
 		}
 	case *smoke:
-		if err := runSmoke(*manager, *shards, *buckets, *data, *walWindow, *sweep, *bgsave, lcfg); err != nil {
+		if err := runSmoke(*manager, *shards, *buckets, *data, *walWindow, *sweep, *bgsave, *txtrace, lcfg); err != nil {
 			fatal(err)
 		}
 	default:
-		if err := serve(*addr, *metrics, *manager, *shards, *buckets, *data, *walWindow, *sweep, *bgsave); err != nil {
+		if err := serve(*addr, *metrics, *manager, *shards, *buckets, *data, *walWindow, *sweep, *bgsave, *txtrace); err != nil {
 			fatal(err)
 		}
 	}
 }
 
+// traceState bundles the flight-recorder sinks when -txtrace is on:
+// the conflict matrix served at /debug/stm/conflicts and the ABORTLOG
+// ring served over RESP. Nil when tracing is disabled.
+type traceState struct {
+	conflicts *obs.Conflicts
+	abortlog  *kv.AbortLog
+}
+
+// serverOpts returns the server options that hand the sinks to kv.
+func (tr *traceState) serverOpts() []kv.ServerOption {
+	if tr == nil {
+		return nil
+	}
+	return []kv.ServerOption{kv.WithAbortLog(tr.abortlog)}
+}
+
+// muxOpts returns the obs.Mux options that mount the HTTP endpoints.
+func (tr *traceState) muxOpts() []obs.MuxOption {
+	if tr == nil {
+		return nil
+	}
+	return []obs.MuxOption{obs.WithConflicts(tr.conflicts)}
+}
+
 // openStore builds the store, and in durable mode replays the data
 // directory into it before attaching a fresh log segment. The returned
 // log is nil in memory-only mode; the caller owns closing it after the
-// server quiesces.
-func openStore(manager string, shards, buckets int, data string, window time.Duration) (*kv.Store, *wal.Log, error) {
+// server quiesces. txtrace > 0 installs the transaction flight
+// recorder, sampling 1 in txtrace transactions into the returned
+// traceState (nil when disabled).
+func openStore(manager string, shards, buckets int, data string, window time.Duration, txtrace int) (*kv.Store, *wal.Log, *traceState, error) {
 	factory, err := core.Factory(manager)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	s := stm.New(stm.WithManagerFactory(factory))
+	stmOpts := []stm.Option{stm.WithManagerFactory(factory)}
+	var tr *traceState
+	if txtrace > 0 {
+		tr = &traceState{
+			conflicts: obs.NewConflicts(manager),
+			abortlog:  kv.NewAbortLog(128),
+		}
+		stmOpts = append(stmOpts,
+			stm.WithTracer(stm.Tee(tr.conflicts, tr.abortlog), txtrace),
+			stm.WithRuntimeTrace())
+	}
+	s := stm.New(stmOpts...)
 	opts := []kv.Option{kv.WithShards(shards), kv.WithBuckets(buckets)}
 	if data != "" {
 		// Anchor the store clock to the unix epoch so the absolute TTL
@@ -133,21 +172,21 @@ func openStore(manager string, shards, buckets int, data string, window time.Dur
 	}
 	store := kv.New(s, opts...)
 	if data == "" {
-		return store, nil, nil
+		return store, nil, tr, nil
 	}
 	rst, err := wal.Recover(data, store.Apply)
 	if err != nil {
-		return nil, nil, fmt.Errorf("recover %s: %w", data, err)
+		return nil, nil, nil, fmt.Errorf("recover %s: %w", data, err)
 	}
 	fmt.Fprintf(os.Stderr,
 		"stmkv: recovered %s — snapshot %d ops (base %d), %d segments, %d records (%d ops), torn tail %d bytes\n",
 		data, rst.SnapshotOps, rst.Base, rst.Segments, rst.Records, rst.Ops, rst.TruncatedBytes)
 	l, err := wal.Open(data, wal.Options{GroupWindow: window})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	store.AttachWAL(l)
-	return store, l, nil
+	return store, l, tr, nil
 }
 
 // startSweeper launches the background TTL sweeper: one shard per
@@ -271,7 +310,7 @@ func startBgsave(srv *kv.Server, store *kv.Store, spec string) (stop func(), err
 // durable, which a probe should treat as down. Empty addr disables;
 // the resolved address (useful with ":0") and a stop func are
 // returned.
-func startMetrics(addr string, srv *kv.Server, store *kv.Store) (string, func(), error) {
+func startMetrics(addr string, srv *kv.Server, store *kv.Store, tr *traceState) (string, func(), error) {
 	if addr == "" {
 		return "", func() {}, nil
 	}
@@ -285,7 +324,7 @@ func startMetrics(addr string, srv *kv.Server, store *kv.Store) (string, func(),
 	if err != nil {
 		return "", nil, fmt.Errorf("metrics listener: %w", err)
 	}
-	hs := &http.Server{Handler: obs.Mux(srv.Registry(), health)}
+	hs := &http.Server{Handler: obs.Mux(srv.Registry(), health, tr.muxOpts()...)}
 	go hs.Serve(ln)
 	return ln.Addr().String(), func() { hs.Close() }, nil
 }
@@ -293,17 +332,17 @@ func startMetrics(addr string, srv *kv.Server, store *kv.Store) (string, func(),
 // serve runs the server until SIGINT/SIGTERM, then shuts down cleanly:
 // listener and connections first, then the sweeper and the snapshot
 // schedule, then the log.
-func serve(addr, metrics, manager string, shards, buckets int, data string, window, sweep time.Duration, bgsave string) error {
-	store, l, err := openStore(manager, shards, buckets, data, window)
+func serve(addr, metrics, manager string, shards, buckets int, data string, window, sweep time.Duration, bgsave string, txtrace int) error {
+	store, l, tr, err := openStore(manager, shards, buckets, data, window, txtrace)
 	if err != nil {
 		return err
 	}
-	srv := kv.NewServer(store, kv.WithManagerName(manager))
+	srv := kv.NewServer(store, append([]kv.ServerOption{kv.WithManagerName(manager)}, tr.serverOpts()...)...)
 	stopSave, err := startBgsave(srv, store, bgsave)
 	if err != nil {
 		return err
 	}
-	maddr, stopMetrics, err := startMetrics(metrics, srv, store)
+	maddr, stopMetrics, err := startMetrics(metrics, srv, store, tr)
 	if err != nil {
 		return err
 	}
@@ -349,19 +388,24 @@ func serve(addr, metrics, manager string, shards, buckets int, data string, wind
 // closing the log, as a crash would leave it — into a fresh store
 // that must match the pre-shutdown state exactly. Any violation exits
 // non-zero through main.
-func runSmoke(manager string, shards, buckets int, data string, window, sweep time.Duration, bgsave string, lcfg loadConfig) error {
-	store, l, err := openStore(manager, shards, buckets, data, window)
+func runSmoke(manager string, shards, buckets int, data string, window, sweep time.Duration, bgsave string, txtrace int, lcfg loadConfig) error {
+	// The smoke gates the flight recorder end to end, so it is always
+	// on here; a dense sampling period makes the loadgen storm fill it.
+	if txtrace <= 0 {
+		txtrace = 4
+	}
+	store, l, tr, err := openStore(manager, shards, buckets, data, window, txtrace)
 	if err != nil {
 		return err
 	}
-	srv := kv.NewServer(store, kv.WithManagerName(manager))
+	srv := kv.NewServer(store, append([]kv.ServerOption{kv.WithManagerName(manager)}, tr.serverOpts()...)...)
 	stopSave, err := startBgsave(srv, store, bgsave)
 	if err != nil {
 		return err
 	}
 	stopSave = sync.OnceFunc(stopSave)
 	defer stopSave()
-	maddr, stopMetrics, err := startMetrics("127.0.0.1:0", srv, store)
+	maddr, stopMetrics, err := startMetrics("127.0.0.1:0", srv, store, tr)
 	if err != nil {
 		return err
 	}
@@ -385,6 +429,13 @@ func runSmoke(manager string, shards, buckets int, data string, window, sweep ti
 	// must parse back, the storm must be visible in the command
 	// counters, and health and pprof must answer.
 	if err := smokeMetrics("http://" + maddr); err != nil {
+		return fmt.Errorf("smoke: %w", err)
+	}
+
+	// And so is the flight recorder: the conflict matrix must serve
+	// parseable JSON that saw the storm, and ABORTLOG must answer over
+	// RESP.
+	if err := smokeTrace("http://"+maddr, ln.Addr().String()); err != nil {
 		return fmt.Errorf("smoke: %w", err)
 	}
 
@@ -487,6 +538,73 @@ func smokeMetrics(base string) error {
 	}
 	fmt.Printf("smoke: metrics ok — %d samples parsed back, %.0f commands counted, healthz and pprof answering\n",
 		len(samples), commands)
+	return nil
+}
+
+// smokeTrace gates the transaction flight recorder end to end: the
+// conflict matrix at /debug/stm/conflicts must parse as JSON and have
+// sampled the loadgen storm (the smoke always arms -txtrace), the text
+// form must answer, and ABORTLOG must answer LEN with an integer and
+// GET with a well-formed array over RESP.
+func smokeTrace(base, addr string) error {
+	resp, err := http.Get(base + "/debug/stm/conflicts")
+	if err != nil {
+		return fmt.Errorf("trace: GET conflicts: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace: GET conflicts: status %d (%v)", resp.StatusCode, err)
+	}
+	var snap struct {
+		Manager    string           `json:"manager"`
+		SampledTxs int64            `json:"sampled_txs"`
+		Causes     map[string]int64 `json:"abort_causes"`
+		HotObjects []struct {
+			Obj   string `json:"obj"`
+			Opens int64  `json:"opens"`
+		} `json:"hot_objects"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("trace: conflicts not parseable JSON: %w", err)
+	}
+	if snap.Manager == "" {
+		return fmt.Errorf("trace: conflicts snapshot names no manager")
+	}
+	if snap.SampledTxs == 0 {
+		return fmt.Errorf("trace: no transactions sampled during the storm")
+	}
+	if len(snap.HotObjects) == 0 {
+		return fmt.Errorf("trace: no hot objects attributed during the storm")
+	}
+	if resp, err = http.Get(base + "/debug/stm/conflicts?format=text&top=5"); err != nil {
+		return fmt.Errorf("trace: GET conflicts text: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace: GET conflicts text: status %d", resp.StatusCode)
+	}
+
+	c, err := dial(addr)
+	if err != nil {
+		return fmt.Errorf("trace: dial: %w", err)
+	}
+	defer c.conn.Close()
+	v, err := c.must("ABORTLOG", "LEN")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	held := v.Int
+	if v, err = c.must("ABORTLOG", "GET", "5"); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for _, e := range v.Elems {
+		if len(e.Elems) != 9 {
+			return fmt.Errorf("trace: ABORTLOG entry has %d fields, want 9", len(e.Elems))
+		}
+	}
+	fmt.Printf("smoke: trace ok — %d txs sampled (hot: %s), %d abort causes, abortlog holds %d\n",
+		snap.SampledTxs, snap.HotObjects[0].Obj, len(snap.Causes), held)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package analysis
 import (
 	"flag"
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"golang.org/x/tools/go/analysis"
@@ -25,10 +26,21 @@ import (
 // Atomically is just as deadlocked), with diagnostics reported at the
 // registration site. Deliberate violations carry
 // //stm:reentrant(reason).
+//
+// The same contract binds the flight recorder's sinks: a TraceSink's
+// TxDone method runs on the delivering transaction's goroutine,
+// immediately after the logical transaction ends and still on the
+// session's hot path. A sink that starts a transaction turns every
+// sampled delivery into another candidate delivery — recorder
+// re-entry on the very session that is mid-delivery — so TxDone
+// methods (recognized by the TxSummary/[]TraceEvent signature) are
+// checked against the same entry-point list, with diagnostics at the
+// method declaration.
 var Hookreentry = &analysis.Analyzer{
 	Name: "hookreentry",
-	Doc: "check that Tx.OnCommit hooks do not re-enter the engine " +
-		"(they run inside the stripe-held commit window)",
+	Doc: "check that Tx.OnCommit hooks and TraceSink.TxDone methods do " +
+		"not re-enter the engine (hooks run inside the stripe-held " +
+		"commit window; sinks run on the delivering session's hot path)",
 	Run: runHookreentry,
 }
 
@@ -83,9 +95,45 @@ func runHookreentry(pass *analysis.Pass) (any, error) {
 			h.checkHook(call.Args[0])
 			return true
 		})
+		// Tracer hook sites: every TxDone method with the TraceSink
+		// signature is a sink the engine will call on the hot path.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil || fd.Name.Name != "TxDone" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.ObjectOf(fd.Name).(*types.Func); ok && isTraceSinkSig(fn) {
+				h.checkSink(fd)
+			}
+		}
 	}
 	sup.finish(pass, HookreentryUnusedSuppressions)
 	return nil, nil
+}
+
+// isTraceSinkSig reports whether fn has stm.TraceSink's TxDone shape:
+// (stm.TxSummary, []stm.TraceEvent).
+func isTraceSinkSig(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	if !isStmValueNamed(sig.Params().At(0).Type(), "TxSummary") {
+		return false
+	}
+	sl, ok := sig.Params().At(1).Type().(*types.Slice)
+	return ok && isStmValueNamed(sl.Elem(), "TraceEvent")
+}
+
+// isStmValueNamed reports whether t is the engine package's named type
+// N (by value, not pointer).
+func isStmValueNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == stmPkgPath && obj.Name() == name
 }
 
 type hooks struct {
@@ -118,15 +166,28 @@ func (h *hooks) checkHook(arg ast.Expr) {
 		return
 	}
 	seen := map[*ast.BlockStmt]bool{}
-	h.walk(arg, body, seen, 0)
+	h.walk(arg.Pos(), "OnCommit hook",
+		"hooks run inside the stripe-held commit window, so re-entering the engine deadlocks against the committing transaction",
+		body, seen, 0)
 }
 
-// walk reports engine re-entry reachable from a hook body, following
-// same-package callees up to a small depth (cross-package callees are
-// opaque — internal/kv's own hooks only touch the WAL, and a
-// same-package helper chain is the realistic way a store op sneaks
-// back in).
-func (h *hooks) walk(reg ast.Expr, body *ast.BlockStmt, seen map[*ast.BlockStmt]bool, depth int) {
+// checkSink walks a TraceSink's TxDone method the same way,
+// diagnostics anchored at the method name (the declaration is the
+// contract site; there is no registration argument to point at —
+// WithTracer may be in another package entirely).
+func (h *hooks) checkSink(fd *ast.FuncDecl) {
+	seen := map[*ast.BlockStmt]bool{}
+	h.walk(fd.Name.Pos(), "TraceSink TxDone method",
+		"sinks run on the delivering session's hot path, where starting a transaction re-enters the recorder mid-delivery (see stm.TraceSink)",
+		fd.Body, seen, 0)
+}
+
+// walk reports engine re-entry reachable from a hook or sink body,
+// following same-package callees up to a small depth (cross-package
+// callees are opaque — internal/kv's own hooks only touch the WAL, and
+// a same-package helper chain is the realistic way a store op sneaks
+// back in). Diagnostics anchor at pos; what/why shape the message.
+func (h *hooks) walk(pos token.Pos, what, why string, body *ast.BlockStmt, seen map[*ast.BlockStmt]bool, depth int) {
 	if seen[body] || depth > 4 {
 		return
 	}
@@ -135,8 +196,9 @@ func (h *hooks) walk(reg ast.Expr, body *ast.BlockStmt, seen map[*ast.BlockStmt]
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.GoStmt); ok {
 			// A goroutine spawned from the hook runs outside the
-			// stripe-held window; re-entry from there is legal (and
-			// txescape polices what it may capture), so don't descend.
+			// stripe-held window (and off the sink's hot path);
+			// re-entry from there is legal (and txescape polices what
+			// it may capture), so don't descend.
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
@@ -148,15 +210,15 @@ func (h *hooks) walk(reg ast.Expr, body *ast.BlockStmt, seen map[*ast.BlockStmt]
 			return true
 		}
 		if fn.Pkg() != nil && fn.Pkg().Path() == stmPkgPath && reentrantEntryPoints[fn.Name()] {
-			h.sup.report(pass, reg.Pos(),
-				"OnCommit hook calls stm.%s (at %s): hooks run inside the stripe-held commit window, so re-entering the engine deadlocks against the committing transaction",
-				fn.Name(), pass.Fset.Position(call.Pos()))
+			h.sup.report(pass, pos,
+				"%s calls stm.%s (at %s): %s",
+				what, fn.Name(), pass.Fset.Position(call.Pos()), why)
 			return false // the outer report covers the call's arguments
 		}
 		// Same-package callee: follow it.
 		if fn.Pkg() == pass.Pkg {
 			if fd := h.decls[fn]; fd != nil && fd.Body != nil {
-				h.walk(reg, fd.Body, seen, depth+1)
+				h.walk(pos, what, why, fd.Body, seen, depth+1)
 			}
 		}
 		return true

@@ -1,0 +1,57 @@
+// Tracer hook sites: TraceSink.TxDone methods run on the delivering
+// session's hot path and must not start transactions. Violating,
+// transitive, clean, goroutine and suppressed sinks.
+package hookreentry
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// badSink runs a transaction inside delivery.
+type badSink struct{}
+
+func (badSink) TxDone(sum stm.TxSummary, events []stm.TraceEvent) { // want `TraceSink TxDone method calls stm.Atomically`
+	_ = s.Atomically(func(tx *stm.Tx) error { return nil })
+}
+
+// chainSink re-enters through a same-package helper chain.
+type chainSink struct{}
+
+func (chainSink) TxDone(sum stm.TxSummary, events []stm.TraceEvent) { // want `TraceSink TxDone method calls stm.Snapshot`
+	chain1()
+}
+
+// countSink only hands data outward — the contractual shape.
+type countSink struct{ txs, events atomic.Int64 }
+
+func (c *countSink) TxDone(sum stm.TxSummary, events []stm.TraceEvent) {
+	c.txs.Add(1)
+	c.events.Add(int64(len(events)))
+}
+
+// spawnSink defers the re-entry to a goroutine, off the hot path;
+// legal, like the OnCommit equivalent.
+type spawnSink struct{}
+
+func (spawnSink) TxDone(sum stm.TxSummary, events []stm.TraceEvent) {
+	go func() {
+		_ = s.Atomically(func(tx *stm.Tx) error { return nil })
+	}()
+}
+
+// suppressedSink carries a reasoned directive on the declaration.
+type suppressedSink struct{}
+
+//stm:reentrant(fixture: deliberate recorder re-entry reproduction)
+func (suppressedSink) TxDone(sum stm.TxSummary, events []stm.TraceEvent) {
+	_ = s.Atomically(func(tx *stm.Tx) error { return nil })
+}
+
+// notASink has the name but not the signature: no check.
+type notASink struct{}
+
+func (notASink) TxDone(n int) {
+	_ = s.Atomically(func(tx *stm.Tx) error { return nil })
+}

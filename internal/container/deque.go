@@ -36,15 +36,44 @@ type Deque[T any] struct {
 	right *dNode[T]
 	fcnt  *stm.Var[int]
 	bcnt  *stm.Var[int]
+	// name, when non-empty, labels every link variable the deque mints
+	// (sentinel links, counters, and the links of pushed nodes) for
+	// the STM flight recorder — conflict attribution then names the
+	// deque ("list(jobs:pending)") instead of an anonymous stripe.
+	name string
 }
 
 // NewDeque returns an empty deque.
-func NewDeque[T any]() *Deque[T] {
+func NewDeque[T any]() *Deque[T] { return NewNamedDeque[T]("") }
+
+// NewNamedDeque is NewDeque with a flight-recorder label on every
+// variable the deque creates. An empty name is NewDeque.
+func NewNamedDeque[T any](name string) *Deque[T] {
+	d := &Deque[T]{name: name}
 	l := &dNode[T]{}
 	r := &dNode[T]{}
-	l.next = stm.NewVar(r)
-	r.prev = stm.NewVar(l)
-	return &Deque[T]{left: l, right: r, fcnt: stm.NewVar(0), bcnt: stm.NewVar(0)}
+	l.next = d.newLink(r)
+	r.prev = d.newLink(l)
+	d.left, d.right = l, r
+	d.fcnt = d.newCnt()
+	d.bcnt = d.newCnt()
+	return d
+}
+
+// newLink mints one link variable, labelled when the deque is.
+func (d *Deque[T]) newLink(v *dNode[T]) *stm.Var[*dNode[T]] {
+	if d.name == "" {
+		return stm.NewVar(v)
+	}
+	return stm.NewNamedVar(d.name, v)
+}
+
+// newCnt mints one end counter, labelled when the deque is.
+func (d *Deque[T]) newCnt() *stm.Var[int] {
+	if d.name == "" {
+		return stm.NewVar(0)
+	}
+	return stm.NewNamedVar(d.name, 0)
 }
 
 // PushFront inserts v at the front.
@@ -53,7 +82,7 @@ func (d *Deque[T]) PushFront(tx *stm.Tx, v T) error {
 	if err != nil {
 		return err
 	}
-	node := &dNode[T]{val: v, prev: stm.NewVar(d.left), next: stm.NewVar(f)}
+	node := &dNode[T]{val: v, prev: d.newLink(d.left), next: d.newLink(f)}
 	if err := stm.Write(tx, d.left.next, node); err != nil {
 		return err
 	}
@@ -69,7 +98,7 @@ func (d *Deque[T]) PushBack(tx *stm.Tx, v T) error {
 	if err != nil {
 		return err
 	}
-	node := &dNode[T]{val: v, prev: stm.NewVar(b), next: stm.NewVar(d.right)}
+	node := &dNode[T]{val: v, prev: d.newLink(b), next: d.newLink(d.right)}
 	if err := stm.Write(tx, d.right.prev, node); err != nil {
 		return err
 	}

@@ -88,17 +88,36 @@ type KV[K cmp.Ordered, V any] struct {
 type OMap[K cmp.Ordered, V any] struct {
 	seed maphash.Seed
 	head *stm.Var[omNode[K, V]]
+	// name, when non-empty, labels every tower variable the map mints
+	// (sentinels and inserted towers) for the STM flight recorder, so
+	// conflict attribution names the map instead of an anonymous
+	// stripe.
+	name string
 }
 
 // NewOMap returns an empty ordered map.
-func NewOMap[K cmp.Ordered, V any]() *OMap[K, V] {
-	tail := newOMVar(omNode[K, V]{kind: omTail, next: make([]*stm.Var[omNode[K, V]], omapMaxLevel)})
+func NewOMap[K cmp.Ordered, V any]() *OMap[K, V] { return NewNamedOMap[K, V]("") }
+
+// NewNamedOMap is NewOMap with a flight-recorder label on every
+// variable the map creates. An empty name is NewOMap.
+func NewNamedOMap[K cmp.Ordered, V any](name string) *OMap[K, V] {
+	m := &OMap[K, V]{seed: maphash.MakeSeed(), name: name}
+	tail := m.newVar(omNode[K, V]{kind: omTail, next: make([]*stm.Var[omNode[K, V]], omapMaxLevel)})
 	links := make([]*stm.Var[omNode[K, V]], omapMaxLevel)
 	for i := range links {
 		links[i] = tail
 	}
-	head := newOMVar(omNode[K, V]{kind: omHead, next: links})
-	return &OMap[K, V]{seed: maphash.MakeSeed(), head: head}
+	m.head = m.newVar(omNode[K, V]{kind: omHead, next: links})
+	return m
+}
+
+// newVar wraps a tower in a transactional variable, labelled when the
+// map is.
+func (m *OMap[K, V]) newVar(n omNode[K, V]) *stm.Var[omNode[K, V]] {
+	if m.name == "" {
+		return newOMVar(n)
+	}
+	return stm.NewNamedVarCloner(m.name, n, cloneOMNode[K, V])
 }
 
 // levelFor returns the deterministic tower height for key, geometric
@@ -185,7 +204,7 @@ func (m *OMap[K, V]) Put(tx *stm.Tx, key K, val V) (V, bool, error) {
 		}
 		node.next[i] = pred.next[i]
 	}
-	nodeVar := newOMVar(node)
+	nodeVar := m.newVar(node)
 	for i := 0; i < level; i++ {
 		// The writer's copy carries a deep-cloned link slice, so the
 		// in-place splice stays private until commit.

@@ -26,6 +26,13 @@ import (
 type Table[E any] struct {
 	seed  maphash.Seed
 	state *stm.Var[tableState[E]]
+	// name, when non-empty, labels the table's variables (state and
+	// every bucket, including buckets minted by a resize) for the STM
+	// flight recorder, so conflict attribution names the table instead
+	// of an anonymous stripe. All buckets share the one label: the
+	// recorder aggregates by name, and "which table convoys" is the
+	// question it answers.
+	name string
 
 	// growth is the advisory resize signal. Operations that walk an
 	// over-long chain set it from inside their transaction — a plain
@@ -60,18 +67,40 @@ func (b Buckets[E]) At(i int) *stm.Var[E] { return b.vars[i] }
 
 // NewTable returns a table with n buckets (minimum 1), each holding
 // E's zero value.
-func NewTable[E any](n int) *Table[E] {
+func NewTable[E any](n int) *Table[E] { return NewNamedTable[E]("", n) }
+
+// NewNamedTable is NewTable with a flight-recorder label on every
+// variable the table creates (see the name field). An empty name is
+// NewTable.
+func NewNamedTable[E any](name string, n int) *Table[E] {
 	if n < 1 {
 		n = 1
 	}
-	t := &Table[E]{seed: maphash.MakeSeed()}
+	t := &Table[E]{seed: maphash.MakeSeed(), name: name}
 	vars := make([]*stm.Var[E], n)
 	for i := range vars {
-		var zero E
-		vars[i] = stm.NewVar(zero)
+		vars[i] = t.newBucket()
 	}
-	t.state = stm.NewVar(tableState[E]{buckets: vars})
+	t.state = t.newStateVar(tableState[E]{buckets: vars})
 	return t
+}
+
+// newBucket mints one bucket variable, labelled when the table is.
+func (t *Table[E]) newBucket() *stm.Var[E] {
+	var zero E
+	if t.name == "" {
+		return stm.NewVar(zero)
+	}
+	return stm.NewNamedVar(t.name, zero)
+}
+
+// newStateVar mints the bucket-array variable, labelled when the
+// table is.
+func (t *Table[E]) newStateVar(st tableState[E]) *stm.Var[tableState[E]] {
+	if t.name == "" {
+		return stm.NewVar(st)
+	}
+	return stm.NewNamedVar(t.name, st)
 }
 
 // Seed is the table's hash seed, fixed at construction so the
@@ -185,8 +214,7 @@ func (t *Table[E]) GrowTx(
 	}
 	neu := Buckets[E]{vars: make([]*stm.Var[E], target)}
 	for i := range neu.vars {
-		var zero E
-		neu.vars[i] = stm.NewVar(zero)
+		neu.vars[i] = t.newBucket()
 	}
 	if err := rehash(tx, old, neu); err != nil {
 		return false, err

@@ -55,6 +55,13 @@ func (noMaintenance) after(*stm.STM) error { return nil }
 // after the measurement completes.
 type closer interface{ close() error }
 
+// labeler is the optional attribution hook: an app that implements it
+// names each drawn operation with an interned transaction label (see
+// stm.InternLabel), so a traced run's conflict matrix shows which
+// operation kinds wait on which. Labels must be interned at setup,
+// never per draw — label runs inside the measured loop.
+type labeler interface{ label(d opDesc) stm.Label }
+
 // seedHalf pre-populates a structure to half the key range, one
 // insert transaction per sampled key — the shared seeding policy of
 // every app.
@@ -493,6 +500,26 @@ const (
 	jobsStats   = "jobs:stats"
 	jobsShards  = 4
 )
+
+// jobsVerbLabels name the pipeline's verbs for the flight recorder,
+// indexed by opDesc.verb. Interned once at package init: InternLabel
+// takes a process-wide mutex, which must never sit on the drawn path.
+var jobsVerbLabels = [4]stm.Label{
+	stm.InternLabel("jobs:submit"),
+	stm.InternLabel("jobs:promote"),
+	stm.InternLabel("jobs:complete"),
+	stm.InternLabel("jobs:query"),
+}
+
+// label implements labeler: a traced Figure 10 run attributes its
+// convoy by verb ("promote waits on complete") instead of showing one
+// anonymous pile-up.
+func (a *jobsApp) label(d opDesc) stm.Label {
+	if d.verb < 0 || d.verb >= len(jobsVerbLabels) {
+		return jobsVerbLabels[0]
+	}
+	return jobsVerbLabels[d.verb]
+}
 
 func (a *jobsApp) seed(s *stm.STM, rng *rand.Rand) error {
 	buckets := a.cfg.Buckets / kvShards

@@ -195,6 +195,9 @@ type FigureOptions struct {
 	// BinaryKeys switches the kv applications to a binary-hostile key
 	// table (see Config.BinaryKeys).
 	BinaryKeys bool
+	// TxTrace samples 1 in N transactions into the flight recorder's
+	// conflict matrix (see Config.TxTrace); zero disables tracing.
+	TxTrace int
 	// Progress, when non-nil, receives each point as it completes.
 	Progress func(Point)
 }
@@ -234,6 +237,7 @@ func RunFigure(fig Figure, opts FigureOptions) ([]Point, error) {
 				KeyDist:       keyDist,
 				Mix:           mix,
 				BinaryKeys:    opts.BinaryKeys,
+				TxTrace:       opts.TxTrace,
 			}
 			point, err := Run(cfg)
 			if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/workload"
 )
@@ -80,6 +81,13 @@ type Config struct {
 	Seed uint64
 	// Audit verifies structural integrity after the run.
 	Audit bool
+	// TxTrace, when positive, installs the STM flight recorder sampling
+	// 1 in TxTrace transactions into a conflict matrix (see
+	// obs.Conflicts). The measured Point then carries the top-K hottest
+	// variables and who-waits-on-whom decision edges next to its
+	// throughput. Zero (the default) leaves tracing compiled out of the
+	// measured path entirely — the recorder hooks stay nil-gated.
+	TxTrace int
 }
 
 // withDefaults fills the zero fields with the paper's parameters.
@@ -139,6 +147,15 @@ type Point struct {
 	Aborts      int64
 	Conflicts   int64
 	EnemyAborts int64
+	// AbortsEnemy, AbortsValidation and AbortsCASRace partition Aborts
+	// by cause (see stm.Stats); AbortsUser counts user-error aborts,
+	// which are not retried and sit outside the partition. They come
+	// from the engine's always-on counters, so they are exact even when
+	// TxTrace is off.
+	AbortsEnemy      int64
+	AbortsValidation int64
+	AbortsCASRace    int64
+	AbortsUser       int64
 	// AbortRate is total aborts / total attempts for the whole run.
 	AbortRate float64
 	// WaitNs and BackoffNs aggregate the run's time spent waiting on
@@ -157,7 +174,18 @@ type Point struct {
 	// the run's sessions. Unlike Latency it excludes the harness's
 	// draw/after bookkeeping — the two disagreeing is itself a signal.
 	CommitLatency metrics.Histogram
+	// HotVars and HotEdges are the flight recorder's attribution: the
+	// top-K most conflicted named variables and the hottest
+	// aggressor→victim decision edges, from the sampled conflict
+	// matrix. Populated only when Config.TxTrace is on; the counts are
+	// sample counts, not run totals.
+	HotVars  []obs.HotObject
+	HotEdges []obs.ConflictEdge
 }
+
+// pointTopK is how many hot variables and decision edges a traced
+// point keeps — enough to name a convoy, small enough for a CSV cell.
+const pointTopK = 5
 
 // Run executes one benchmark configuration.
 func Run(cfg Config) (Point, error) {
@@ -193,7 +221,16 @@ func Run(cfg Config) (Point, error) {
 	// in flight the pool holds cfg.Threads sessions, so the
 	// manager-per-concurrent-transaction model of the paper's sweeps
 	// is preserved without pinning.
-	s := stm.New(stm.WithInterleavePeriod(interleave), stm.WithManagerFactory(factory))
+	stmOpts := []stm.Option{stm.WithInterleavePeriod(interleave), stm.WithManagerFactory(factory)}
+	// The flight recorder is opt-in per run: without it the hook sites
+	// stay nil-gated, so an untraced sweep measures exactly what it
+	// measured before the recorder existed.
+	var conflicts *obs.Conflicts
+	if cfg.TxTrace > 0 {
+		conflicts = obs.NewConflicts(cfg.Manager)
+		stmOpts = append(stmOpts, stm.WithTracer(conflicts, cfg.TxTrace))
+	}
+	s := stm.New(stmOpts...)
 
 	seedRng := rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15))
 	if err := application.seed(s, seedRng); err != nil {
@@ -249,6 +286,16 @@ func Run(cfg Config) (Point, error) {
 		AbortRate:     total.AbortRate(),
 		WaitNs:        total.WaitNs,
 		BackoffNs:     total.BackoffNs,
+
+		AbortsEnemy:      total.AbortsEnemy,
+		AbortsValidation: total.AbortsValidation,
+		AbortsCASRace:    total.AbortsCASRace,
+		AbortsUser:       total.AbortsUser,
+	}
+	if conflicts != nil {
+		snap := conflicts.Snapshot(pointTopK)
+		point.HotVars = snap.HotObjects
+		point.HotEdges = snap.Edges
 	}
 	for i := range latencies {
 		point.Latency.Merge(&latencies[i])
@@ -278,9 +325,18 @@ var errStopped = errors.New("harness: measurement window closed")
 // nothing of its own per transaction.
 func work(stop *atomic.Bool, s *stm.STM, application app, rng *rand.Rand, cfg Config, lat *metrics.Histogram) error {
 	var d opDesc
+	// Apps that can name their operations (the jobs pipeline's verbs)
+	// label each transaction so the conflict matrix's decision edges
+	// read "promote waits on complete" instead of two anonymous rows.
+	// The label is an interned id; setting it is one atomic store.
+	lb, _ := application.(labeler)
+	var lbl stm.Label
 	fn := func(tx *stm.Tx) error {
 		if stop.Load() {
 			return errStopped
+		}
+		if lb != nil {
+			tx.SetLabel(lbl)
 		}
 		if err := application.step(tx, d); err != nil {
 			return err
@@ -291,6 +347,9 @@ func work(stop *atomic.Bool, s *stm.STM, application app, rng *rand.Rand, cfg Co
 	for !stop.Load() {
 		opStart := time.Now()
 		d = application.draw(rng)
+		if lb != nil {
+			lbl = lb.label(d)
+		}
 		err := s.Atomically(fn)
 		if errors.Is(err, errStopped) {
 			return nil

@@ -7,6 +7,9 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
+
+	"repro/internal/obs"
 )
 
 // pointJSON is the machine-readable form of a Point for -json output
@@ -28,11 +31,21 @@ type pointJSON struct {
 	AbortRate     float64 `json:"abort_rate"`
 	WaitNs        int64   `json:"wait_ns,omitempty"`
 	BackoffNs     int64   `json:"backoff_ns,omitempty"`
-	LatP50Us      float64 `json:"lat_p50_us"`
-	LatP99Us      float64 `json:"lat_p99_us"`
-	LatMaxUs      float64 `json:"lat_max_us"`
-	CommitP50Us   float64 `json:"commit_p50_us,omitempty"`
-	CommitP99Us   float64 `json:"commit_p99_us,omitempty"`
+	// The per-cause abort partition (always exact; omitted when zero
+	// so pre-recorder trajectory records stay byte-comparable).
+	AbortsEnemy      int64   `json:"aborts_enemy,omitempty"`
+	AbortsValidation int64   `json:"aborts_validation,omitempty"`
+	AbortsCASRace    int64   `json:"aborts_cas_race,omitempty"`
+	AbortsUser       int64   `json:"aborts_user,omitempty"`
+	LatP50Us         float64 `json:"lat_p50_us"`
+	LatP99Us         float64 `json:"lat_p99_us"`
+	LatMaxUs         float64 `json:"lat_max_us"`
+	CommitP50Us      float64 `json:"commit_p50_us,omitempty"`
+	CommitP99Us      float64 `json:"commit_p99_us,omitempty"`
+	// Flight-recorder attribution, present only on traced runs
+	// (Config.TxTrace > 0): top-K hot variables and decision edges.
+	HotVars  []obs.HotObject    `json:"hot_vars,omitempty"`
+	HotEdges []obs.ConflictEdge `json:"hot_edges,omitempty"`
 }
 
 // WriteJSON emits the points as an indented JSON array; each point
@@ -56,11 +69,19 @@ func WriteJSON(w io.Writer, points []Point) error {
 			AbortRate:     p.AbortRate,
 			WaitNs:        p.WaitNs,
 			BackoffNs:     p.BackoffNs,
-			LatP50Us:      float64(p.Latency.Quantile(0.50).Nanoseconds()) / 1e3,
-			LatP99Us:      float64(p.Latency.Quantile(0.99).Nanoseconds()) / 1e3,
-			LatMaxUs:      float64(p.Latency.Max().Nanoseconds()) / 1e3,
-			CommitP50Us:   float64(p.CommitLatency.Quantile(0.50).Nanoseconds()) / 1e3,
-			CommitP99Us:   float64(p.CommitLatency.Quantile(0.99).Nanoseconds()) / 1e3,
+
+			AbortsEnemy:      p.AbortsEnemy,
+			AbortsValidation: p.AbortsValidation,
+			AbortsCASRace:    p.AbortsCASRace,
+			AbortsUser:       p.AbortsUser,
+			HotVars:          p.HotVars,
+			HotEdges:         p.HotEdges,
+
+			LatP50Us:    float64(p.Latency.Quantile(0.50).Nanoseconds()) / 1e3,
+			LatP99Us:    float64(p.Latency.Quantile(0.99).Nanoseconds()) / 1e3,
+			LatMaxUs:    float64(p.Latency.Max().Nanoseconds()) / 1e3,
+			CommitP50Us: float64(p.CommitLatency.Quantile(0.50).Nanoseconds()) / 1e3,
+			CommitP99Us: float64(p.CommitLatency.Quantile(0.99).Nanoseconds()) / 1e3,
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -72,7 +93,7 @@ func WriteJSON(w io.Writer, points []Point) error {
 // re-plotting the paper's figures.
 func WriteCSV(w io.Writer, points []Point) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"structure", "manager", "threads", "commits_per_sec", "commits", "aborts", "conflicts", "abort_rate", "wait_ns", "backoff_ns", "lat_p50_us", "lat_p99_us", "lat_max_us", "commit_p50_us", "commit_p99_us"}); err != nil {
+	if err := cw.Write([]string{"structure", "manager", "threads", "commits_per_sec", "commits", "aborts", "conflicts", "abort_rate", "wait_ns", "backoff_ns", "aborts_enemy", "aborts_validation", "aborts_cas_race", "lat_p50_us", "lat_p99_us", "lat_max_us", "commit_p50_us", "commit_p99_us", "hot_vars"}); err != nil {
 		return err
 	}
 	for _, p := range points {
@@ -87,11 +108,15 @@ func WriteCSV(w io.Writer, points []Point) error {
 			strconv.FormatFloat(p.AbortRate, 'f', 4, 64),
 			strconv.FormatInt(p.WaitNs, 10),
 			strconv.FormatInt(p.BackoffNs, 10),
+			strconv.FormatInt(p.AbortsEnemy, 10),
+			strconv.FormatInt(p.AbortsValidation, 10),
+			strconv.FormatInt(p.AbortsCASRace, 10),
 			strconv.FormatFloat(float64(p.Latency.Quantile(0.50).Microseconds()), 'f', 0, 64),
 			strconv.FormatFloat(float64(p.Latency.Quantile(0.99).Microseconds()), 'f', 0, 64),
 			strconv.FormatFloat(float64(p.Latency.Max().Microseconds()), 'f', 0, 64),
 			strconv.FormatFloat(float64(p.CommitLatency.Quantile(0.50).Microseconds()), 'f', 0, 64),
 			strconv.FormatFloat(float64(p.CommitLatency.Quantile(0.99).Microseconds()), 'f', 0, 64),
+			hotVarsCell(p.HotVars),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -99,6 +124,20 @@ func WriteCSV(w io.Writer, points []Point) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// hotVarsCell flattens the traced top-K into one CSV cell:
+// "kv:shard:12=143;jobs:pending=88" (object=conflict count). Empty on
+// untraced runs, so the column is present but blank.
+func hotVarsCell(vars []obs.HotObject) string {
+	if len(vars) == 0 {
+		return ""
+	}
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = v.Obj + "=" + strconv.FormatInt(v.Conflicts, 10)
+	}
+	return strings.Join(parts, ";")
 }
 
 // WriteTable renders the points as the figure's series table: one row

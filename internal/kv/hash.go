@@ -28,7 +28,14 @@ type field struct {
 const fieldTableBuckets = 4
 
 func newFieldTable() *container.Table[*field] {
-	return container.NewTable[*field](fieldTableBuckets)
+	return newNamedFieldTable("")
+}
+
+// newNamedFieldTable is newFieldTable with a flight-recorder label on
+// the table's variables, so conflict attribution names the owning key
+// ("hash(user:1)") instead of an anonymous stripe.
+func newNamedFieldTable(name string) *container.Table[*field] {
+	return container.NewNamedTable[*field](name, fieldTableBuckets)
 }
 
 // fieldBucket resolves a field name's bucket variable under the array

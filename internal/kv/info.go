@@ -69,7 +69,7 @@ var commandNames = []string{
 	"LPUSH", "RPUSH", "LPOP", "RPOP", "LLEN", "LRANGE",
 	"ZADD", "ZSCORE", "ZREM", "ZCARD", "ZRANGE", "TYPE",
 	"MULTI", "EXEC", "DISCARD", "QUIT", "SAVE", "BGSAVE",
-	"INFO", "SLOWLOG",
+	"INFO", "SLOWLOG", "ABORTLOG",
 }
 
 // serverMetrics bundles the server's own instruments.
@@ -124,7 +124,7 @@ func (sm *serverMetrics) cmd(name string) *cmdMetrics {
 // observe records one handled command. reply errors count as command
 // errors whether they came from validation, execution, or state
 // machinery (MULTI misuse) — if the client saw "-ERR", it counts.
-func (srv *Server) observe(name string, start time.Time, args []string, reply resp.Value) {
+func (srv *Server) observe(name string, start time.Time, args []string, reply resp.Value, cost txCost) {
 	m := srv.sm.cmd(name)
 	m.calls.Inc()
 	if reply.IsError() {
@@ -136,7 +136,7 @@ func (srv *Server) observe(name string, start time.Time, args []string, reply re
 	// not repopulate it (a RESET would otherwise leave one entry —
 	// the RESET).
 	if name != "SLOWLOG" {
-		srv.slow.note(name, args, dur)
+		srv.slow.note(name, args, dur, cost)
 	}
 }
 
@@ -170,6 +170,18 @@ func registerStoreMetrics(reg *obs.Registry, st *Store, manager string) {
 		func() int64 { s := engine.TotalStats(); return s.Conflicts })
 	reg.CounterFunc("stm_enemy_aborts_total", "Conflicts resolved by aborting the enemy.", lbl,
 		func() int64 { s := engine.TotalStats(); return s.EnemyAborts })
+	reg.CounterFunc("stm_aborts_enemy_total",
+		"Aborts caused by an enemy's manager (or the self-abort ruling).", lbl,
+		func() int64 { s := engine.TotalStats(); return s.AbortsEnemy })
+	reg.CounterFunc("stm_aborts_validation_total",
+		"Aborts from read-set validation failure.", lbl,
+		func() int64 { s := engine.TotalStats(); return s.AbortsValidation })
+	reg.CounterFunc("stm_aborts_cas_race_total",
+		"Aborts from losing the commit status CAS after validation.", lbl,
+		func() int64 { s := engine.TotalStats(); return s.AbortsCASRace })
+	reg.CounterFunc("stm_aborts_user_total",
+		"Transactions ended by a non-retryable user error.", lbl,
+		func() int64 { s := engine.TotalStats(); return s.AbortsUser })
 	reg.CounterFunc("stm_wait_ns_total",
 		"Nanoseconds inside the contention manager's ResolveConflict (policy waiting).", lbl,
 		func() int64 { s := engine.TotalStats(); return s.WaitNs })
@@ -211,12 +223,17 @@ func registerStoreMetrics(reg *obs.Registry, st *Store, manager string) {
 	reg.SizeHistogramFunc("wal_batch_ops", "Records per group-commit flush.", nil, l.BatchSizes)
 }
 
-// slowEntry is one recorded slow command.
+// slowEntry is one recorded slow command. attempts and waitNs carry
+// the engine's verdict on *why* it was slow: a command with many
+// attempts or a large wait was a contention victim, one with neither
+// was genuinely doing work (a long LRANGE, a DBSIZE scan).
 type slowEntry struct {
-	id   int64
-	unix int64 // wall-clock seconds when the command finished
-	dur  time.Duration
-	args []string // command name followed by its arguments
+	id       int64
+	unix     int64 // wall-clock seconds when the command finished
+	dur      time.Duration
+	attempts int64    // transaction attempts (0 for non-transactional commands)
+	waitNs   int64    // ns inside the contention manager, across attempts
+	args     []string // command name followed by its arguments
 }
 
 // slowlog is a fixed-size ring of the most recent slow commands,
@@ -229,17 +246,19 @@ type slowlog struct {
 	total     int64 // entries ever recorded; also the next id
 }
 
-func (sl *slowlog) note(name string, args []string, dur time.Duration) {
+func (sl *slowlog) note(name string, args []string, dur time.Duration, cost txCost) {
 	if sl.threshold < 0 || dur < sl.threshold || len(sl.ring) == 0 {
 		return
 	}
 	full := append([]string{name}, args...)
 	sl.mu.Lock()
 	sl.ring[sl.total%int64(len(sl.ring))] = slowEntry{
-		id:   sl.total,
-		unix: time.Now().Unix(),
-		dur:  dur,
-		args: full,
+		id:       sl.total,
+		unix:     time.Now().Unix(),
+		dur:      dur,
+		attempts: cost.attempts,
+		waitNs:   cost.waitNs,
+		args:     full,
 	}
 	sl.total++
 	sl.mu.Unlock()
@@ -307,6 +326,8 @@ func (srv *Server) slowlogReply(args []string) resp.Value {
 				resp.IntVal(e.unix),
 				resp.IntVal(e.dur.Microseconds()),
 				resp.ArrayVal(cmd...),
+				resp.IntVal(e.attempts),
+				resp.IntVal(e.waitNs),
 			)
 		}
 		return resp.ArrayVal(elems...)
@@ -327,7 +348,7 @@ func (srv *Server) slowlogReply(args []string) resp.Value {
 }
 
 // infoSections lists the sections in rendering order.
-var infoSections = []string{"server", "clients", "stats", "commandstats", "stm", "wal", "keyspace"}
+var infoSections = []string{"server", "clients", "stats", "commandstats", "stm", "contention", "wal", "keyspace"}
 
 // infoReply serves INFO [section].
 func (srv *Server) infoReply(args []string) resp.Value {
@@ -421,6 +442,19 @@ func (srv *Server) infoSection(b *strings.Builder, section string) {
 		line("commit_p99_usec", lat.Quantile(0.99).Microseconds())
 		tries := srv.store.STM().CommitAttempts()
 		fmt.Fprintf(b, "attempts_per_commit:%.2f\r\n", meanOf(tries.Sum(), tries.Count()))
+	case "contention":
+		// The forensics section: Aborts split by cause. Validation and
+		// CAS-race aborts dominating means the manager let doomed work
+		// run to its commit point; enemy aborts dominating means open-
+		// time conflicts are being resolved by killing someone.
+		b.WriteString("# Contention\r\n")
+		s := srv.store.STM().TotalStats()
+		line("aborts_enemy", s.AbortsEnemy)
+		line("aborts_validation", s.AbortsValidation)
+		line("aborts_cas_race", s.AbortsCASRace)
+		line("aborts_user_error", s.AbortsUser)
+		line("wait_ns", s.WaitNs)
+		line("abortlog_len", srv.abort.Len())
 	case "wal":
 		b.WriteString("# Wal\r\n")
 		if !srv.store.Durable() {

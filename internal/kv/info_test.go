@@ -123,7 +123,7 @@ func TestSlowlogRingWraparound(t *testing.T) {
 	// from the most recent commands (ids keep counting past the ring).
 	prev := int64(1 << 62)
 	for _, e := range v.Elems {
-		if len(e.Elems) != 4 {
+		if len(e.Elems) != 6 {
 			t.Fatalf("entry shape = %+v", e)
 		}
 		id, usec, cmd := e.Elems[0].Int, e.Elems[2].Int, e.Elems[3]
@@ -136,6 +136,14 @@ func TestSlowlogRingWraparound(t *testing.T) {
 		}
 		if len(cmd.Elems) == 0 {
 			t.Fatal("entry lost its command args")
+		}
+		// The contention-forensics fields: a transactional SET ran at
+		// least one attempt; wait time cannot be negative.
+		if attempts := e.Elems[4].Int; attempts < 1 {
+			t.Fatalf("SET recorded %d attempts, want >= 1", attempts)
+		}
+		if waitNs := e.Elems[5].Int; waitNs < 0 {
+			t.Fatalf("negative wait_ns %d", waitNs)
 		}
 	}
 	// The newest entry's id reflects everything ever recorded (the 10

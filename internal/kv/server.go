@@ -33,12 +33,16 @@ import (
 type Server struct {
 	store *Store
 
-	// Observability state (see info.go): the metrics registry, the
-	// per-command instruments, the SLOWLOG ring, and the labels INFO
+	// Observability state (see info.go, abortlog.go): the metrics
+	// registry, the per-command instruments, the SLOWLOG and ABORTLOG
+	// rings, the interned flight-recorder labels, and the labels INFO
 	// reports.
 	reg         *obs.Registry
 	sm          *serverMetrics
 	slow        *slowlog
+	abort       *AbortLog
+	cmdLabels   map[string]stm.Label
+	execLabel   stm.Label
 	managerName string
 	started     time.Time
 
@@ -59,6 +63,17 @@ func NewServer(store *Store, opts ...ServerOption) *Server {
 		managerName: "default",
 		started:     time.Now(),
 		slow:        &slowlog{threshold: 10 * time.Millisecond, ring: make([]slowEntry, 128)},
+		// A private ring by default, replaced by WithAbortLog when
+		// cmd/stmkv installs one on the engine; without the option
+		// ABORTLOG answers but never fills.
+		abort: NewAbortLog(128),
+		// Flight-recorder labels, interned once here so the hot path
+		// only copies a uint32 into the transaction.
+		cmdLabels: make(map[string]stm.Label, len(commandNames)),
+		execLabel: stm.InternLabel("EXEC"),
+	}
+	for _, name := range commandNames {
+		srv.cmdLabels[name] = stm.InternLabel(name)
 	}
 	for _, opt := range opts {
 		opt(srv)
@@ -177,10 +192,11 @@ func (srv *Server) handle(conn net.Conn) {
 		name := strings.ToUpper(args[0])
 		args = args[1:]
 		var reply resp.Value
+		var cost txCost
 		switch name {
 		case "QUIT":
 			reply = resp.SimpleVal("OK")
-			srv.observe(name, start, args, reply)
+			srv.observe(name, start, args, reply, cost)
 			w.Value(reply)
 			w.Flush()
 			return
@@ -205,6 +221,16 @@ func (srv *Server) handle(conn net.Conn) {
 				reply = resp.ErrVal("ERR SLOWLOG inside MULTI is not supported")
 			default:
 				reply = srv.slowlogReply(args)
+			}
+		case "ABORTLOG":
+			switch {
+			case len(args) == 0:
+				reply = resp.ErrVal("ERR wrong number of arguments for 'abortlog' command")
+			case multi:
+				dirty = true
+				reply = resp.ErrVal("ERR ABORTLOG inside MULTI is not supported")
+			default:
+				reply = srv.abortlogReply(args)
 			}
 		case "MULTI":
 			if multi {
@@ -260,7 +286,7 @@ func (srv *Server) handle(conn net.Conn) {
 			default:
 				q := queue
 				multi, queue = false, nil
-				reply = srv.execBlock(q)
+				reply, cost = srv.execBlock(q)
 			}
 		default:
 			if err := checkCommand(name, args); err != nil {
@@ -272,10 +298,10 @@ func (srv *Server) handle(conn net.Conn) {
 				queue = append(queue, append([]string{name}, args...))
 				reply = resp.SimpleVal("QUEUED")
 			} else {
-				reply = srv.runSingle(name, args)
+				reply, cost = srv.runSingle(name, args)
 			}
 		}
-		srv.observe(name, start, args, reply)
+		srv.observe(name, start, args, reply, cost)
 		w.Value(reply)
 		if err := w.Flush(); err != nil {
 			return
@@ -283,39 +309,66 @@ func (srv *Server) handle(conn net.Conn) {
 	}
 }
 
+// txCost is what one transactional command cost in engine terms:
+// attempts executed (1 = first try) and nanoseconds spent inside the
+// contention manager. Zero for non-transactional commands. It feeds
+// the SLOWLOG, which can then tell a contention victim (many attempts,
+// large wait) from genuinely long work.
+type txCost struct {
+	attempts int64
+	waitNs   int64
+}
+
+// noteTx captures the transaction's cost so far. Called inside the
+// transactional closure — retries overwrite, so the committed
+// attempt's totals win (the shared record accumulates across
+// attempts).
+func (c *txCost) noteTx(tx *stm.Tx) {
+	c.attempts = tx.Aborts() + 1
+	c.waitNs = tx.WaitNs()
+}
+
 // runSingle executes one command as one atomic transaction.
-func (srv *Server) runSingle(name string, args []string) resp.Value {
+func (srv *Server) runSingle(name string, args []string) (resp.Value, txCost) {
 	var reply resp.Value
+	var cost txCost
+	lbl := srv.cmdLabels[name]
 	err := srv.store.Atomically(func(tx *stm.Tx, now int64) error {
+		tx.SetLabel(lbl)
 		var err error
 		reply, err = runCommand(srv.store, tx, now, name, args)
+		cost.noteTx(tx)
 		return err
 	})
 	if err != nil {
-		return commandError(err)
+		return commandError(err), cost
 	}
-	return reply
+	return reply, cost
 }
 
 // execBlock replays a MULTI queue inside one atomic transaction and
 // returns the array of replies — or an EXECABORT error when any
 // command's execution failed, in which case nothing committed.
-func (srv *Server) execBlock(queue [][]string) resp.Value {
+func (srv *Server) execBlock(queue [][]string) (resp.Value, txCost) {
 	replies := make([]resp.Value, len(queue))
+	var cost txCost
 	err := srv.store.Atomically(func(tx *stm.Tx, now int64) error {
+		tx.SetLabel(srv.execLabel)
 		for i, c := range queue {
 			v, err := runCommand(srv.store, tx, now, c[0], c[1:])
 			if err != nil {
+				cost.noteTx(tx)
 				return err
 			}
 			replies[i] = v
 		}
+		cost.noteTx(tx)
 		return nil
 	})
 	if err != nil {
-		return resp.ErrVal("EXECABORT Transaction aborted: " + commandError(err).Str)
+		return resp.ErrVal("EXECABORT Transaction aborted: " + commandError(err).Str), cost
 	}
-	return resp.ArrayVal(replies...)
+	return resp.ArrayVal(replies...), cost
 }
 
 // commandError maps an in-transaction command failure to its error

@@ -118,7 +118,11 @@ func New(s *stm.STM, opts ...Option) *Store {
 		now:    cfg.clock,
 	}
 	for i := range st.shards {
-		st.shards[i] = container.NewTable[*entry](cfg.buckets)
+		// Shard tables are named so the flight recorder attributes
+		// bucket-chain and resize conflicts to a shard rather than an
+		// anonymous stripe; per-key containers carry their own labels
+		// (see containerEntry).
+		st.shards[i] = container.NewNamedTable[*entry](fmt.Sprintf("kv:shard:%d", i), cfg.buckets)
 	}
 	return st
 }

@@ -91,13 +91,18 @@ func (st *Store) containerEntry(tx *stm.Tx, now int64, key string, k kind) (*ent
 		}
 	}
 	neu := &entry{key: key, kind: k}
+	// Containers are named after their key so the STM flight recorder
+	// attributes conflicts to "list(jobs)" rather than an anonymous
+	// commit stripe. The label is a plain string on the container's
+	// variables (not an interned transaction label), so per-key
+	// cardinality costs only the string.
 	switch k {
 	case kindHash:
-		neu.hash = newFieldTable()
+		neu.hash = newNamedFieldTable("hash(" + key + ")")
 	case kindList:
-		neu.list = container.NewDeque[string]()
+		neu.list = container.NewNamedDeque[string]("list(" + key + ")")
 	case kindZSet:
-		neu.zset = newZSet()
+		neu.zset = newNamedZSet("zset(" + key + ")")
 	}
 	rebuilt := neu
 	chain := 1

@@ -25,7 +25,18 @@ type zset struct {
 }
 
 func newZSet() *zset {
-	return &zset{byScore: container.NewOMap[string, string](), index: newFieldTable()}
+	return newNamedZSet("")
+}
+
+// newNamedZSet is newZSet with a flight-recorder label on both halves'
+// variables; the skip list and the member index share the key's one
+// label, since "which zset convoys" is the question the recorder
+// answers.
+func newNamedZSet(name string) *zset {
+	return &zset{
+		byScore: container.NewNamedOMap[string, string](name),
+		index:   newNamedFieldTable(name),
+	}
 }
 
 // zkey encodes (score, member) as bytes whose lexicographic order is

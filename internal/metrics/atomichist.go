@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHistogram is a concurrency-safe collector over the Histogram
+// bucket layout: the same 64 log2 buckets, but each bucket is an
+// atomic counter so any goroutine can Observe without coordination.
+// Observe costs two uncontended atomic adds; Snapshot reconstructs a
+// plain Histogram (count, quantiles, approximate extrema) without
+// stopping writers. The zero value is ready to use.
+//
+// It lives here rather than in internal/obs so that low-level packages
+// (internal/stm keeps one per session for commit latency) can use it
+// without depending on the exposition layer — obs aliases it as
+// obs.Histogram for its registry API.
+type AtomicHistogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64
+}
+
+// Observe records one duration (clamped at zero).
+func (h *AtomicHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[BucketOf(d)].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// ObserveSince records the time elapsed since t0.
+func (h *AtomicHistogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// ObserveN records a raw unit-less value (a batch size, an attempt
+// count) in the same bucket layout.
+func (h *AtomicHistogram) ObserveN(v int64) { h.Observe(time.Duration(v)) }
+
+// Snapshot returns a point-in-time Histogram. Concurrent Observes may
+// be partially included (a bucket increment without its sum, or vice
+// versa); counts are never lost, only split across snapshots.
+func (h *AtomicHistogram) Snapshot() *Histogram {
+	var counts [NumBuckets]uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return FromBuckets(counts[:], time.Duration(h.sum.Load()))
+}

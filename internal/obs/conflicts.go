@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/stm"
+)
+
+// Conflicts aggregates the STM flight recorder's sampled transactions
+// into a conflict matrix: per-object open/conflict/wait tallies keyed
+// by NewNamedVar label (kv keys flow through naturally; unnamed
+// objects fall back to their commit stripe), self→enemy decision
+// counts, and per-cause abort totals. It implements stm.TraceSink —
+// install it with stm.WithTracer — and serves its snapshot at
+// /debug/stm/conflicts via Handler.
+//
+// Cardinality is bounded by construction: object keys are interned
+// labels or one of 128 stripes, and edge keys are pairs of transaction
+// labels, which callers intern at setup time. TxDone takes one mutex;
+// with sampling at the rates the callers use (1 in 16 or sparser) the
+// critical section — a handful of map updates — is not a contention
+// point next to the transactions being measured.
+type Conflicts struct {
+	manager string
+
+	mu        sync.Mutex
+	txs       int64
+	committed int64
+	causes    [5]int64 // indexed by stm.AbortCause; [CauseNone] unused
+	objs      map[string]*objAgg
+	edges     map[edgeKey]*edgeAgg
+}
+
+type objAgg struct {
+	opens     int64
+	writes    int64
+	conflicts int64
+	waitNs    int64
+}
+
+// edgeKey is one cell of the decision matrix: the transaction that
+// consulted its manager (self), the enemy it found holding the object,
+// and the manager's ruling.
+type edgeKey struct {
+	self     string
+	enemy    string
+	decision stm.Decision
+}
+
+type edgeAgg struct {
+	count  int64
+	waitNs int64
+}
+
+// NewConflicts returns an empty aggregator for an STM driven by the
+// named contention manager (the name is reporting metadata only).
+func NewConflicts(manager string) *Conflicts {
+	return &Conflicts{
+		manager: manager,
+		objs:    make(map[string]*objAgg),
+		edges:   make(map[edgeKey]*edgeAgg),
+	}
+}
+
+// objKey names an object for aggregation: its label, or its commit
+// stripe when unnamed.
+func objKey(ev stm.TraceEvent) string {
+	if ev.Obj != "" {
+		return ev.Obj
+	}
+	return "stripe:" + strconv.FormatUint(uint64(ev.Stripe), 10)
+}
+
+// txLabel names a transaction for the matrix.
+func txLabel(l string) string {
+	if l == "" {
+		return "(unlabelled)"
+	}
+	return l
+}
+
+// TxDone folds one sampled transaction into the matrix. It runs on the
+// transaction's goroutine (see stm.TraceSink) and copies everything it
+// keeps, so the reused events slice is safe.
+func (c *Conflicts) TxDone(sum stm.TxSummary, events []stm.TraceEvent) {
+	self := txLabel(sum.Label)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.txs++
+	if sum.Committed {
+		c.committed++
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case stm.TraceOpen:
+			o := c.obj(objKey(ev))
+			o.opens++
+			if ev.Write {
+				o.writes++
+			}
+		case stm.TraceConflict:
+			o := c.obj(objKey(ev))
+			o.conflicts++
+			o.waitNs += ev.Ns
+			k := edgeKey{self: self, enemy: txLabel(ev.Enemy), decision: ev.Decision}
+			e := c.edges[k]
+			if e == nil {
+				e = &edgeAgg{}
+				c.edges[k] = e
+			}
+			e.count++
+			e.waitNs += ev.Ns
+		case stm.TraceAbort:
+			if int(ev.Cause) < len(c.causes) {
+				c.causes[ev.Cause]++
+			}
+		}
+	}
+}
+
+func (c *Conflicts) obj(key string) *objAgg {
+	o := c.objs[key]
+	if o == nil {
+		o = &objAgg{}
+		c.objs[key] = o
+	}
+	return o
+}
+
+// HotObject is one row of the snapshot's top-K object table.
+type HotObject struct {
+	Obj       string `json:"obj"`
+	Opens     int64  `json:"opens"`
+	Writes    int64  `json:"writes"`
+	Conflicts int64  `json:"conflicts"`
+	WaitNs    int64  `json:"wait_ns"`
+}
+
+// ConflictEdge is one cell of the snapshot's decision matrix.
+type ConflictEdge struct {
+	Self     string `json:"self"`
+	Enemy    string `json:"enemy"`
+	Decision string `json:"decision"`
+	Count    int64  `json:"count"`
+	WaitNs   int64  `json:"wait_ns"`
+}
+
+// ConflictsSnapshot is a point-in-time view of the matrix, shaped for
+// JSON exposition.
+type ConflictsSnapshot struct {
+	Manager    string           `json:"manager"`
+	SampledTxs int64            `json:"sampled_txs"`
+	Committed  int64            `json:"committed"`
+	Causes     map[string]int64 `json:"abort_causes"`
+	HotObjects []HotObject      `json:"hot_objects"`
+	Edges      []ConflictEdge   `json:"edges"`
+}
+
+// Snapshot returns the matrix with objects ranked by conflict count
+// (opens breaking ties) and edges by count, each truncated to the topK
+// hottest entries (topK <= 0 means everything).
+func (c *Conflicts) Snapshot(topK int) ConflictsSnapshot {
+	c.mu.Lock()
+	snap := ConflictsSnapshot{
+		Manager:    c.manager,
+		SampledTxs: c.txs,
+		Committed:  c.committed,
+		Causes:     make(map[string]int64, 4),
+		HotObjects: make([]HotObject, 0, len(c.objs)),
+		Edges:      make([]ConflictEdge, 0, len(c.edges)),
+	}
+	for cause, n := range c.causes {
+		if n != 0 {
+			snap.Causes[stm.AbortCause(cause).String()] = n
+		}
+	}
+	for key, o := range c.objs {
+		snap.HotObjects = append(snap.HotObjects, HotObject{
+			Obj: key, Opens: o.opens, Writes: o.writes,
+			Conflicts: o.conflicts, WaitNs: o.waitNs,
+		})
+	}
+	for k, e := range c.edges {
+		snap.Edges = append(snap.Edges, ConflictEdge{
+			Self: k.self, Enemy: k.enemy, Decision: k.decision.String(),
+			Count: e.count, WaitNs: e.waitNs,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(snap.HotObjects, func(i, j int) bool {
+		a, b := snap.HotObjects[i], snap.HotObjects[j]
+		if a.Conflicts != b.Conflicts {
+			return a.Conflicts > b.Conflicts
+		}
+		if a.Opens != b.Opens {
+			return a.Opens > b.Opens
+		}
+		return a.Obj < b.Obj
+	})
+	sort.Slice(snap.Edges, func(i, j int) bool {
+		a, b := snap.Edges[i], snap.Edges[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.Self != b.Self {
+			return a.Self < b.Self
+		}
+		if a.Enemy != b.Enemy {
+			return a.Enemy < b.Enemy
+		}
+		return a.Decision < b.Decision
+	})
+	if topK > 0 {
+		if len(snap.HotObjects) > topK {
+			snap.HotObjects = snap.HotObjects[:topK]
+		}
+		if len(snap.Edges) > topK {
+			snap.Edges = snap.Edges[:topK]
+		}
+	}
+	return snap
+}
+
+// defaultTopK is the endpoint's default table depth.
+const defaultTopK = 20
+
+// WriteJSON writes the top-K snapshot as indented JSON.
+func (c *Conflicts) WriteJSON(w io.Writer, topK int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Snapshot(topK))
+}
+
+// WriteText writes the top-K snapshot as a human-readable report — the
+// ?format=text view of the endpoint.
+func (c *Conflicts) WriteText(w io.Writer, topK int) error {
+	s := c.Snapshot(topK)
+	if _, err := fmt.Fprintf(w, "# stm conflicts (manager=%s)\nsampled_txs: %d\ncommitted: %d\n",
+		s.Manager, s.SampledTxs, s.Committed); err != nil {
+		return err
+	}
+	causes := make([]string, 0, len(s.Causes))
+	for cause := range s.Causes {
+		causes = append(causes, cause)
+	}
+	sort.Strings(causes)
+	for _, cause := range causes {
+		if _, err := fmt.Fprintf(w, "abort_cause %s: %d\n", cause, s.Causes[cause]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n# hot objects (top %d by conflicts)\n", len(s.HotObjects)); err != nil {
+		return err
+	}
+	for _, o := range s.HotObjects {
+		if _, err := fmt.Fprintf(w, "%s opens=%d writes=%d conflicts=%d wait_ns=%d\n",
+			o.Obj, o.Opens, o.Writes, o.Conflicts, o.WaitNs); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n# decision matrix (self -> enemy)\n"); err != nil {
+		return err
+	}
+	for _, e := range s.Edges {
+		if _, err := fmt.Fprintf(w, "%s -> %s: %s x%d wait_ns=%d\n",
+			e.Self, e.Enemy, e.Decision, e.Count, e.WaitNs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the matrix: JSON by default, text with ?format=text,
+// table depth with ?top=N. Mount it at /debug/stm/conflicts on the
+// mux returned by Mux.
+func (c *Conflicts) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		topK := defaultTopK
+		if v := req.URL.Query().Get("top"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				topK = n
+			}
+		}
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			c.WriteText(w, topK)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		c.WriteJSON(w, topK)
+	})
+}

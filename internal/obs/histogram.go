@@ -1,47 +1,12 @@
 package obs
 
 import (
-	"sync/atomic"
-	"time"
-
 	"repro/internal/metrics"
 )
 
-// Histogram is a concurrency-safe wrapper over the metrics.Histogram
-// bucket layout: the same 64 log2 buckets, but each bucket is an
-// atomic counter so any goroutine can Observe without coordination.
-// Observe costs two uncontended atomic adds; Snapshot reconstructs a
-// plain metrics.Histogram (count, quantiles, approximate extrema)
-// without stopping writers. The zero value is ready to use.
-type Histogram struct {
-	buckets [metrics.NumBuckets]atomic.Uint64
-	sum     atomic.Int64
-}
-
-// Observe records one duration (clamped at zero).
-func (h *Histogram) Observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.buckets[metrics.BucketOf(d)].Add(1)
-	h.sum.Add(int64(d))
-}
-
-// ObserveSince records the time elapsed since t0.
-func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
-
-// ObserveN records a raw unit-less value (a batch size, an attempt
-// count) in the same bucket layout.
-func (h *Histogram) ObserveN(v int64) { h.Observe(time.Duration(v)) }
-
-// Snapshot returns a point-in-time metrics.Histogram. Concurrent
-// Observes may be partially included (a bucket increment without its
-// sum, or vice versa) — the same no-quiescence contract as the rest of
-// the registry; counts are never lost, only split across snapshots.
-func (h *Histogram) Snapshot() *metrics.Histogram {
-	var counts [metrics.NumBuckets]uint64
-	for i := range h.buckets {
-		counts[i] = h.buckets[i].Load()
-	}
-	return metrics.FromBuckets(counts[:], time.Duration(h.sum.Load()))
-}
+// Histogram is the concurrency-safe log2-bucket histogram the registry
+// exposes. The implementation lives in internal/metrics (as
+// AtomicHistogram) so engine-level packages can record into one
+// without importing the exposition layer; the alias keeps the obs API
+// (reg.Histogram, HistogramFunc bridges) unchanged.
+type Histogram = metrics.AtomicHistogram

@@ -5,6 +5,17 @@ import (
 	"net/http/pprof"
 )
 
+// MuxOption adds an optional endpoint to the mux Mux builds.
+type MuxOption func(*http.ServeMux)
+
+// WithConflicts mounts the STM conflict matrix at /debug/stm/conflicts
+// (JSON; ?format=text for the report form — see Conflicts.Handler).
+func WithConflicts(c *Conflicts) MuxOption {
+	return func(mux *http.ServeMux) {
+		mux.Handle("/debug/stm/conflicts", c.Handler())
+	}
+}
+
 // Mux returns an HTTP handler serving the standard operational
 // endpoints:
 //
@@ -12,12 +23,16 @@ import (
 //	/healthz       200 "ok" (or 503 with the error when health fails)
 //	/debug/pprof/  the full pprof suite (profile, heap, trace, ...)
 //
-// health may be nil, in which case /healthz always reports healthy.
-// The pprof handlers are registered explicitly rather than through
-// http.DefaultServeMux so an stmkv process never exposes them on a
-// listener it didn't ask for.
-func Mux(r *Registry, health func() error) *http.ServeMux {
+// plus whatever the options mount (WithConflicts adds
+// /debug/stm/conflicts). health may be nil, in which case /healthz
+// always reports healthy. The pprof handlers are registered explicitly
+// rather than through http.DefaultServeMux so an stmkv process never
+// exposes them on a listener it didn't ask for.
+func Mux(r *Registry, health func() error, opts ...MuxOption) *http.ServeMux {
 	mux := http.NewServeMux()
+	for _, opt := range opts {
+		opt(mux)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := r.WriteProm(w); err != nil {

@@ -45,7 +45,18 @@
 //
 // Statistics are atomic per session and aggregated by STM.TotalStats,
 // which is safe to call at any time, concurrently with running
-// transactions — no quiescence required.
+// transactions — no quiescence required. Every abort is charged to
+// exactly one cause (AbortsEnemy + AbortsValidation + AbortsCASRace ==
+// Aborts; user errors count separately in AbortsUser). For per-object
+// and per-enemy attribution beyond the counters, WithTracer installs
+// the flight recorder (trace.go): a sampled per-session event log of
+// begins, opens, conflicts, aborts and commits, delivered to a
+// TraceSink after the commit stripes release. Transactions are named
+// with SetLabel (labels interned once via InternLabel), objects via
+// NewNamedVar; WithRuntimeTrace additionally emits runtime/trace tasks
+// and regions when go tool trace collection is live. The hook sites
+// are nil checks — a world without a tracer pays nothing (enforced by
+// TestTracerDisabledAllocParity).
 //
 // # The untyped engine
 //

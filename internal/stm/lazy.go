@@ -75,6 +75,9 @@ func (o *TObj) openWriteLazy(tx *Tx, mk func() Value) (Value, error) {
 	tx.opens++
 	tx.sess.stats.opens.Add(1)
 	tx.sess.mgr.Opened(tx, true)
+	if rec := tx.sess.rec; rec != nil {
+		rec.open(o, true)
+	}
 	tx.maybeYield()
 	if !tx.validate() {
 		return nil, ErrAborted
@@ -102,6 +105,7 @@ func (tx *Tx) tryCommitLazy() bool {
 	if !tx.readsCommittedAndUnowned() {
 		// A conflicting transaction committed first; all our work is
 		// wasted — the lazy design's signature cost.
+		tx.setCause(CauseValidation)
 		tx.noteConflict()
 		tx.Abort()
 		return false
@@ -110,6 +114,7 @@ func (tx *Tx) tryCommitLazy() bool {
 		h()
 	}
 	if !tx.commit() {
+		tx.setCause(CauseCASRace)
 		return false
 	}
 	// Publish the buffered writes. The clock bump lands before the
@@ -143,12 +148,14 @@ func (tx *Tx) tryCommitReadOnly() bool {
 		}
 		c0 := tx.stm.commitClock.Load()
 		if !tx.scanReads() {
+			tx.setCause(CauseValidation)
 			tx.noteConflict()
 			tx.Abort()
 			return false
 		}
 		if tx.stm.installers.Load() == 0 && tx.stm.commitClock.Load() == c0 {
 			if !tx.commit() {
+				tx.setCause(CauseCASRace)
 				return false
 			}
 			tx.fireOnCommit()

@@ -1,11 +1,12 @@
 package stm
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/obs"
+	"repro/internal/metrics"
 )
 
 // session is the unit of transaction execution: it binds a contention
@@ -38,10 +39,10 @@ type session struct {
 	// commitLat and commitTries distribute the wall time and attempt
 	// count of committed logical transactions. Like stats they are
 	// written by the session's current goroutine and snapshotted
-	// concurrently (obs.Histogram is atomic per bucket), so
+	// concurrently (metrics.AtomicHistogram is atomic per bucket), so
 	// STM.CommitLatency needs no quiescence.
-	commitLat   obs.Histogram
-	commitTries obs.Histogram
+	commitLat   metrics.AtomicHistogram
+	commitTries metrics.AtomicHistogram
 
 	// freeTx, freeReads and freeShared cache attempt state for reuse
 	// (see recycle). They are owner-private: only the goroutine holding
@@ -60,6 +61,17 @@ type session struct {
 	// owner-private like the rest of the attempt scaffolding, so a
 	// steady-state commit allocates nothing for stripe bookkeeping.
 	stripeScratch []uint32
+
+	// Flight-recorder state (see trace.go), owner-private. rec is
+	// non-nil exactly while a sampled logical transaction runs — that
+	// pointer is the whole disabled-path cost at every hook site.
+	// recBuf is the session's reusable recorder, traceSkip the
+	// sampling countdown, and rtCtx the runtime/trace task context of
+	// the running transaction (nil outside an execution trace).
+	rec       *txRecorder
+	recBuf    *txRecorder
+	traceSkip uint32
+	rtCtx     context.Context
 }
 
 // newSession creates a session with its own contention-manager
@@ -202,17 +214,34 @@ func (sess *session) atomically(fn func(tx *Tx) error) error {
 		// entries don't pin old committed Values (no-op when recycle
 		// already ran).
 		sess.inline.reset()
+		// A panicked sampled transaction never reached finishTrace;
+		// discard its half-built recording rather than letting the
+		// next sampled transaction inherit it (no-op otherwise).
+		if sess.rec != nil {
+			sess.rec = nil
+			sess.recBuf.reset()
+		}
 	}()
 	shared := sess.freeShared
 	if shared != nil {
 		sess.freeShared = nil
 		shared.priority.Store(0)
 		shared.aborts.Store(0)
+		shared.label.Store(0)
+		shared.waitNs.Store(0)
 	} else {
 		shared = &txShared{}
 	}
 	shared.id.Store(sess.stm.txIDs.Add(1))
 	shared.timestamp.Store(sess.stm.timestamps.Add(1))
+	trc := sess.stm.tracer
+	if trc != nil {
+		sess.armTrace(trc)
+	}
+	if sess.stm.rtrace {
+		endTask := sess.beginRuntimeTask()
+		defer endTask()
+	}
 	start := time.Now()
 	err := sess.run(shared, fn)
 	if err == nil {
@@ -220,6 +249,11 @@ func (sess *session) atomically(fn func(tx *Tx) error) error {
 		// the latency a caller of Atomically actually experienced.
 		sess.commitLat.ObserveSince(start)
 		sess.commitTries.ObserveN(shared.aborts.Load() + 1)
+	}
+	if sess.rec != nil {
+		// Deliver the sampled transaction: the stripes are released and
+		// the status frozen, so the sink observes a finished history.
+		sess.finishTrace(trc, shared, err == nil, int64(time.Since(start)))
 	}
 	if !errors.Is(err, ErrHalted) {
 		// The logical transaction is over and frozen, so enemies never
@@ -239,11 +273,16 @@ func (sess *session) run(shared *txShared, fn func(tx *Tx) error) error {
 	for {
 		tx := sess.newAttempt(shared)
 		sess.current.Store(tx)
+		if rec := sess.rec; rec != nil {
+			rec.begin()
+		}
+		reg := sess.beginAttemptRegion()
 		sess.mgr.Begin(tx)
 		err := fn(tx)
 		switch {
 		case err == nil:
 			if tx.tryCommit() {
+				sess.endAttemptRegion(reg, CauseNone)
 				sess.current.Store(nil)
 				sess.mgr.Committed(tx)
 				sess.stats.commits.Add(1)
@@ -258,6 +297,7 @@ func (sess *session) run(shared *txShared, fn func(tx *Tx) error) error {
 			// owner-private and never consulted again (enemies only
 			// read the descriptor's atomics), so sever it rather than
 			// letting stale locator references pin old Values.
+			sess.endAttemptRegion(reg, CauseNone)
 			sess.current.Store(nil)
 			sess.stats.halted.Add(1)
 			tx.reads = nil
@@ -268,15 +308,35 @@ func (sess *session) run(shared *txShared, fn func(tx *Tx) error) error {
 			// Enemy abort: fall through to retry.
 		default:
 			// User error: abort the transaction, surface the error.
+			// Tracked apart from contention aborts (AbortsUser): the
+			// caller chose to stop, no enemy forced it.
+			tx.setCause(CauseUserError)
 			tx.Abort()
+			sess.stats.abortsUser.Add(1)
+			if rec := sess.rec; rec != nil {
+				rec.abort(CauseUserError)
+			}
+			sess.endAttemptRegion(reg, CauseUserError)
 			sess.current.Store(nil)
 			sess.mgr.Aborted(tx)
 			sess.recycle(tx)
 			return err
 		}
 		tx.Abort() // make the attempt's fate unambiguous
+		// Charge the abort to its cause. CauseNone can only mean user
+		// code returned ErrAborted without any engine site classifying
+		// the death; bucket it with enemy aborts so the per-cause
+		// partition of Aborts stays exact.
+		cause := tx.cause
+		if cause == CauseNone {
+			cause = CauseEnemyAbort
+		}
 		shared.aborts.Add(1)
-		sess.stats.aborts.Add(1)
+		sess.stats.noteAbort(cause)
+		if rec := sess.rec; rec != nil {
+			rec.abort(cause)
+		}
+		sess.endAttemptRegion(reg, cause)
 		sess.mgr.Aborted(tx)
 		sess.recycle(tx)
 	}
@@ -299,6 +359,7 @@ func (sess *session) newAttempt(shared *txShared) *Tx {
 		tx.status.Store(int32(StatusActive))
 		tx.waiting.Store(false)
 		tx.halted.Store(false)
+		tx.cause = CauseNone
 		tx.validClock = 0
 		tx.opens = 0
 		return tx

@@ -13,6 +13,20 @@ type Stats struct {
 	// aborted twice and then committed contributes 2 here and 1 to
 	// Commits).
 	Aborts int64
+	// AbortsEnemy, AbortsValidation and AbortsCASRace partition Aborts
+	// by cause (see AbortCause): an enemy's manager killed the attempt
+	// (or its own ruled AbortSelf); read-set validation failed; the
+	// commit status CAS lost to an enemy abort inside the commit
+	// window. Their sum always equals Aborts — the accounting the
+	// abort-forensics tests hammer.
+	AbortsEnemy      int64
+	AbortsValidation int64
+	AbortsCASRace    int64
+	// AbortsUser counts attempts ended by a non-retryable user error.
+	// Not part of Aborts (which has always counted only retried
+	// attempts), and tracked so INFO can separate command failures
+	// from contention.
+	AbortsUser int64
 	// Conflicts counts conflicts observed: open-time
 	// contention-manager consultations (eager mode) plus commit-time
 	// validation failures (all modes — so eager and lazy conflict
@@ -41,6 +55,10 @@ type Stats struct {
 func (s *Stats) Add(other Stats) {
 	s.Commits += other.Commits
 	s.Aborts += other.Aborts
+	s.AbortsEnemy += other.AbortsEnemy
+	s.AbortsValidation += other.AbortsValidation
+	s.AbortsCASRace += other.AbortsCASRace
+	s.AbortsUser += other.AbortsUser
 	s.Conflicts += other.Conflicts
 	s.EnemyAborts += other.EnemyAborts
 	s.Opens += other.Opens
@@ -54,27 +72,52 @@ func (s *Stats) Add(other Stats) {
 // session (uncontended atomic adds) and read by TotalStats at any
 // time.
 type atomicStats struct {
-	commits     atomic.Int64
-	aborts      atomic.Int64
-	conflicts   atomic.Int64
-	enemyAborts atomic.Int64
-	opens       atomic.Int64
-	halted      atomic.Int64
-	waitNs      atomic.Int64
-	backoffNs   atomic.Int64
+	commits          atomic.Int64
+	aborts           atomic.Int64
+	abortsEnemy      atomic.Int64
+	abortsValidation atomic.Int64
+	abortsCASRace    atomic.Int64
+	abortsUser       atomic.Int64
+	conflicts        atomic.Int64
+	enemyAborts      atomic.Int64
+	opens            atomic.Int64
+	halted           atomic.Int64
+	waitNs           atomic.Int64
+	backoffNs        atomic.Int64
+}
+
+// noteAbort charges one counted abort to its cause bucket. CauseNone
+// (the transactional function surfaced ErrAborted without any engine
+// site classifying the death — only possible when user code returns
+// ErrAborted itself) is charged to the enemy bucket, so the partition
+// invariant sum(per-cause) == Aborts holds unconditionally.
+func (a *atomicStats) noteAbort(c AbortCause) {
+	a.aborts.Add(1)
+	switch c {
+	case CauseValidation:
+		a.abortsValidation.Add(1)
+	case CauseCASRace:
+		a.abortsCASRace.Add(1)
+	default:
+		a.abortsEnemy.Add(1)
+	}
 }
 
 // snapshot captures the counters as a plain Stats value.
 func (a *atomicStats) snapshot() Stats {
 	return Stats{
-		Commits:     a.commits.Load(),
-		Aborts:      a.aborts.Load(),
-		Conflicts:   a.conflicts.Load(),
-		EnemyAborts: a.enemyAborts.Load(),
-		Opens:       a.opens.Load(),
-		Halted:      a.halted.Load(),
-		WaitNs:      a.waitNs.Load(),
-		BackoffNs:   a.backoffNs.Load(),
+		Commits:          a.commits.Load(),
+		Aborts:           a.aborts.Load(),
+		AbortsEnemy:      a.abortsEnemy.Load(),
+		AbortsValidation: a.abortsValidation.Load(),
+		AbortsCASRace:    a.abortsCASRace.Load(),
+		AbortsUser:       a.abortsUser.Load(),
+		Conflicts:        a.conflicts.Load(),
+		EnemyAborts:      a.enemyAborts.Load(),
+		Opens:            a.opens.Load(),
+		Halted:           a.halted.Load(),
+		WaitNs:           a.waitNs.Load(),
+		BackoffNs:        a.backoffNs.Load(),
 	}
 }
 

@@ -73,6 +73,14 @@ type STM struct {
 	// created by STM.Atomically (see WithManagerFactory).
 	factory ManagerFactory
 
+	// tracer, when non-nil, is the flight recorder installed by
+	// WithTracer: sessions sample logical transactions and deliver
+	// event traces to its sink (see trace.go). rtrace additionally
+	// emits runtime/trace tasks and regions while an execution trace
+	// is being collected (WithRuntimeTrace).
+	tracer *tracerConfig
+	rtrace bool
+
 	// commitHook, when non-nil, runs inside every writer commit after
 	// read-set validation succeeds and before the status CAS — the
 	// window the striped protocol must keep exclusive between
@@ -320,6 +328,7 @@ func (tx *Tx) tryCommit() bool {
 		// the CAS below fail. (Lazy mode never reaches here: its
 		// write acquisitions record pre-images in the read set.)
 		if !tx.commit() {
+			tx.setCause(CauseCASRace)
 			return false
 		}
 		tx.stm.commitClock.Add(2)
@@ -337,6 +346,7 @@ func (tx *Tx) tryCommit() bool {
 	held := tx.lockStripes(buf)
 	defer tx.unlockStripes(held)
 	if !tx.readsCommittedAndUnowned() {
+		tx.setCause(CauseValidation)
 		tx.noteConflict()
 		tx.Abort()
 		return false
@@ -345,6 +355,7 @@ func (tx *Tx) tryCommit() bool {
 		h()
 	}
 	if !tx.commit() {
+		tx.setCause(CauseCASRace)
 		return false
 	}
 	tx.stm.commitClock.Add(2)

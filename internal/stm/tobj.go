@@ -138,7 +138,7 @@ func (o *TObj) openWriteAs(tx *Tx, mk func() Value) (Value, error) {
 			return l.newVal, nil // already ours (write after write)
 		}
 		if enemy := l.owner; enemy != nil && enemy.Status() == StatusActive {
-			if err := resolve(tx, enemy); err != nil {
+			if err := resolve(tx, enemy, o); err != nil {
 				return nil, err
 			}
 			continue
@@ -162,6 +162,9 @@ func (o *TObj) openWriteAs(tx *Tx, mk func() Value) (Value, error) {
 		tx.opens++
 		tx.sess.mgr.Opened(tx, true)
 		tx.sess.stats.opens.Add(1)
+		if rec := tx.sess.rec; rec != nil {
+			rec.open(o, true)
+		}
 		tx.maybeYield()
 		// Writing this object may form part of an inconsistent view;
 		// early validation keeps the transaction opaque.
@@ -200,7 +203,7 @@ func (o *TObj) openRead(tx *Tx) (Value, error) {
 			return l.newVal, nil
 		}
 		if enemy := l.owner; enemy != nil && enemy.Status() == StatusActive {
-			if err := resolve(tx, enemy); err != nil {
+			if err := resolve(tx, enemy, o); err != nil {
 				return nil, err
 			}
 			continue
@@ -210,6 +213,9 @@ func (o *TObj) openRead(tx *Tx) (Value, error) {
 		tx.opens++
 		tx.sess.mgr.Opened(tx, false)
 		tx.sess.stats.opens.Add(1)
+		if rec := tx.sess.rec; rec != nil {
+			rec.open(o, false)
+		}
 		tx.maybeYield()
 		if !tx.validate() {
 			return nil, ErrAborted
@@ -221,22 +227,30 @@ func (o *TObj) openRead(tx *Tx) (Value, error) {
 func (tx *Tx) noteConflict() { tx.sess.stats.conflicts.Add(1) }
 
 // resolve runs one round of the contention-management protocol between
-// tx and enemy, translating the manager's decision into an abort of
-// one side or an (already-performed) wait. The manager consultation is
-// timed into WaitNs: a Wait decision has already slept inside
-// ResolveConflict, so this one measurement captures exactly the
+// tx and enemy over object o, translating the manager's decision into
+// an abort of one side or an (already-performed) wait. The manager
+// consultation is timed into WaitNs: a Wait decision has already slept
+// inside ResolveConflict, so this one measurement captures exactly the
 // policy-chosen waiting that distinguishes managers with and without
-// progress guarantees.
-func resolve(tx, enemy *Tx) error {
+// progress guarantees. The same measurement accrues to the logical
+// transaction's own counter (Tx.WaitNs) and, on sampled transactions,
+// to a conflict event naming the enemy and the ruling.
+func resolve(tx, enemy *Tx, o *TObj) error {
 	tx.noteConflict()
 	t0 := time.Now()
 	d := tx.sess.mgr.ResolveConflict(tx, enemy)
-	tx.sess.stats.waitNs.Add(int64(time.Since(t0)))
+	dt := int64(time.Since(t0))
+	tx.sess.stats.waitNs.Add(dt)
+	tx.shared.waitNs.Add(dt)
+	if rec := tx.sess.rec; rec != nil {
+		rec.conflict(o, enemy, d, dt)
+	}
 	switch d {
 	case AbortOther:
 		enemy.Abort()
 		tx.sess.stats.enemyAborts.Add(1)
 	case AbortSelf:
+		tx.setCause(CauseEnemyAbort)
 		tx.Abort()
 		return ErrAborted
 	case Wait:

@@ -22,6 +22,16 @@ type txShared struct {
 
 	priority atomic.Int64 // Karma/Eruption/Polka accumulated priority
 	aborts   atomic.Int64 // completed attempts that ended in abort
+
+	// label is the interned SetLabel id, read by enemies when the
+	// flight recorder names a conflict's aggressor; waitNs accumulates
+	// ResolveConflict time across the logical transaction's attempts
+	// (Tx.WaitNs — the per-transaction counterpart of Stats.WaitNs).
+	// A straggling enemy reading a reused record can misattribute a
+	// label, which — like the other heuristic fields here — affects
+	// only sampled diagnostics, never safety.
+	label  atomic.Uint32
+	waitNs atomic.Int64
 }
 
 // Tx is one attempt of a logical transaction. All attempts share the
@@ -40,6 +50,11 @@ type Tx struct {
 	status  atomic.Int32
 	waiting atomic.Bool
 	halted  atomic.Bool
+	// cause records why this attempt aborted (owner-written only: every
+	// classification site — step, validate, the commit CASes — runs on
+	// the owning goroutine). A single byte in the status word's padding
+	// hole, so abort forensics cost the descriptor no space.
+	cause AbortCause
 	// opens counts objects opened by this attempt (reads and writes).
 	// An int32 here fills the status word's padding hole, keeping the
 	// per-attempt descriptor in the smaller allocation size class.
@@ -203,6 +218,16 @@ func (tx *Tx) backoff(spin int) {
 	tx.sess.stats.backoffNs.Add(int64(time.Since(t0)))
 }
 
+// setCause classifies the attempt's abort for the flight recorder and
+// the per-cause counters. First cause wins: an enemy abort noticed at
+// the next step must not be re-labelled by a later check, so every
+// site routes through here.
+func (tx *Tx) setCause(c AbortCause) {
+	if tx.cause == CauseNone {
+		tx.cause = c
+	}
+}
+
 // step checks that the attempt may keep running, translating an
 // enemy-inflicted abort or injected halt into the error the
 // transactional function should return.
@@ -211,6 +236,7 @@ func (tx *Tx) step() error {
 		return ErrHalted
 	}
 	if tx.Status() != StatusActive {
+		tx.setCause(CauseEnemyAbort)
 		return ErrAborted
 	}
 	return nil
@@ -242,6 +268,7 @@ func (tx *Tx) validate() bool {
 			return true
 		}
 		if !tx.readsStillCommitted() {
+			tx.setCause(CauseValidation)
 			tx.Abort()
 			return false
 		}
